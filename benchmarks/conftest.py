@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures.
+
+Benchmarks measure two things:
+
+* **wall time** (pytest-benchmark) of actually executing the compiled
+  kernel programs at a small scale — a sanity check that the programs do
+  real work;
+* **simulated cycles** (the numbers the paper's figures are about),
+  computed by sweep fixtures and asserted/reported per figure.
+
+Scales are kept small so the whole suite runs in minutes; run
+``python -m repro.bench all --rows 4000000`` for higher-fidelity sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import microbench as sweep
+from repro.datagen import microbench as mb
+from repro.datagen import tpch as tpchgen
+from repro.engine.machine import PAPER_MACHINE
+from repro.engine.session import Session
+
+#: Microbench scale for benchmark runs (paper: 100M rows).
+BENCH_CONFIG = mb.MicrobenchConfig(num_rows=200_000, s_rows=2_000,
+                                   c_cardinality=256)
+#: Sweep selectivities (coarser than the harness default, for speed).
+BENCH_SELS = (1, 10, 25, 50, 75, 90, 99)
+#: TPC-H scale for benchmark runs (paper: SF 10).
+BENCH_TPCH = tpchgen.TpchConfig(scale_factor=0.005)
+
+
+@pytest.fixture(scope="session")
+def micro_db():
+    return mb.generate(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def micro_machine():
+    return sweep.scaled_machine(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def micro_session(micro_machine):
+    return Session(machine=micro_machine)
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    return tpchgen.generate(BENCH_TPCH)
+
+
+@pytest.fixture(scope="session")
+def tpch_session():
+    return Session(machine=PAPER_MACHINE.scaled(BENCH_TPCH.machine_scale))

@@ -1,0 +1,57 @@
+"""Quickstart: compile one query under every strategy and compare.
+
+Generates the paper's microbenchmark table R, compiles
+``select sum(r_a * r_b) from R where r_x < 13 and r_y = 1`` with the
+data-centric, hybrid, ROF, and SWOLE strategies, runs each, and prints
+the answer (identical by construction), simulated runtime, and the
+SWOLE planner's technique choice.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro.core.swole  # noqa: F401  (registers the "swole" strategy)
+from repro.bench.microbench import scaled_machine
+from repro.codegen import compile_query
+from repro.core.swole import compile_swole
+from repro.datagen import microbench as mb
+from repro.engine.session import Session
+
+
+def main() -> None:
+    config = mb.MicrobenchConfig(num_rows=500_000, s_rows=5_000)
+    db = mb.generate(config)
+    machine = scaled_machine(config)  # caches shrink with the data
+    session = Session(machine=machine)
+
+    query = mb.q1(13)  # select sum(r_a * r_b) from R where r_x < 13 ...
+    print(f"query: {query.name}   |R| = {config.num_rows:,}")
+    print()
+
+    results = {}
+    for strategy in ("interpreter", "datacentric", "hybrid", "rof"):
+        compiled = compile_query(query, db, strategy)
+        results[strategy] = compiled.run(session)
+
+    swole = compile_swole(query, db, machine=machine)
+    results["swole"] = swole.run(session)
+    print(f"SWOLE plan: {swole.notes['plan']}")
+    print()
+
+    answer = results["swole"].scalar("sum")
+    print(f"{'strategy':>12s} {'answer':>16s} {'simulated':>12s} {'vs hybrid':>10s}")
+    hybrid_seconds = results["hybrid"].seconds
+    for strategy, result in results.items():
+        assert result.scalar("sum") == answer, "strategies disagree!"
+        speedup = hybrid_seconds / result.seconds
+        print(
+            f"{strategy:>12s} {result.scalar('sum'):>16,d} "
+            f"{result.seconds:>10.4f}s {speedup:>9.2f}x"
+        )
+
+    print()
+    print("cost breakdown of the SWOLE program:")
+    print(results["swole"].report.breakdown())
+
+
+if __name__ == "__main__":
+    main()

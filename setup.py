@@ -1,0 +1,7 @@
+"""Setuptools shim (kept for environments without the wheel package,
+where ``python setup.py develop`` is the only editable-install path).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""SWOLE: access-aware code generation with predicate pullups.
+
+Reproduction of Crotty, Galakatos & Kraska (ICDE 2020). See README.md for
+the public API tour and DESIGN.md for the architecture.
+
+Typical entry points::
+
+    from repro import Session, compile_query, compile_swole
+    from repro.datagen import microbench as mb
+
+    db = mb.generate(mb.MicrobenchConfig(num_rows=1_000_000))
+    program = compile_swole(mb.q1(13), db)
+    result = program.run(Session())
+"""
+
+__version__ = "1.0.0"
+
+from .codegen import available_strategies, compile_query
+from .core import compile_swole, plan_query
+from .engine import MachineModel, PAPER_MACHINE, Session
+from .errors import ReproError
+from .plan import AggSpec, Col, Const, JoinSpec, Query
+from .storage import Database
+
+__all__ = [
+    "AggSpec",
+    "Col",
+    "Const",
+    "Database",
+    "JoinSpec",
+    "MachineModel",
+    "PAPER_MACHINE",
+    "Query",
+    "ReproError",
+    "Session",
+    "__version__",
+    "available_strategies",
+    "compile_query",
+    "compile_swole",
+    "plan_query",
+]

@@ -1,0 +1,100 @@
+"""Command-line figure regenerator: ``python -m repro.bench <figure>``.
+
+Figures: fig2, fig6, fig8, fig9, fig10, fig11, fig12, all.
+Use ``--rows`` / ``--sf`` to trade fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..datagen import microbench as mb
+from ..datagen import tpch as tpchgen
+from . import microbench as micro
+from . import tpch as tpchbench
+
+
+def _print(block: str) -> None:
+    print(block)
+    print()
+
+
+def run_figure(name: str, rows: int, sf: float) -> None:
+    config = mb.MicrobenchConfig(num_rows=rows)
+    if name == "fig2":
+        from ..core.planner import technique_matrix
+
+        print("Fig 2: SWOLE technique summary")
+        for technique, info in technique_matrix().items():
+            print(
+                f"  {technique:<20s} §{info['section']:<6s} "
+                f"{info['operators']:<40s} {info['heuristics']}"
+            )
+        print()
+        return
+    if name == "fig6":
+        _print(
+            tpchbench.run_fig6(
+                tpchgen.TpchConfig(scale_factor=sf)
+            ).format_table()
+        )
+        return
+    if name == "fig8":
+        for op in ("mul", "div"):
+            _print(micro.fig8(op, config=config).format_table())
+        return
+    if name == "fig9":
+        for cardinality in (10, 1_000, 100_000, 10_000_000):
+            _print(micro.fig9(cardinality, config=config).format_table())
+        return
+    if name == "fig10":
+        for col in ("r_b", "r_x"):
+            _print(micro.fig10(col, config=config).format_table())
+        return
+    if name == "fig11":
+        for side, fixed in (
+            ("probe", 10),
+            ("probe", 90),
+            ("build", 10),
+            ("build", 90),
+        ):
+            _print(micro.fig11(side, fixed, config=config).format_table())
+        return
+    if name == "fig12":
+        for s_rows in (mb.PAPER_S_SMALL, mb.PAPER_S_LARGE):
+            _print(micro.fig12(s_rows, config=config).format_table())
+        return
+    raise SystemExit(f"unknown figure {name!r}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help="fig2 fig6 fig8 fig9 fig10 fig11 fig12, or 'all'",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=1_000_000,
+        help="microbench R rows (paper: 100M; caches scale to match)",
+    )
+    parser.add_argument(
+        "--sf",
+        type=float,
+        default=0.01,
+        help="TPC-H scale factor (paper: 10; caches scale to match)",
+    )
+    args = parser.parse_args()
+    figures = args.figures
+    if figures == ["all"]:
+        figures = ["fig2", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12"]
+    for figure in figures:
+        run_figure(figure, args.rows, args.sf)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Code-generation strategies: data-centric, hybrid, ROF (and SWOLE via
+:mod:`repro.core`, which registers itself under the name ``"swole"``)."""
+
+from .base import available_strategies, compile_query, get_strategy
+
+# Importing the strategy modules registers them.
+from . import datacentric as _datacentric  # noqa: F401
+from . import hybrid as _hybrid  # noqa: F401
+from . import rof as _rof  # noqa: F401
+
+__all__ = ["available_strategies", "compile_query", "get_strategy"]

@@ -1,0 +1,54 @@
+"""Strategy interface for code generation.
+
+A strategy turns a logical :class:`~repro.plan.logical.Query` plus a
+:class:`~repro.storage.database.Database` into a
+:class:`~repro.engine.program.CompiledQuery`. Strategies are stateless;
+:func:`get_strategy` resolves them by name so benches and examples can be
+parameterised by strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..engine.program import CompiledQuery
+from ..errors import CodegenError
+from ..plan.logical import Query
+from ..storage.database import Database
+
+#: Signature of a strategy compile entry point.
+CompileFn = Callable[[Query, Database], CompiledQuery]
+
+_REGISTRY: Dict[str, CompileFn] = {}
+
+
+def register_strategy(name: str) -> Callable[[CompileFn], CompileFn]:
+    """Decorator registering a compile function under ``name``."""
+
+    def decorator(fn: CompileFn) -> CompileFn:
+        if name in _REGISTRY:
+            raise CodegenError(f"strategy {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_strategy(name: str) -> CompileFn:
+    """Resolve a strategy by name (e.g. ``"hybrid"``, ``"swole"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise CodegenError(
+            f"unknown strategy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def available_strategies() -> list:
+    """Names of all registered strategies (sorted)."""
+    return sorted(_REGISTRY)
+
+
+def compile_query(query: Query, db: Database, strategy: str) -> CompiledQuery:
+    """Compile ``query`` with the named strategy."""
+    return get_strategy(strategy)(query, db)

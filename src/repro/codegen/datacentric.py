@@ -1,0 +1,232 @@
+"""Data-centric (HyPer-style) code generation — paper §II-A1.
+
+One fused, push-based loop per pipeline; tuples stay "in registers".
+Predicates become per-tuple ``if`` statements (short-circuit conjuncts),
+so downstream column accesses are *conditional* and every predicate is a
+branch-misprediction site. No SIMD: the control dependency precludes it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..engine import kernels as K
+from ..engine.hashtable import HashTable
+from ..engine.program import CompiledQuery
+from ..engine.session import Session
+from ..plan.expressions import conjuncts
+from ..plan.logical import Query
+from ..storage.database import Database
+from .base import register_strategy
+from .common import (
+    agg_exprs_columns,
+    datacentric_predicate,
+    emit_cond_reads,
+    eval_aggregates_subset,
+    grouped_result,
+)
+from .emit import emit_datacentric
+
+
+def _build_hash_table(
+    session: Session,
+    db: Database,
+    query: Query,
+    num_aggs: int,
+) -> HashTable:
+    """Build-side pipeline: filtered scan of the build table, hash insert."""
+    join = query.join
+    build_data = db.data(join.build_table)
+    build_conjs = conjuncts(join.build_predicate)
+    with session.tracer.kernel(f"build {join.build_table}"), \
+            session.tracer.overlap():
+        if build_conjs:
+            mask = datacentric_predicate(session, build_data, build_conjs)
+        else:
+            mask = np.ones(
+                next(iter(build_data.values())).shape[0], dtype=bool
+            )
+            K.scalar_loop(session, int(mask.shape[0]))
+        keys = build_data[join.pk_column][mask]
+        emit_cond_reads(session, build_data, [join.pk_column], int(mask.sum()))
+        table = HashTable(expected_keys=int(mask.sum()), num_aggs=num_aggs)
+        K.ht_insert_keys(session, table, keys.astype(np.int64))
+    return table
+
+
+@register_strategy("datacentric")
+def compile_datacentric(query: Query, db: Database) -> CompiledQuery:
+    """Compile ``query`` with the data-centric strategy."""
+    data = db.data(query.table)
+    source = emit_datacentric(query)
+    conjs = query.predicate_conjuncts()
+    agg_cols = agg_exprs_columns(query.aggregates)
+
+    def run(session: Session) -> Dict[str, Any]:
+        if query.join is not None:
+            return _run_join(session)
+        with session.tracer.overlap():
+            return _run_scan(session)
+
+    def _run_scan(session: Session) -> Dict[str, Any]:
+        mask = datacentric_predicate(session, data, conjs)
+        k = int(mask.sum())
+        if query.group_by is None:
+            with session.tracer.kernel("aggregate"):
+                emit_cond_reads(session, data, agg_cols, k)
+                return eval_aggregates_subset(
+                    session, data, query.aggregates, mask, simd=False
+                )
+        with session.tracer.kernel("group-by aggregate"):
+            emit_cond_reads(
+                session, data, set(agg_cols) | {query.group_by}, k
+            )
+            return _grouped_aggregate(session, mask)
+
+    def _grouped_aggregate(
+        session: Session, mask: np.ndarray
+    ) -> Dict[str, Any]:
+        keys = data[query.group_by][mask].astype(np.int64)
+        table = HashTable(
+            expected_keys=_expected_groups(keys),
+            num_aggs=len(query.aggregates),
+        )
+        subset = {name: values[mask] for name, values in data.items()}
+        for i, agg in enumerate(query.aggregates):
+            if agg.func == "count":
+                deltas = np.ones(keys.shape[0], dtype=np.int64)
+            else:
+                deltas = np.asarray(
+                    agg.expr.evaluate(subset), dtype=np.int64
+                )
+            K.ht_aggregate(session, table, keys, deltas, agg=i)
+        result_keys, result_aggs = table.items()
+        return grouped_result(result_keys, result_aggs)
+
+    def _run_join(session: Session) -> Dict[str, Any]:
+        if query.is_groupjoin:
+            return _run_groupjoin(session)
+        table = _build_hash_table(session, db, query, num_aggs=0)
+        with session.tracer.kernel(f"probe {query.table}"), \
+                session.tracer.overlap():
+            if conjs:
+                mask = datacentric_predicate(session, data, conjs)
+            else:
+                mask = np.ones(
+                    next(iter(data.values())).shape[0], dtype=bool
+                )
+                K.scalar_loop(session, int(mask.shape[0]))
+            k = int(mask.sum())
+            emit_cond_reads(session, data, [query.join.fk_column], k)
+            fk = data[query.join.fk_column][mask].astype(np.int64)
+            _, found = K.ht_lookup(session, table, fk)
+            taken = float(found.mean()) if found.size else 0.0
+            session.tracer.emit(
+                K.Branch(n=k, taken_fraction=taken, site="join-match")
+            )
+            match_mask = mask.copy()
+            match_mask[mask] = found
+            emit_cond_reads(session, data, agg_cols, int(match_mask.sum()))
+            return eval_aggregates_subset(
+                session, data, query.aggregates, match_mask, simd=False
+            )
+
+    def _run_groupjoin(session: Session) -> Dict[str, Any]:
+        # Groupjoin (Moerkotte & Neumann): the build-side hash table is
+        # reused to hold the aggregates; a trailing count column marks
+        # groups that actually matched probe tuples.
+        num_aggs = len(query.aggregates) + 1
+        table = _build_hash_table(session, db, query, num_aggs=num_aggs)
+        with session.tracer.kernel(f"probe {query.table}"), \
+                session.tracer.overlap():
+            if conjs:
+                mask = datacentric_predicate(session, data, conjs)
+            else:
+                mask = np.ones(
+                    next(iter(data.values())).shape[0], dtype=bool
+                )
+                K.scalar_loop(session, int(mask.shape[0]))
+            k = int(mask.sum())
+            emit_cond_reads(session, data, [query.join.fk_column], k)
+            fk = data[query.join.fk_column][mask].astype(np.int64)
+            slots, found = K.ht_lookup(session, table, fk)
+            taken = float(found.mean()) if found.size else 0.0
+            session.tracer.emit(
+                K.Branch(n=k, taken_fraction=taken, site="join-match")
+            )
+            hit_slots = slots[found]
+            emit_cond_reads(session, data, agg_cols, int(found.sum()))
+            subset_mask = mask.copy()
+            subset_mask[mask] = found
+            subset = {
+                name: values[subset_mask] for name, values in data.items()
+            }
+            for i, agg in enumerate(query.aggregates):
+                if agg.func == "count":
+                    deltas = np.ones(hit_slots.shape[0], dtype=np.int64)
+                else:
+                    deltas = np.asarray(
+                        agg.expr.evaluate(subset), dtype=np.int64
+                    )
+                K.ht_add_at(session, table, hit_slots, i, deltas)
+            K.ht_add_at(
+                session,
+                table,
+                hit_slots,
+                num_aggs - 1,
+                np.ones(hit_slots.shape[0], dtype=np.int64),
+            )
+            keys, aggs = table.items()
+            touched = aggs[:, num_aggs - 1] > 0
+            return grouped_result(
+                keys[touched], aggs[touched, : len(query.aggregates)]
+            )
+
+    return CompiledQuery(
+        name=query.name, strategy="datacentric", source=source, _fn=run
+    )
+
+
+def _expected_groups(keys: np.ndarray) -> int:
+    """Sizing estimate for the group hash table."""
+    if keys.size == 0:
+        return 1
+    sample = keys[: min(keys.shape[0], 65536)]
+    distinct = int(np.unique(sample).shape[0])
+    if distinct >= 0.9 * sample.shape[0]:
+        return max(int(distinct * keys.shape[0] / sample.shape[0]), 1)
+    return max(distinct, 1)
+
+
+@register_strategy("interpreter")
+def compile_interpreter(query: Query, db: Database) -> CompiledQuery:
+    """Volcano-style interpreter (the HyPer-slot sanity baseline).
+
+    Executes like the data-centric program — tuple at a time with the same
+    access patterns — but pays per-tuple iterator dispatch for every
+    operator a classic interpreted engine would run.
+    """
+    from .emit import emit_interpreter
+
+    inner = compile_datacentric(query, db)
+
+    def run(session: Session) -> Dict[str, Any]:
+        operators = 2  # scan + aggregate
+        operators += 1 if query.predicate is not None else 0
+        operators += 1 if query.join is not None else 0
+        n = db.table(query.table).num_rows
+        K.interpreter_overhead(session, n, operators=operators)
+        if query.join is not None:
+            K.interpreter_overhead(
+                session, db.table(query.join.build_table).num_rows, operators=2
+            )
+        return inner._fn(session)
+
+    return CompiledQuery(
+        name=query.name,
+        strategy="interpreter",
+        source=emit_interpreter(query),
+        _fn=run,
+    )

@@ -1,0 +1,187 @@
+"""Hybrid (Tupleware-style) code generation — paper §II-A2.
+
+Tiled loops: a SIMD *prepass* evaluates each predicate conjunct into a
+0/1 ``cmp`` array, a no-branch pass turns it into a selection vector
+``idx``, and downstream operators read columns *through* ``idx`` — the
+conditional-read pattern that SWOLE later replaces. This is the paper's
+state-of-the-art baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..engine import kernels as K
+from ..engine.hashtable import HashTable
+from ..engine.program import CompiledQuery
+from ..engine.session import Session
+from ..plan.expressions import conjuncts
+from ..plan.logical import Query
+from ..storage.database import Database
+from .base import register_strategy
+from .common import (
+    agg_exprs_columns,
+    eval_aggregates_subset,
+    grouped_result,
+    prepass_predicate,
+)
+from .datacentric import _expected_groups
+from .emit import emit_hybrid
+
+
+def build_hash_table_hybrid(
+    session: Session, db: Database, query: Query, num_aggs: int
+) -> HashTable:
+    """Build side with prepass + selection vector."""
+    join = query.join
+    build_data = db.data(join.build_table)
+    build_conjs = conjuncts(join.build_predicate)
+    n = int(next(iter(build_data.values())).shape[0])
+    with session.tracer.kernel(f"build {join.build_table}"), \
+            session.tracer.overlap():
+        if build_conjs:
+            mask = prepass_predicate(session, build_data, build_conjs)
+            idx = K.selection_vector(session, mask)
+            keys = K.gather(
+                session, build_data[join.pk_column], idx, join.pk_column
+            )
+        else:
+            mask = np.ones(n, dtype=bool)
+            keys = K.seq_read(
+                session, build_data[join.pk_column], join.pk_column
+            )
+        table = HashTable(expected_keys=int(mask.sum()), num_aggs=num_aggs)
+        K.ht_insert_keys(session, table, keys.astype(np.int64))
+    return table
+
+
+@register_strategy("hybrid")
+def compile_hybrid(query: Query, db: Database) -> CompiledQuery:
+    """Compile ``query`` with the hybrid strategy."""
+    data = db.data(query.table)
+    source = emit_hybrid(query)
+    conjs = query.predicate_conjuncts()
+    agg_cols = agg_exprs_columns(query.aggregates)
+
+    def select(session: Session) -> np.ndarray:
+        """Prepass + selection vector over the main table."""
+        n = int(next(iter(data.values())).shape[0])
+        if conjs:
+            mask = prepass_predicate(session, data, conjs)
+            K.selection_vector(session, mask)
+            return mask
+        return np.ones(n, dtype=bool)
+
+    def run(session: Session) -> Dict[str, Any]:
+        if query.join is not None:
+            return _run_join(session)
+        with session.tracer.overlap():
+            return _run_scan(session)
+
+    def _run_scan(session: Session) -> Dict[str, Any]:
+        with session.tracer.kernel(f"scan {query.table}"):
+            mask = select(session)
+        k = int(mask.sum())
+        if query.group_by is None:
+            with session.tracer.kernel("aggregate"):
+                idx = np.flatnonzero(mask)
+                for col in agg_cols:
+                    K.gather(session, data[col], idx, col)
+                return eval_aggregates_subset(
+                    session, data, query.aggregates, mask, simd=False
+                )
+        with session.tracer.kernel("group-by aggregate"):
+            idx = np.flatnonzero(mask)
+            for col in sorted(set(agg_cols) | {query.group_by}):
+                K.gather(session, data[col], idx, col)
+            keys = data[query.group_by][mask].astype(np.int64)
+            table = HashTable(
+                expected_keys=_expected_groups(keys),
+                num_aggs=len(query.aggregates),
+            )
+            subset = {name: values[mask] for name, values in data.items()}
+            for i, agg in enumerate(query.aggregates):
+                if agg.func == "count":
+                    deltas = np.ones(keys.shape[0], dtype=np.int64)
+                else:
+                    deltas = np.asarray(
+                        agg.expr.evaluate(subset), dtype=np.int64
+                    )
+                K.ht_aggregate(session, table, keys, deltas, agg=i)
+            result_keys, result_aggs = table.items()
+            return grouped_result(result_keys, result_aggs)
+
+    def _run_join(session: Session) -> Dict[str, Any]:
+        if query.is_groupjoin:
+            return _run_groupjoin(session)
+        table = build_hash_table_hybrid(session, db, query, num_aggs=0)
+        with session.tracer.kernel(f"probe {query.table}"), \
+                session.tracer.overlap():
+            mask = select(session)
+            idx = np.flatnonzero(mask)
+            fk = K.gather(
+                session, data[query.join.fk_column], idx, query.join.fk_column
+            ).astype(np.int64)
+            _, found = K.ht_lookup(session, table, fk)
+            # compress matches into a second selection vector (no-branch)
+            session.tracer.emit(
+                K.Compute(n=int(found.shape[0]), op="select", simd=False)
+            )
+            match_mask = mask.copy()
+            match_mask[mask] = found
+            match_idx = np.flatnonzero(match_mask)
+            for col in agg_cols:
+                K.gather(session, data[col], match_idx, col)
+            return eval_aggregates_subset(
+                session, data, query.aggregates, match_mask, simd=False
+            )
+
+    def _run_groupjoin(session: Session) -> Dict[str, Any]:
+        num_aggs = len(query.aggregates) + 1
+        table = build_hash_table_hybrid(session, db, query, num_aggs=num_aggs)
+        with session.tracer.kernel(f"probe {query.table}"), \
+                session.tracer.overlap():
+            mask = select(session)
+            idx = np.flatnonzero(mask)
+            fk = K.gather(
+                session, data[query.join.fk_column], idx, query.join.fk_column
+            ).astype(np.int64)
+            slots, found = K.ht_lookup(session, table, fk)
+            session.tracer.emit(
+                K.Compute(n=int(found.shape[0]), op="select", simd=False)
+            )
+            hit_slots = slots[found]
+            match_mask = mask.copy()
+            match_mask[mask] = found
+            match_idx = np.flatnonzero(match_mask)
+            for col in agg_cols:
+                K.gather(session, data[col], match_idx, col)
+            subset = {
+                name: values[match_mask] for name, values in data.items()
+            }
+            for i, agg in enumerate(query.aggregates):
+                if agg.func == "count":
+                    deltas = np.ones(hit_slots.shape[0], dtype=np.int64)
+                else:
+                    deltas = np.asarray(
+                        agg.expr.evaluate(subset), dtype=np.int64
+                    )
+                K.ht_add_at(session, table, hit_slots, i, deltas)
+            K.ht_add_at(
+                session,
+                table,
+                hit_slots,
+                num_aggs - 1,
+                np.ones(hit_slots.shape[0], dtype=np.int64),
+            )
+            keys, aggs = table.items()
+            touched = aggs[:, num_aggs - 1] > 0
+            return grouped_result(
+                keys[touched], aggs[touched, : len(query.aggregates)]
+            )
+
+    return CompiledQuery(
+        name=query.name, strategy="hybrid", source=source, _fn=run
+    )

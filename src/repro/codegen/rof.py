@@ -1,0 +1,40 @@
+"""Relaxed operator fusion (Peloton-style) — paper §II-A3.
+
+ROF stages full selection vectors at pipeline "staging points" and issues
+software prefetches before hash-table accesses. Its access *patterns* are
+the same as the hybrid strategy's (both are `s_trav_cr`); the differences
+are control flow (one always-full ``idx`` vector) and latency hiding on
+hash accesses. The paper excluded ROF from its evaluation because its
+relative runtimes were the same as or worse than hybrid's; it is
+implemented here for completeness and for the microbench explorer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..engine.program import CompiledQuery
+from ..engine.session import Session
+from ..plan.logical import Query
+from ..storage.database import Database
+from .base import register_strategy
+from .emit import emit_rof
+from .hybrid import compile_hybrid
+
+
+@register_strategy("rof")
+def compile_rof(query: Query, db: Database) -> CompiledQuery:
+    """Compile with ROF: hybrid's pipeline + prefetched hash accesses."""
+    inner = compile_hybrid(query, db)
+
+    def run(session: Session) -> Dict[str, Any]:
+        previous = session.ht_prefetch
+        session.ht_prefetch = True
+        try:
+            return inner._fn(session)
+        finally:
+            session.ht_prefetch = previous
+
+    return CompiledQuery(
+        name=query.name, strategy="rof", source=emit_rof(query), _fn=run
+    )

@@ -1,0 +1,30 @@
+"""SWOLE core: techniques, cost models, and the technique planner."""
+
+from .cost_models import (
+    ModelInputs,
+    eager_aggregation_cost,
+    groupjoin_cost,
+    hybrid_cost,
+    key_masking_cost,
+    planned_ht_bytes,
+    price_events,
+    value_masking_cost,
+)
+from .planner import SwolePlan, model_inputs, plan_query, technique_matrix
+from .swole import compile_swole
+
+__all__ = [
+    "ModelInputs",
+    "SwolePlan",
+    "compile_swole",
+    "eager_aggregation_cost",
+    "groupjoin_cost",
+    "hybrid_cost",
+    "key_masking_cost",
+    "model_inputs",
+    "plan_query",
+    "planned_ht_bytes",
+    "price_events",
+    "technique_matrix",
+    "value_masking_cost",
+]

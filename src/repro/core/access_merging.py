@@ -1,0 +1,44 @@
+"""Access merging (paper §III-C).
+
+When the same attribute appears in both the predicate and an aggregate
+(e.g. TPC-H Q6's ``l_discount``), the naive value-masking plan reads it
+twice: once for the selection prepass and once for the aggregation.
+Access merging fuses the two expressions so the column is read exactly
+once — "always beneficial if it can be applied, since it results in
+fewer total accesses".
+
+Mechanically, merging is a *shared read set*: the prepass records every
+column it reads, and the masked-aggregation loop skips re-reading any
+column already in the set (the fused code keeps the value in a register
+or a tile-resident ``tmp`` array). This module owns that read-set logic
+so the behaviour is testable in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+from ..plan.logical import Query
+
+
+def merged_read_set(query: Query, enabled: bool = True) -> Optional[Set[str]]:
+    """Return the shared read set to thread through a fused pipeline.
+
+    ``None`` disables merging (each loop accounts its own reads — the
+    plain value-masking behaviour of paper Fig. 5 top). An empty set
+    enables it: the prepass will populate the set and the aggregation
+    loop will skip columns it finds there.
+    """
+    if not enabled or not query.reused_columns():
+        return None
+    return set()
+
+
+def merging_opportunity(query: Query) -> Tuple[str, ...]:
+    """Columns that access merging would deduplicate for ``query``."""
+    return query.reused_columns()
+
+
+def saved_reads(query: Query, num_rows: int) -> int:
+    """Element reads saved by merging (one per reused column per row)."""
+    return len(query.reused_columns()) * num_rows

@@ -1,0 +1,167 @@
+"""Value masking for SQL CASE statements (paper §III-A, last paragraph).
+
+A CASE normally compiles to a chain of branching if-else expressions —
+every arm is a branch-misprediction site and the arm bodies read their
+columns conditionally. The masked form instead evaluates *every* arm
+unconditionally with SIMD and combines the results with 0/1 masks:
+
+    result = v1*m1 + v2*(!m1 & m2) + ... + default*(!m1 & !m2 & ...)
+
+"While this approach avoids the poor access patterns associated with
+conditional branching, unconditionally evaluating complex (or too many)
+cases can again become prohibitively expensive, and we must apply the
+cost model to see if this optimization is beneficial."
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..engine import kernels as K
+from ..engine.costing import Tracer
+from ..engine.events import Branch, Compute, CondRead, SeqRead
+from ..engine.machine import MachineModel
+from ..engine.session import Session
+from ..plan.expressions import Case, arith_ops
+
+#: Bytes per referenced value assumed by the quick cost check.
+_WIDTH = 8
+
+
+def masked_case_sum(
+    session: Session, data: Dict[str, np.ndarray], case: Case
+) -> int:
+    """Sum a CASE over all rows with masked (branch-free) evaluation.
+
+    Every arm's condition and value are computed for every row (SIMD,
+    sequential reads); the per-arm masks select the first matching arm.
+    """
+    n = int(next(iter(data.values())).shape[0])
+    seen = set()
+    for cond, value in case.branches:
+        for name in sorted(cond.columns() | value.columns()):
+            if name not in seen:
+                seen.add(name)
+                K.seq_read(session, data[name], name)
+        session.tracer.emit(Compute(n=n, op="cmp", simd=True, width=_WIDTH))
+        for op in arith_ops(cond) + arith_ops(value):
+            session.tracer.emit(
+                Compute(n=n, op=op, simd=True, width=_WIDTH)
+            )
+        # mask combine: one multiply and one and per arm
+        session.tracer.emit(Compute(n=n, op="mul", simd=True, width=_WIDTH))
+        session.tracer.emit(Compute(n=n, op="and", simd=True, width=1))
+    for name in sorted(case.default.columns()):
+        if name not in seen:
+            seen.add(name)
+            K.seq_read(session, data[name], name)
+    session.tracer.emit(Compute(n=n, op="add", simd=True, width=_WIDTH))
+    values = case.evaluate(data)
+    return int(np.sum(values, dtype=np.int64))
+
+
+def branching_case_sum(
+    session: Session, data: Dict[str, np.ndarray], case: Case
+) -> int:
+    """Sum a CASE with the conventional if-else chain (data-centric).
+
+    Each arm is a branch site with its *measured* hit fraction among the
+    rows that reached it; arm bodies read their columns conditionally.
+    """
+    n = int(next(iter(data.values())).shape[0])
+    remaining = np.ones(n, dtype=bool)
+    alive = n
+    for i, (cond, value) in enumerate(case.branches):
+        cond_cols = sorted(cond.columns())
+        for name in cond_cols:
+            if i == 0:
+                K.seq_read(session, data[name], name)
+            else:
+                session.tracer.emit(
+                    CondRead(
+                        n_range=n,
+                        n_selected=alive,
+                        width=int(data[name].dtype.itemsize),
+                        array=name,
+                    )
+                )
+        session.tracer.emit(Compute(n=alive, op="cmp", simd=False))
+        hits = remaining & np.asarray(cond.evaluate(data), dtype=bool)
+        taken = float(hits.sum()) / alive if alive else 0.0
+        session.tracer.emit(
+            Branch(n=alive, taken_fraction=taken, site=f"case{i}")
+        )
+        k = int(hits.sum())
+        for name in sorted(value.columns()):
+            session.tracer.emit(
+                CondRead(
+                    n_range=n,
+                    n_selected=k,
+                    width=int(data[name].dtype.itemsize),
+                    array=name,
+                )
+            )
+        for op in arith_ops(value):
+            session.tracer.emit(Compute(n=k, op=op, simd=False))
+        remaining = remaining & ~hits
+        alive = int(remaining.sum())
+    for name in sorted(case.default.columns()):
+        session.tracer.emit(
+            CondRead(
+                n_range=n,
+                n_selected=alive,
+                width=int(data[name].dtype.itemsize),
+                array=name,
+            )
+        )
+    for op in arith_ops(case.default):
+        session.tracer.emit(Compute(n=alive, op=op, simd=False))
+    session.tracer.emit(Compute(n=n, op="add", simd=False))
+    K.scalar_loop(session, n)
+    values = case.evaluate(data)
+    return int(np.sum(values, dtype=np.int64))
+
+
+def masking_beneficial(machine: MachineModel, case: Case, num_rows: int) -> bool:
+    """Cost check: should this CASE be masked or branched?
+
+    Prices both symbolic forms (assuming uniform arm hit rates, the
+    planner's prior) and returns True when masking wins. Few cheap arms
+    -> mask; many arms or expensive arithmetic (division) -> branch.
+    """
+    arms = len(case.branches)
+    uniform = 1.0 / (arms + 1)
+
+    masked = Tracer(machine)
+    with masked.overlap():
+        for ops in case.branch_ops():
+            masked.emit(Compute(n=num_rows, op="cmp", simd=True, width=_WIDTH))
+            for op in ops:
+                masked.emit(
+                    Compute(n=num_rows, op=op, simd=True, width=_WIDTH)
+                )
+            masked.emit(Compute(n=num_rows, op="mul", simd=True, width=_WIDTH))
+        masked.emit(SeqRead(n=num_rows * max(arms, 1), width=_WIDTH))
+
+    branched = Tracer(machine)
+    with branched.overlap():
+        alive = float(num_rows)
+        for ops in case.branch_ops():
+            branched.emit(Compute(n=int(alive), op="cmp", simd=False))
+            branched.emit(
+                Branch(n=int(alive), taken_fraction=min(uniform / (alive / num_rows), 1.0))
+            )
+            for op in ops:
+                branched.emit(Compute(n=int(alive * uniform), op=op, simd=False))
+            branched.emit(
+                CondRead(
+                    n_range=num_rows,
+                    n_selected=max(int(num_rows * uniform), 1),
+                    width=_WIDTH,
+                )
+            )
+            alive = max(alive - num_rows * uniform, 1.0)
+
+    return masked.report.total_cycles <= branched.report.total_cycles

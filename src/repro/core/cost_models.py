@@ -1,0 +1,324 @@
+"""SWOLE's planning-time cost models (paper Section III).
+
+The paper's decision formulas —
+
+* ``Hybrid``  = R * (read_seq + sigma_R * max(comp, read_cond))
+* ``VM``      = R * (read_seq + max(comp, read_seq[, ht_lookup]))
+* ``KM``      = R * (read_seq + sigma * max(comp, read_seq, ht_lookup)
+  + (1 - sigma) * max(comp, read_seq, ht_null))
+* ``Groupjoin`` / ``EA`` per §III-E —
+
+are evaluated here by *symbolic execution*: each candidate technique's
+event stream (sequential reads per referenced column, conditional reads
+at the estimated selectivity, hash accesses against the estimated table
+footprint, SIMD/scalar compute) is constructed from statistics and priced
+by the same :class:`~repro.engine.costing.CostAccountant` that prices
+real runs, including the stream/compute overlap that realises the
+formulas' ``max``. Plan-time and run-time costs therefore share one
+currency; planning error comes only from the sampled statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..engine.costing import Tracer
+from ..engine.events import (
+    CondRead,
+    Compute,
+    Event,
+    RandomAccess,
+    SeqRead,
+    SeqWrite,
+)
+from ..engine.machine import MachineModel
+from ..errors import CostModelError
+
+#: Hash tables are sized at twice the key count (matching HashTable).
+PLANNED_FILL_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Statistics a technique cost model consumes.
+
+    Widths are physical bytes per value of each referenced column; one
+    entry per (column, reference) so repeated references cost repeated
+    reads unless merging removes them.
+    """
+
+    num_rows: int
+    selectivity: float
+    pred_widths: Tuple[int, ...] = ()
+    agg_widths: Tuple[int, ...] = ()
+    agg_ops: Tuple[str, ...] = ()
+    num_aggs: int = 1
+    group_width: int = 8
+    group_cardinality: int = 0
+    build_rows: int = 0
+    build_selectivity: float = 1.0
+    build_pred_widths: Tuple[int, ...] = ()
+    pk_width: int = 8
+    fk_width: int = 8
+    join_match_fraction: float = 1.0
+    merged_widths: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("selectivity", self.selectivity),
+            ("build_selectivity", self.build_selectivity),
+            ("join_match_fraction", self.join_match_fraction),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise CostModelError(f"{name} must be in [0, 1], got {value}")
+        if self.num_rows < 0 or self.build_rows < 0:
+            raise CostModelError("row counts must be non-negative")
+
+
+def planned_ht_bytes(num_keys: int, num_aggs: int) -> int:
+    """Footprint estimate matching :class:`~repro.engine.hashtable.HashTable`.
+
+    Mirrors the real table's sizing exactly — capacity is the next power
+    of two above twice the key count — because crossovers hinge on where
+    the footprint lands relative to cache capacities.
+    """
+    slot = 8 + 8 * max(num_aggs, 1)
+    target = PLANNED_FILL_FACTOR * max(num_keys, 1)
+    capacity = 8
+    while capacity < target:
+        capacity *= 2
+    return capacity * slot
+
+
+def price_events(machine: MachineModel, events: Sequence[Event]) -> float:
+    """Price a symbolic event stream with overlap, in cycles."""
+    tracer = Tracer(machine)
+    with tracer.overlap():
+        for event in events:
+            tracer.emit(event)
+    return tracer.report.total_cycles
+
+
+def _prepass_events(
+    n: int, pred_widths: Sequence[int], skip_widths: Sequence[int] = ()
+) -> List[Event]:
+    """Prepass predicate evaluation: one SIMD compare per conjunct column."""
+    events: List[Event] = []
+    remaining = list(skip_widths)
+    for width in pred_widths:
+        if width in remaining:
+            remaining.remove(width)  # merged: read already accounted
+        else:
+            events.append(SeqRead(n=n, width=width))
+        events.append(Compute(n=n, op="cmp", simd=True, width=width))
+    if pred_widths:
+        events.append(SeqWrite(n=n, width=1, array_bytes=1024))
+    return events
+
+
+def _agg_compute_events(
+    n: int, agg_ops: Sequence[str], simd: bool
+) -> List[Event]:
+    events: List[Event] = [
+        Compute(n=n, op=op, simd=simd, width=8) for op in agg_ops
+    ]
+    events.append(Compute(n=n, op="add", simd=simd, width=8))
+    return events
+
+
+def hybrid_events(inputs: ModelInputs, ht_bytes: int = 0) -> List[Event]:
+    """Prepass + selection vector + conditional aggregation (§II-A2)."""
+    n = inputs.num_rows
+    k = int(round(n * inputs.selectivity))
+    events = _prepass_events(n, inputs.pred_widths)
+    if inputs.pred_widths:
+        events.append(Compute(n=n, op="select", simd=False))
+        events.append(SeqWrite(n=k, width=8, array_bytes=8192))
+    for width in inputs.agg_widths:
+        events.append(CondRead(n_range=n, n_selected=k, width=width))
+        events.append(Compute(n=k, op="gather", simd=False))
+    if ht_bytes:
+        events.append(
+            CondRead(n_range=n, n_selected=k, width=inputs.group_width)
+        )
+        events.append(Compute(n=k, op="gather", simd=False))
+        events.append(
+            RandomAccess(n=k, struct_bytes=ht_bytes, op_cycles=3.0)
+        )
+    events.extend(_agg_compute_events(k, inputs.agg_ops, simd=False))
+    return events
+
+
+def value_masking_events(inputs: ModelInputs, ht_bytes: int = 0) -> List[Event]:
+    """Prepass + unconditional masked aggregation (§III-A / §III-B top)."""
+    n = inputs.num_rows
+    events = _prepass_events(n, inputs.pred_widths)
+    skip = list(inputs.merged_widths)
+    for width in inputs.agg_widths:
+        if width in skip:
+            skip.remove(width)
+        else:
+            events.append(SeqRead(n=n, width=width))
+    events.extend(_agg_compute_events(n, inputs.agg_ops, simd=True))
+    events.append(Compute(n=n, op="mul", simd=True, width=8))  # masking
+    if ht_bytes:
+        events.append(SeqRead(n=n, width=inputs.group_width))
+        events.append(
+            RandomAccess(n=n, struct_bytes=ht_bytes, op_cycles=3.0)
+        )
+    return events
+
+
+def key_masking_events(inputs: ModelInputs, ht_bytes: int) -> List[Event]:
+    """Prepass + key-mask + unconditional aggregation (§III-B bottom)."""
+    n = inputs.num_rows
+    events = _prepass_events(n, inputs.pred_widths)
+    events.append(SeqRead(n=n, width=inputs.group_width))
+    events.append(Compute(n=n, op="blend", simd=True, width=8))
+    events.append(SeqWrite(n=n, width=8, array_bytes=8192))
+    for width in inputs.agg_widths:
+        events.append(SeqRead(n=n, width=width))
+    events.extend(_agg_compute_events(n, inputs.agg_ops, simd=True))
+    events.append(
+        RandomAccess(
+            n=n,
+            struct_bytes=ht_bytes,
+            hot_fraction=1.0 - inputs.selectivity,
+            op_cycles=3.0,
+        )
+    )
+    return events
+
+
+def groupjoin_events(inputs: ModelInputs, ht_bytes: int) -> List[Event]:
+    """Traditional groupjoin: filtered build, probe + conditional agg."""
+    events: List[Event] = []
+    s, sigma_s = inputs.build_rows, inputs.build_selectivity
+    sk = int(round(s * sigma_s))
+    events.extend(_prepass_events(s, inputs.build_pred_widths))
+    if inputs.build_pred_widths:
+        events.append(Compute(n=s, op="select", simd=False))
+        events.append(CondRead(n_range=s, n_selected=sk, width=inputs.pk_width))
+        events.append(Compute(n=sk, op="gather", simd=False))
+    else:
+        events.append(SeqRead(n=s, width=inputs.pk_width))
+        sk = s
+    events.append(RandomAccess(n=sk, struct_bytes=ht_bytes, op_cycles=3.0))
+
+    n, sigma_r = inputs.num_rows, inputs.selectivity
+    k = int(round(n * sigma_r))
+    events.extend(_prepass_events(n, inputs.pred_widths))
+    if inputs.pred_widths:
+        events.append(Compute(n=n, op="select", simd=False))
+        events.append(CondRead(n_range=n, n_selected=k, width=inputs.fk_width))
+        events.append(Compute(n=k, op="gather", simd=False))
+    else:
+        events.append(SeqRead(n=n, width=inputs.fk_width))
+        k = n
+    events.append(RandomAccess(n=k, struct_bytes=ht_bytes, op_cycles=3.0))
+    matches = int(round(k * inputs.join_match_fraction))
+    for width in inputs.agg_widths:
+        events.append(CondRead(n_range=n, n_selected=matches, width=width))
+        events.append(Compute(n=matches, op="gather", simd=False))
+    events.extend(_agg_compute_events(matches, inputs.agg_ops, simd=False))
+    return events
+
+
+def eager_aggregation_events(
+    inputs: ModelInputs, ht_bytes: int
+) -> List[Event]:
+    """Eager aggregation: unconditional build over R, cleanup scan of S."""
+    n = inputs.num_rows
+    events: List[Event] = [SeqRead(n=n, width=inputs.fk_width)]
+    events.extend(_prepass_events(n, inputs.pred_widths))
+    if inputs.pred_widths:
+        events.append(Compute(n=n, op="blend", simd=True, width=8))
+        events.append(SeqWrite(n=n, width=8, array_bytes=8192))
+    for width in inputs.agg_widths:
+        events.append(SeqRead(n=n, width=width))
+    events.extend(_agg_compute_events(n, inputs.agg_ops, simd=True))
+    events.append(RandomAccess(n=n, struct_bytes=ht_bytes, op_cycles=3.0))
+
+    s = inputs.build_rows
+    delete_sel = 1.0 - inputs.build_selectivity
+    deletes = int(round(s * delete_sel))
+    events.extend(_prepass_events(s, inputs.build_pred_widths))
+    events.append(Compute(n=s, op="select", simd=False))
+    if deletes:
+        events.append(
+            CondRead(n_range=s, n_selected=deletes, width=inputs.pk_width)
+        )
+        events.append(
+            RandomAccess(
+                n=deletes, struct_bytes=ht_bytes, kind="ht_delete",
+                op_cycles=3.0,
+            )
+        )
+    return events
+
+
+def bitmap_build_unconditional_events(inputs: ModelInputs) -> List[Event]:
+    """Unconditional bitmap build: prepass, then stream the whole bitmap."""
+    s = inputs.build_rows
+    events = _prepass_events(s, inputs.build_pred_widths)
+    events.append(SeqWrite(n=max(s // 8, 1), width=1))
+    events.append(Compute(n=s, op="mov", simd=True, width=1))
+    return events
+
+
+def bitmap_build_selective_events(inputs: ModelInputs) -> List[Event]:
+    """Selection-vector bitmap build: set one bit per selected row."""
+    s = inputs.build_rows
+    sk = int(round(s * inputs.build_selectivity))
+    events = _prepass_events(s, inputs.build_pred_widths)
+    events.append(Compute(n=s, op="select", simd=False))
+    events.append(
+        RandomAccess(n=sk, struct_bytes=max(s // 8, 1), kind="bitmap_set")
+    )
+    return events
+
+
+# -- formula-style entry points (used by the planner and tests) -----------
+
+
+def hybrid_cost(
+    machine: MachineModel, inputs: ModelInputs, ht_bytes: int = 0
+) -> float:
+    return price_events(machine, hybrid_events(inputs, ht_bytes))
+
+
+def value_masking_cost(
+    machine: MachineModel, inputs: ModelInputs, ht_bytes: int = 0
+) -> float:
+    return price_events(machine, value_masking_events(inputs, ht_bytes))
+
+
+def key_masking_cost(
+    machine: MachineModel, inputs: ModelInputs, ht_bytes: int
+) -> float:
+    return price_events(machine, key_masking_events(inputs, ht_bytes))
+
+
+def groupjoin_cost(
+    machine: MachineModel, inputs: ModelInputs, ht_bytes: int
+) -> float:
+    return price_events(machine, groupjoin_events(inputs, ht_bytes))
+
+
+def eager_aggregation_cost(
+    machine: MachineModel, inputs: ModelInputs, ht_bytes: int
+) -> float:
+    return price_events(machine, eager_aggregation_events(inputs, ht_bytes))
+
+
+def bitmap_build_unconditional_cost(
+    machine: MachineModel, inputs: ModelInputs
+) -> float:
+    return price_events(machine, bitmap_build_unconditional_events(inputs))
+
+
+def bitmap_build_selective_cost(
+    machine: MachineModel, inputs: ModelInputs
+) -> float:
+    return price_events(machine, bitmap_build_selective_events(inputs))

@@ -1,0 +1,109 @@
+"""Eager aggregation (paper §III-E).
+
+For a groupjoin (join key == group-by key), SWOLE reverses build and
+probe: it *unconditionally* aggregates the probe table grouped by its
+foreign key — purely sequential reads, SIMD arithmetic, and hash updates
+into a table whose size is bounded by the build table's key count — and
+then deletes non-qualifying keys with one sequential scan of the build
+table (predicate inverted). Wasted work (aggregates later deleted) buys
+the access pattern.
+
+If the probe side has its own predicate, its keys are *key-masked* into
+the throwaway entry, composing §III-B with §III-E.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..codegen.common import (
+    agg_exprs_columns,
+    emit_cond_reads,
+    emit_expr_compute,
+    emit_seq_reads,
+    grouped_result,
+    prepass_predicate,
+)
+from ..engine import kernels as K
+from ..engine.events import Compute
+from ..engine.hashtable import NULL_KEY, HashTable
+from ..engine.session import Session
+from ..plan.expressions import conjuncts
+from ..plan.logical import Query
+from ..storage.database import Database
+from .key_masking import mask_keys
+
+
+def groupjoin_pipeline(
+    session: Session,
+    db: Database,
+    query: Query,
+) -> Dict[str, Any]:
+    """Groupjoin rewritten as eager aggregation + cleanup deletions."""
+    join = query.join
+    data = db.data(query.table)
+    n = int(next(iter(data.values())).shape[0])
+
+    # --- 1. unconditional aggregation of the probe table by its FK ------
+    with session.tracer.kernel(f"eager aggregate {query.table}"), \
+            session.tracer.overlap():
+        main_conjs = query.predicate_conjuncts()
+        emit_seq_reads(session, data, [join.fk_column])
+        keys = data[join.fk_column].astype(np.int64)
+        if main_conjs:
+            mask = prepass_predicate(session, data, main_conjs)
+            keys = mask_keys(session, keys, mask, join.fk_column)
+        build_rows = db.table(join.build_table).num_rows
+        num_aggs = len(query.aggregates) + 1
+        table = HashTable(expected_keys=build_rows + 1, num_aggs=num_aggs)
+        cols = agg_exprs_columns(query.aggregates)
+        emit_seq_reads(session, data, cols)
+        slots = None
+        for i, agg in enumerate(query.aggregates):
+            if agg.func == "count":
+                deltas = np.ones(n, dtype=np.int64)
+                session.tracer.emit(Compute(n=n, op="add", simd=True))
+            else:
+                emit_expr_compute(session, agg.expr, n, simd=True)
+                deltas = np.asarray(agg.expr.evaluate(data), dtype=np.int64)
+            if slots is None:
+                K.ht_aggregate(session, table, keys, deltas, agg=i)
+                slots, _ = table.lookup(keys)
+            else:
+                K.ht_add_at(session, table, slots, i, deltas)
+        if slots is None:
+            slots, _ = table.lookup(keys)
+        K.ht_add_at(
+            session,
+            table,
+            slots,
+            num_aggs - 1,
+            np.ones(n, dtype=np.int64),
+        )
+
+    # --- 2. delete keys filtered by the build-side predicate ------------
+    build_data = db.data(join.build_table)
+    bn = int(next(iter(build_data.values())).shape[0])
+    with session.tracer.kernel(f"cleanup scan {join.build_table}"), \
+            session.tracer.overlap():
+        build_conjs = conjuncts(join.build_predicate)
+        if build_conjs:
+            # note the inversion: delete rows that do NOT qualify
+            keep = prepass_predicate(session, build_data, build_conjs)
+            delete_mask = ~keep
+            session.tracer.emit(Compute(n=bn, op="cmp", simd=True, width=1))
+        else:
+            delete_mask = np.zeros(bn, dtype=bool)
+        k = int(delete_mask.sum())
+        if k:
+            emit_cond_reads(session, build_data, [join.pk_column], k)
+            victims = build_data[join.pk_column][delete_mask].astype(np.int64)
+            K.ht_delete(session, table, victims)
+
+    result_keys, aggs = table.items()
+    keep = (result_keys != NULL_KEY) & (aggs[:, num_aggs - 1] > 0)
+    return grouped_result(
+        result_keys[keep], aggs[keep, : len(query.aggregates)]
+    )

@@ -1,0 +1,105 @@
+"""Key masking (paper §III-B, Fig. 4 bottom).
+
+For group-by aggregation over a *large* hash table, value masking's
+unconditional lookups get expensive: every tuple pays a random access
+into a structure that misses cache. Key masking masks the group-by *key*
+instead: tuples failing the predicate aggregate into a single throwaway
+``NULL_KEY`` entry, which stays cache-hot exactly when the predicate
+fails often. No bookkeeping flag is needed — every entry other than the
+throwaway is guaranteed valid.
+
+The kernel layer detects ``NULL_KEY`` batches and prices them through the
+hot-entry path of the cost accountant, whose residency degrades as valid
+(cache-polluting) lookups become more frequent — reproducing the paper's
+finding that key masking only overtakes hybrid beyond ~45 % selectivity
+at 100 K keys and ~85 % at 10 M keys (and that it is therefore *not* the
+dominant strategy Voodoo suggested).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..codegen.common import (
+    agg_exprs_columns,
+    emit_expr_compute,
+    emit_seq_reads,
+    grouped_result,
+    prepass_predicate,
+)
+from ..engine import kernels as K
+from ..engine.events import Compute
+from ..engine.hashtable import NULL_KEY, HashTable
+from ..engine.session import Session
+from ..plan.logical import Query
+from .value_masking import _distinct_estimate
+
+
+def mask_keys(
+    session: Session,
+    keys: np.ndarray,
+    mask: np.ndarray,
+    array: str,
+) -> np.ndarray:
+    """First inner loop of Fig. 4 (bottom): ``key[j] = pred ? c : NULL``.
+
+    A predicated select per tuple plus a sequential write of the masked
+    key array (tile-resident).
+    """
+    n = int(keys.shape[0])
+    session.tracer.emit(Compute(n=n, op="blend", simd=True, width=8))
+    masked = np.where(mask, keys, NULL_KEY)
+    K.seq_write(session, masked, f"key({array})", resident=True)
+    return masked
+
+
+def grouped_pipeline(
+    session: Session,
+    data: Dict[str, np.ndarray],
+    query: Query,
+) -> Dict[str, Any]:
+    """Key-masked group-by aggregation."""
+    conjs = query.predicate_conjuncts()
+    n = int(next(iter(data.values())).shape[0])
+    with session.tracer.overlap():
+        if conjs:
+            mask = prepass_predicate(session, data, conjs)
+        else:
+            mask = np.ones(n, dtype=bool)
+        return _km_grouped_body(session, data, query, mask)
+
+
+def _km_grouped_body(session, data, query, mask):
+    n = int(next(iter(data.values())).shape[0])
+    with session.tracer.kernel("km group-by"):
+        emit_seq_reads(session, data, [query.group_by])
+        raw_keys = data[query.group_by].astype(np.int64)
+        keys = mask_keys(session, raw_keys, mask, query.group_by)
+
+        num_aggs = len(query.aggregates)
+        table = HashTable(
+            expected_keys=_distinct_estimate(raw_keys) + 1, num_aggs=num_aggs
+        )
+        # Second loop: every tuple aggregates — valid keys to their entry,
+        # masked keys to the throwaway. Values are NOT masked here (the
+        # masking happened on the key), so deltas are the raw expression.
+        cols = agg_exprs_columns(query.aggregates)
+        emit_seq_reads(session, data, cols)
+        slots = None
+        for i, agg in enumerate(query.aggregates):
+            if agg.func == "count":
+                deltas = np.ones(n, dtype=np.int64)
+                session.tracer.emit(Compute(n=n, op="add", simd=True))
+            else:
+                emit_expr_compute(session, agg.expr, n, simd=True)
+                deltas = np.asarray(agg.expr.evaluate(data), dtype=np.int64)
+            if slots is None:
+                K.ht_aggregate(session, table, keys, deltas, agg=i)
+                slots, _ = table.lookup(keys)
+            else:
+                K.ht_add_at(session, table, slots, i, deltas)
+        result_keys, aggs = table.items()
+        keep = result_keys != NULL_KEY
+        return grouped_result(result_keys[keep], aggs[keep])

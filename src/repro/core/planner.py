@@ -1,0 +1,266 @@
+"""The SWOLE planner: picks techniques using the §III cost models.
+
+Given a logical query, sampled statistics, and a machine model, the
+planner decides:
+
+* how to aggregate — ``hybrid`` (pushdown fallback), ``value_masking`` or
+  ``key_masking``;
+* whether to apply access merging (always, when a column is reused);
+* how to execute a semijoin — positional bitmap, with an unconditional
+  (mask-write) or selection-vector build;
+* whether to replace a groupjoin with eager aggregation.
+
+The resulting :class:`SwolePlan` records every candidate's estimated cost
+so the ablation bench can compare planner decisions against measured
+best choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..engine.machine import MachineModel
+from ..plan.expressions import col_refs
+from ..plan.logical import Query, QueryStats, sample_stats
+from ..storage.database import Database
+from . import cost_models as cm
+
+#: Technique identifiers (match paper Fig. 2 rows).
+HYBRID = "hybrid"
+VALUE_MASKING = "value_masking"
+KEY_MASKING = "key_masking"
+ACCESS_MERGING = "access_merging"
+BITMAP_MASK = "bitmap_mask"
+BITMAP_OFFSETS = "bitmap_offsets"
+EAGER = "eager_aggregation"
+GROUPJOIN = "groupjoin"
+
+
+@dataclass
+class SwolePlan:
+    """Technique selection for one query, with candidate cost estimates."""
+
+    aggregation: str = HYBRID
+    merged_columns: Tuple[str, ...] = ()
+    semijoin_build: Optional[str] = None
+    groupjoin_mode: Optional[str] = None
+    estimates: Dict[str, float] = field(default_factory=dict)
+    stats: Optional[QueryStats] = None
+
+    @property
+    def uses_pullup(self) -> bool:
+        """Whether any predicate-pullup technique was selected."""
+        return (
+            self.aggregation in (VALUE_MASKING, KEY_MASKING)
+            or self.semijoin_build is not None
+            or self.groupjoin_mode == EAGER
+            or bool(self.merged_columns)
+        )
+
+    def describe(self) -> str:
+        parts = [f"aggregation={self.aggregation}"]
+        if self.merged_columns:
+            parts.append(f"access_merging={list(self.merged_columns)}")
+        if self.semijoin_build is not None:
+            parts.append(f"semijoin={self.semijoin_build}")
+        if self.groupjoin_mode is not None:
+            parts.append(f"groupjoin={self.groupjoin_mode}")
+        return ", ".join(parts)
+
+
+def model_inputs(query: Query, db: Database, stats: QueryStats) -> cm.ModelInputs:
+    """Assemble symbolic-execution inputs from a query and statistics."""
+    widths = dict(stats.column_widths)
+
+    def width_of(table: str, column: str) -> int:
+        if column in widths:
+            return widths[column]
+        return int(db.table(table)[column].dtype.itemsize)
+
+    pred_widths = tuple(
+        width_of(query.table, name)
+        for conj in query.predicate_conjuncts()
+        for name in sorted(conj.columns())
+    )
+    agg_widths = tuple(
+        width_of(query.table, name)
+        for agg in query.aggregates
+        if agg.expr is not None
+        for name in col_refs(agg.expr)
+    )
+    merged_widths = tuple(
+        width_of(query.table, name) for name in query.reused_columns()
+    )
+
+    build_pred_widths: Tuple[int, ...] = ()
+    pk_width = fk_width = 8
+    if query.join is not None:
+        join = query.join
+        if join.build_predicate is not None:
+            build_pred_widths = tuple(
+                width_of(join.build_table, name)
+                for name in sorted(join.build_predicate.columns())
+            )
+        pk_width = width_of(join.build_table, join.pk_column)
+        fk_width = width_of(query.table, join.fk_column)
+
+    group_width = (
+        width_of(query.table, query.group_by)
+        if query.group_by is not None
+        else 8
+    )
+
+    return cm.ModelInputs(
+        num_rows=stats.num_rows,
+        selectivity=stats.selectivity,
+        pred_widths=pred_widths,
+        agg_widths=agg_widths,
+        agg_ops=tuple(stats.agg_ops),
+        num_aggs=len(query.aggregates),
+        group_width=group_width,
+        group_cardinality=stats.group_cardinality,
+        build_rows=stats.build_rows,
+        build_selectivity=stats.build_selectivity,
+        build_pred_widths=build_pred_widths,
+        pk_width=pk_width,
+        fk_width=fk_width,
+        join_match_fraction=stats.join_match_fraction,
+        merged_widths=merged_widths,
+    )
+
+
+def plan_query(
+    query: Query,
+    db: Database,
+    machine: MachineModel,
+    stats: Optional[QueryStats] = None,
+) -> SwolePlan:
+    """Produce a :class:`SwolePlan` for ``query``."""
+    if stats is None:
+        stats = sample_stats(query, db.all_data())
+    plan = SwolePlan(stats=stats)
+    plan.merged_columns = query.reused_columns()
+    inputs = model_inputs(query, db, stats)
+
+    if query.join is None:
+        if query.group_by is None:
+            _plan_scalar(plan, machine, inputs)
+        else:
+            _plan_grouped(plan, machine, inputs)
+    elif query.is_groupjoin:
+        _plan_groupjoin(plan, machine, inputs)
+    else:
+        _plan_semijoin(plan, machine, inputs)
+    return plan
+
+
+def _plan_scalar(
+    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
+) -> None:
+    plan.estimates = {
+        HYBRID: cm.hybrid_cost(machine, inputs),
+        VALUE_MASKING: cm.value_masking_cost(machine, inputs),
+    }
+    plan.aggregation = min(plan.estimates, key=plan.estimates.get)
+
+
+def _plan_grouped(
+    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
+) -> None:
+    ht_bytes = cm.planned_ht_bytes(
+        inputs.group_cardinality, num_aggs=inputs.num_aggs
+    )
+    # Value masking needs the paper's extra bookkeeping flag to tell
+    # masked entries from real zeros — one more aggregate column in every
+    # slot. Key masking does not ("all entries other than the throwaway
+    # are guaranteed to be valid"), which is part of why it wins on large
+    # tables.
+    vm_ht_bytes = cm.planned_ht_bytes(
+        inputs.group_cardinality, num_aggs=inputs.num_aggs + 1
+    )
+    plan.estimates = {
+        HYBRID: cm.hybrid_cost(machine, inputs, ht_bytes),
+        VALUE_MASKING: cm.value_masking_cost(machine, inputs, vm_ht_bytes),
+        KEY_MASKING: cm.key_masking_cost(machine, inputs, ht_bytes),
+    }
+    plan.aggregation = min(plan.estimates, key=plan.estimates.get)
+
+
+def _plan_semijoin(
+    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
+) -> None:
+    # Positional bitmaps are "always better" (paper Fig. 2); the model
+    # only chooses the build flavour and the final aggregation mode.
+    unconditional = cm.bitmap_build_unconditional_cost(machine, inputs)
+    selective = cm.bitmap_build_selective_cost(machine, inputs)
+    plan.semijoin_build = (
+        BITMAP_MASK if unconditional <= selective else BITMAP_OFFSETS
+    )
+    combined = cm.ModelInputs(
+        num_rows=inputs.num_rows,
+        selectivity=inputs.selectivity * inputs.join_match_fraction,
+        pred_widths=inputs.pred_widths,
+        agg_widths=inputs.agg_widths,
+        agg_ops=inputs.agg_ops,
+        num_aggs=inputs.num_aggs,
+        merged_widths=inputs.merged_widths,
+    )
+    hybrid = cm.hybrid_cost(machine, combined)
+    masking = cm.value_masking_cost(machine, combined)
+    plan.estimates = {
+        f"bitmap_build:{BITMAP_MASK}": unconditional,
+        f"bitmap_build:{BITMAP_OFFSETS}": selective,
+        HYBRID: hybrid,
+        VALUE_MASKING: masking,
+    }
+    plan.aggregation = VALUE_MASKING if masking <= hybrid else HYBRID
+
+
+def _plan_groupjoin(
+    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
+) -> None:
+    num_aggs = inputs.num_aggs + 1
+    built_keys = max(
+        int(inputs.build_rows * inputs.build_selectivity), 1
+    )
+    groupjoin_ht = cm.planned_ht_bytes(built_keys, num_aggs=num_aggs)
+    eager_ht = cm.planned_ht_bytes(inputs.build_rows, num_aggs=num_aggs)
+    plan.estimates = {
+        GROUPJOIN: cm.groupjoin_cost(machine, inputs, groupjoin_ht),
+        EAGER: cm.eager_aggregation_cost(machine, inputs, eager_ht),
+    }
+    plan.groupjoin_mode = (
+        EAGER if plan.estimates[EAGER] <= plan.estimates[GROUPJOIN] else GROUPJOIN
+    )
+
+
+def technique_matrix() -> Dict[str, Dict[str, str]]:
+    """The paper's Figure 2 as data: technique -> operators/heuristics."""
+    return {
+        "Value Masking": {
+            "section": "III-A",
+            "operators": "All",
+            "heuristics": "Memory-Bound, Small Hash Tables",
+        },
+        "Key Masking": {
+            "section": "III-B",
+            "operators": "Group-By Aggregation, Join, Groupjoin",
+            "heuristics": "Complex Aggregation, Large Hash Tables",
+        },
+        "Access Merging": {
+            "section": "III-C",
+            "operators": "All",
+            "heuristics": "Always Better",
+        },
+        "Positional Bitmaps": {
+            "section": "III-D",
+            "operators": "Join, Semijoin",
+            "heuristics": "Always Better",
+        },
+        "Eager Aggregation": {
+            "section": "III-E",
+            "operators": "Join, Groupjoin",
+            "heuristics": "Low-Cardinality Group-By Keys",
+        },
+    }

@@ -1,0 +1,112 @@
+"""Positional-bitmap semijoins (paper §III-D).
+
+A semijoin's hash table is replaced by a bitmap addressed by *row
+offset* of the build table:
+
+* **build** — a sequential scan of the build side sets one bit per row.
+  The value-masking cost model picks between an unconditional mask write
+  (every bit written with the predicate result) and a selection-vector
+  build (set bits only for passing rows).
+* **probe** — the probe side reads its foreign-key index offsets
+  sequentially and tests the corresponding bit. The bitmap is tiny
+  (100 M rows ~ 12.5 MB), so the "random" bit tests stay cache-resident.
+
+Random hash inserts and lookups on both sides become sequential scans
+plus cached bit tests — the access-pattern win behind the paper's
+largest TPC-H speedup (Q4, 2.63x over hybrid).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..codegen.common import (
+    agg_exprs_columns,
+    eval_aggregates_subset,
+    prepass_predicate,
+)
+from ..engine import kernels as K
+from ..engine.events import Compute
+from ..engine.session import Session
+from ..errors import CodegenError
+from ..plan.expressions import conjuncts
+from ..plan.logical import Query
+from ..storage.bitmap import PositionalBitmap
+from ..storage.database import Database
+from . import planner as P
+from .value_masking import scalar_pipeline
+
+
+def build_bitmap(
+    session: Session,
+    db: Database,
+    query: Query,
+    mode: str,
+) -> PositionalBitmap:
+    """Build the positional bitmap over the build table's rows."""
+    join = query.join
+    build_data = db.data(join.build_table)
+    n = int(next(iter(build_data.values())).shape[0])
+    build_conjs = conjuncts(join.build_predicate)
+    bitmap = PositionalBitmap(n)
+    with session.tracer.kernel(f"bitmap build {join.build_table}"), \
+            session.tracer.overlap():
+        if build_conjs:
+            mask = prepass_predicate(session, build_data, build_conjs)
+        else:
+            mask = np.ones(n, dtype=bool)
+        if mode == P.BITMAP_MASK:
+            K.bitmap_build_mask(session, bitmap, mask, "bitmap")
+        elif mode == P.BITMAP_OFFSETS:
+            idx = K.selection_vector(session, mask)
+            K.bitmap_build_offsets(session, bitmap, idx, "bitmap")
+        else:
+            raise CodegenError(f"unknown bitmap build mode {mode!r}")
+    return bitmap
+
+
+def semijoin_pipeline(
+    session: Session,
+    db: Database,
+    query: Query,
+    build_mode: str,
+    aggregation: str,
+) -> Dict[str, Any]:
+    """Full bitmap semijoin: build, probe through the FK index, aggregate.
+
+    ``aggregation`` selects value masking (pullup all the way down) or the
+    hybrid fallback (selection vector + gather) for the final step.
+    """
+    join = query.join
+    bitmap = build_bitmap(session, db, query, build_mode)
+    data = db.data(query.table)
+    n = int(next(iter(data.values())).shape[0])
+    fk_index = db.fk_index(query.table, join.fk_column)
+
+    with session.tracer.kernel(f"bitmap probe {query.table}"), \
+            session.tracer.overlap():
+        conjs = query.predicate_conjuncts()
+        if conjs:
+            mask = prepass_predicate(session, data, conjs)
+        else:
+            mask = np.ones(n, dtype=bool)
+        # The FK index offsets are a plain int64 column, scanned
+        # sequentially; the bit tests are cached random accesses.
+        offsets = fk_index.offsets
+        K.seq_read(session, offsets, f"fkindex({join.fk_column})")
+        hits = K.bitmap_probe(session, bitmap, offsets, "bitmap")
+        session.tracer.emit(Compute(n=n, op="and", simd=True, width=1))
+        combined = mask & hits
+
+    with session.tracer.kernel("aggregate"), session.tracer.overlap():
+        if aggregation == P.VALUE_MASKING:
+            return scalar_pipeline(session, data, query, mask=combined)
+        # hybrid fallback: selection vector over the combined mask
+        idx = K.selection_vector(session, combined)
+        for col in agg_exprs_columns(query.aggregates):
+            K.gather(session, data[col], idx, col)
+        return eval_aggregates_subset(
+            session, data, query.aggregates, combined, simd=False
+        )

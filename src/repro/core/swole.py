@@ -1,0 +1,164 @@
+"""SWOLE: the access-aware code-generation strategy (paper Section III).
+
+Compilation runs the planner over sampled statistics, then composes the
+selected techniques:
+
+========================  =======================================
+query shape               techniques considered
+========================  =======================================
+scalar aggregation        value masking (+ access merging) | hybrid
+group-by aggregation      value masking | key masking | hybrid
+semijoin                  positional bitmap (build mode by model),
+                          final aggregation value-masked or hybrid
+groupjoin                 eager aggregation | hybrid groupjoin
+========================  =======================================
+
+The hybrid strategy is the explicit fallback whenever the cost models say
+a pullup would not pay (paper: "we can simply fall back to generating
+code using the hybrid strategy").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..codegen.base import register_strategy
+from ..codegen.emit import (
+    emit_bitmap_semijoin,
+    emit_eager_aggregation,
+    emit_key_masking,
+    emit_value_masking,
+)
+from ..codegen.hybrid import compile_hybrid
+from ..engine.program import CompiledQuery
+from ..engine.session import Session
+from ..plan.logical import Query, QueryStats
+from ..storage.database import Database
+from . import planner as P
+from .access_merging import merged_read_set
+from .eager_aggregation import groupjoin_pipeline
+from .key_masking import grouped_pipeline as km_grouped
+from .positional_bitmap import semijoin_pipeline
+from .value_masking import grouped_pipeline as vm_grouped
+from .value_masking import scalar_pipeline as vm_scalar
+
+
+def compile_swole(
+    query: Query,
+    db: Database,
+    machine=None,
+    stats: Optional[QueryStats] = None,
+    force: Optional[str] = None,
+) -> CompiledQuery:
+    """Compile ``query`` with SWOLE.
+
+    ``machine`` is the machine model the program will be *run* on (pass
+    the same scaled model used by the session, or the planner will reason
+    about the wrong cache ratios). ``stats`` overrides sampled statistics
+    (used by tests); ``force`` overrides the planner's aggregation choice
+    (used by the cost-model ablation bench to measure the road not
+    taken).
+    """
+    from ..engine.machine import PAPER_MACHINE
+
+    if machine is None:
+        machine = PAPER_MACHINE
+    plan = P.plan_query(query, db, machine, stats=stats)
+    if force is not None:
+        plan.aggregation = force
+    data = db.data(query.table)
+
+    if query.join is None and query.group_by is None:
+        return _compile_scalar(query, db, data, plan)
+    if query.join is None:
+        return _compile_grouped(query, db, data, plan)
+    if query.is_groupjoin:
+        return _compile_groupjoin(query, db, plan)
+    return _compile_semijoin(query, db, plan)
+
+
+def _wrap(
+    query: Query, plan: P.SwolePlan, source: str, fn
+) -> CompiledQuery:
+    return CompiledQuery(
+        name=query.name,
+        strategy="swole",
+        source=source,
+        _fn=fn,
+        notes={"plan": plan.describe(), "estimates": dict(plan.estimates)},
+    )
+
+
+def _fallback_hybrid(query: Query, db: Database, plan: P.SwolePlan) -> CompiledQuery:
+    """Planner chose the pushdown path: emit hybrid code under SWOLE."""
+    inner = compile_hybrid(query, db)
+    return _wrap(query, plan, inner.source, inner._fn)
+
+
+def _compile_scalar(
+    query: Query, db: Database, data, plan: P.SwolePlan
+) -> CompiledQuery:
+    if plan.aggregation != P.VALUE_MASKING:
+        return _fallback_hybrid(query, db, plan)
+    merged = list(plan.merged_columns)
+    source = emit_value_masking(query, merged=merged)
+
+    def run(session: Session) -> Dict[str, Any]:
+        with session.tracer.kernel(f"value-masked scan {query.table}"):
+            shared = merged_read_set(query, enabled=bool(merged))
+            return vm_scalar(session, data, query, already_read=shared)
+
+    return _wrap(query, plan, source, run)
+
+
+def _compile_grouped(
+    query: Query, db: Database, data, plan: P.SwolePlan
+) -> CompiledQuery:
+    if plan.aggregation == P.KEY_MASKING:
+        source = emit_key_masking(query)
+
+        def run(session: Session) -> Dict[str, Any]:
+            return km_grouped(session, data, query)
+
+        return _wrap(query, plan, source, run)
+    if plan.aggregation == P.VALUE_MASKING:
+        source = emit_value_masking(query)
+
+        def run(session: Session) -> Dict[str, Any]:
+            return vm_grouped(session, data, query)
+
+        return _wrap(query, plan, source, run)
+    return _fallback_hybrid(query, db, plan)
+
+
+def _compile_semijoin(
+    query: Query, db: Database, plan: P.SwolePlan
+) -> CompiledQuery:
+    source = emit_bitmap_semijoin(
+        query, unconditional_build=plan.semijoin_build == P.BITMAP_MASK
+    )
+
+    def run(session: Session) -> Dict[str, Any]:
+        return semijoin_pipeline(
+            session, db, query, plan.semijoin_build, plan.aggregation
+        )
+
+    return _wrap(query, plan, source, run)
+
+
+def _compile_groupjoin(
+    query: Query, db: Database, plan: P.SwolePlan
+) -> CompiledQuery:
+    if plan.groupjoin_mode != P.EAGER:
+        return _fallback_hybrid(query, db, plan)
+    source = emit_eager_aggregation(query)
+
+    def run(session: Session) -> Dict[str, Any]:
+        return groupjoin_pipeline(session, db, query)
+
+    return _wrap(query, plan, source, run)
+
+
+@register_strategy("swole")
+def _registered_compile(query: Query, db: Database) -> CompiledQuery:
+    return compile_swole(query, db)

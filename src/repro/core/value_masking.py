@@ -1,0 +1,164 @@
+"""Value masking (paper §III-A, Fig. 3).
+
+Instead of filtering early, evaluate the predicate into a 0/1 ``cmp``
+array, then *unconditionally* read the aggregation columns sequentially
+and multiply each value by its predicate result before accumulating.
+The conditional read of the pushdown strategies becomes a sequential
+read; the price is wasted work on masked tuples.
+
+Two pipelines live here:
+
+* :func:`scalar_pipeline` — single aggregate, optionally with access
+  merging (paper Fig. 5);
+* :func:`grouped_pipeline` — the value-masked group-by of paper Fig. 4
+  (top): every tuple performs a hash lookup with its *real* key and the
+  aggregated value is masked. Requires the extra bookkeeping flag the
+  paper describes (a count column marking entries that received at least
+  one unmasked tuple).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+import numpy as np
+
+from ..codegen.common import (
+    agg_exprs_columns,
+    emit_expr_compute,
+    emit_seq_reads,
+    grouped_result,
+    prepass_predicate,
+)
+from ..engine import kernels as K
+from ..engine.events import Compute
+from ..engine.hashtable import HashTable
+from ..engine.session import Session
+from ..plan.logical import Query
+
+
+def _masked_deltas(
+    session: Session,
+    data: Dict[str, np.ndarray],
+    query: Query,
+    mask: np.ndarray,
+    already_read: Optional[Set[str]],
+) -> Dict[str, np.ndarray]:
+    """Unconditionally compute each aggregate's deltas, masked by ``mask``.
+
+    Reads every aggregate column sequentially (skipping columns already
+    read by a merged prepass), computes the expression with SIMD over all
+    rows, and multiplies by the 0/1 predicate result.
+    """
+    n = int(mask.shape[0])
+    cols = agg_exprs_columns(query.aggregates)
+    emit_seq_reads(session, data, cols, already_read=already_read)
+    mask_int = mask.astype(np.int64)
+    deltas: Dict[str, np.ndarray] = {}
+    for agg in query.aggregates:
+        if agg.func == "count":
+            session.tracer.emit(Compute(n=n, op="add", simd=True))
+            deltas[agg.name] = mask_int
+            continue
+        emit_expr_compute(session, agg.expr, n, simd=True)
+        session.tracer.emit(Compute(n=n, op="mul", simd=True))  # masking
+        values = np.asarray(agg.expr.evaluate(data), dtype=np.int64)
+        deltas[agg.name] = values * mask_int
+    return deltas
+
+
+def scalar_pipeline(
+    session: Session,
+    data: Dict[str, np.ndarray],
+    query: Query,
+    already_read: Optional[Set[str]] = None,
+    mask: Optional[np.ndarray] = None,
+) -> Dict[str, Any]:
+    """Value-masked scalar aggregation.
+
+    ``mask`` may be supplied by a caller that already evaluated the
+    predicate (e.g. the bitmap semijoin combines its bit tests with the
+    probe-side prepass); otherwise the prepass runs here.
+    """
+    conjs = query.predicate_conjuncts()
+    with session.tracer.overlap():
+        if mask is None:
+            if conjs:
+                mask = prepass_predicate(
+                    session, data, conjs, already_read=already_read
+                )
+            else:
+                n = int(next(iter(data.values())).shape[0])
+                mask = np.ones(n, dtype=bool)
+        deltas = _masked_deltas(session, data, query, mask, already_read)
+        result: Dict[str, Any] = {}
+        n = int(mask.shape[0])
+        for agg in query.aggregates:
+            session.tracer.emit(Compute(n=n, op="add", simd=True))
+            result[agg.name] = int(np.sum(deltas[agg.name], dtype=np.int64))
+    if any(agg.func == "count" for agg in query.aggregates):
+        # counts were produced by summing the mask itself
+        for agg in query.aggregates:
+            if agg.func == "count":
+                result[agg.name] = int(mask.sum())
+    return result
+
+
+def grouped_pipeline(
+    session: Session,
+    data: Dict[str, np.ndarray],
+    query: Query,
+) -> Dict[str, Any]:
+    """Value-masked group-by (paper Fig. 4 top).
+
+    Every tuple looks up its *real* group key — an unconditional hash
+    access — and adds its masked delta. A trailing count column (the
+    bookkeeping flag) records how many unmasked tuples each entry saw, so
+    entries created only by masked tuples are dropped from the result.
+    """
+    conjs = query.predicate_conjuncts()
+    with session.tracer.overlap():
+        if conjs:
+            mask = prepass_predicate(session, data, conjs)
+        else:
+            n = int(next(iter(data.values())).shape[0])
+            mask = np.ones(n, dtype=bool)
+        return _vm_grouped_body(session, data, query, mask)
+
+
+def _vm_grouped_body(session, data, query, mask):
+    with session.tracer.kernel("vm group-by"):
+        emit_seq_reads(session, data, [query.group_by])
+        keys = data[query.group_by].astype(np.int64)
+        num_aggs = len(query.aggregates) + 1
+        table = HashTable(
+            expected_keys=_distinct_estimate(keys), num_aggs=num_aggs
+        )
+        deltas = _masked_deltas(session, data, query, mask, None)
+        slots = None
+        for i, agg in enumerate(query.aggregates):
+            if slots is None:
+                # one unconditional random access per tuple (the lookup);
+                # subsequent aggregate columns reuse the resolved slot
+                K.ht_aggregate(session, table, keys, deltas[agg.name], agg=i)
+                slots, _ = table.lookup(keys)
+            else:
+                K.ht_add_at(session, table, slots, i, deltas[agg.name])
+        if slots is None:
+            slots, _ = table.lookup(keys)
+        K.ht_add_at(
+            session, table, slots, num_aggs - 1, mask.astype(np.int64)
+        )
+        result_keys, aggs = table.items()
+        valid = aggs[:, num_aggs - 1] > 0
+        return grouped_result(
+            result_keys[valid], aggs[valid, : len(query.aggregates)]
+        )
+
+
+def _distinct_estimate(keys: np.ndarray) -> int:
+    sample = keys[: min(keys.shape[0], 65536)]
+    distinct = int(np.unique(sample).shape[0])
+    if sample.shape[0] and distinct >= 0.9 * sample.shape[0]:
+        return max(int(distinct * keys.shape[0] / sample.shape[0]), 1)
+    return max(distinct, 1)

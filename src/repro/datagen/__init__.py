@@ -1,0 +1,5 @@
+"""Workload generators: microbenchmark (Fig. 7) and TPC-H."""
+
+from .microbench import MicrobenchConfig, generate, q1, q2, q3, q4, q5
+
+__all__ = ["MicrobenchConfig", "generate", "q1", "q2", "q3", "q4", "q5"]

@@ -1,0 +1,368 @@
+"""TPC-H data generator (the subset the paper's eight queries touch).
+
+Generates region, nation, supplier, customer, part, orders, and lineitem
+at a configurable scale factor with the TPC-H spec's cardinalities and
+value distributions (uniform keys, the standard date ranges, the spec's
+category strings). Storage follows the paper's evaluation setup:
+
+* dictionary encoding for low-cardinality strings (flags, modes,
+  priorities, types, brands, containers, segments);
+* null suppression (narrow integers) for low-cardinality numerics;
+* fixed-point int64 for decimals (prices, discounts as percent points).
+
+Two deliberate deviations, both documented in DESIGN.md:
+
+* keys are dense (``1..n`` without the spec's order-key gaps) so that
+  referential-integrity FK indexes are pure arithmetic — the layout the
+  positional-bitmap technique targets;
+* comments are not generated as text; the Q13 ``not like
+  '%special%requests%'`` predicate is materialised as a boolean column
+  with the paper's measured ~2 % match rate (its cost is charged per
+  tuple by the ``strcmp`` kernel, which is what dominates Q13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataGenError
+from ..storage.column import Column, LogicalType
+from ..storage.database import Database
+from ..storage.table import Table
+
+#: Days since 1970-01-01 for the TPC-H date constants.
+DATE_1992_01_01 = 8035
+DATE_1995_09_01 = 9374
+DATE_1995_10_01 = 9404
+DATE_1996_01_01 = 9496
+DATE_1996_04_01 = 9587
+DATE_1995_03_15 = 9204
+DATE_1994_01_01 = 8766
+DATE_1995_01_01 = 9131
+DATE_1998_08_02 = 10440
+DATE_1998_12_01 = 10561
+DATE_1995_06_17 = 9298
+
+#: Spec string domains (subset).
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIPMODES = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+SHIPINSTRUCT = (
+    "COLLECT COD",
+    "DELIVER IN PERSON",
+    "NONE",
+    "TAKE BACK RETURN",
+)
+RETURNFLAGS = ("A", "N", "R")
+LINESTATUS = ("F", "O")
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+TYPE_SYLLABLE_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+TYPE_SYLLABLE_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+TYPE_SYLLABLE_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+CONTAINER_1 = ("SM", "LG", "MED", "JUMBO", "WRAP")
+CONTAINER_2 = ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """Scale configuration. ``scale_factor=1.0`` is the 6M-lineitem SF1."""
+
+    scale_factor: float = 0.01
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise DataGenError("scale factor must be positive")
+
+    @property
+    def customers(self) -> int:
+        return max(int(150_000 * self.scale_factor), 50)
+
+    @property
+    def suppliers(self) -> int:
+        return max(int(10_000 * self.scale_factor), 10)
+
+    @property
+    def parts(self) -> int:
+        return max(int(200_000 * self.scale_factor), 50)
+
+    @property
+    def orders(self) -> int:
+        return max(int(1_500_000 * self.scale_factor), 100)
+
+    @property
+    def machine_scale(self) -> float:
+        """Cache shrink factor matching the paper's SF 10 evaluation."""
+        return 10.0 / self.scale_factor
+
+
+def _dict_column(name: str, codes: np.ndarray, dictionary) -> Column:
+    return Column(
+        name=name,
+        logical_type=LogicalType.STRING,
+        values=codes.astype(np.int32),
+        dictionary=tuple(dictionary),
+    )
+
+
+def generate(config: TpchConfig = TpchConfig()) -> Database:
+    """Generate the TPC-H database for ``config``."""
+    rng = np.random.default_rng(config.seed)
+    db = Database()
+
+    # ------------------------------------------------------------ region
+    db.add_table(
+        Table(
+            name="region",
+            columns=(
+                Column(
+                    "r_regionkey", LogicalType.INT8, np.arange(5, dtype=np.int8)
+                ),
+                _dict_column(
+                    "r_name", np.arange(len(REGIONS)), sorted(REGIONS)
+                ),
+            ),
+        )
+    )
+
+    # ------------------------------------------------------------ nation
+    nation_names = [name for name, _ in NATIONS]
+    nation_dict = sorted(nation_names)
+    nation_codes = np.asarray(
+        [nation_dict.index(name) for name in nation_names]
+    )
+    db.add_table(
+        Table(
+            name="nation",
+            columns=(
+                Column(
+                    "n_nationkey",
+                    LogicalType.INT8,
+                    np.arange(len(NATIONS), dtype=np.int8),
+                ),
+                _dict_column("n_name", nation_codes, nation_dict),
+                Column(
+                    "n_regionkey",
+                    LogicalType.INT8,
+                    np.asarray([region for _, region in NATIONS], np.int8),
+                ),
+            ),
+        )
+    )
+
+    # ---------------------------------------------------------- supplier
+    ns = config.suppliers
+    db.add_table(
+        Table(
+            name="supplier",
+            columns=(
+                Column(
+                    "s_suppkey", LogicalType.INT32,
+                    np.arange(1, ns + 1, dtype=np.int32),
+                ),
+                Column(
+                    "s_nationkey", LogicalType.INT8,
+                    rng.integers(0, 25, ns).astype(np.int8),
+                ),
+            ),
+        )
+    )
+
+    # ---------------------------------------------------------- customer
+    nc = config.customers
+    db.add_table(
+        Table(
+            name="customer",
+            columns=(
+                Column(
+                    "c_custkey", LogicalType.INT32,
+                    np.arange(1, nc + 1, dtype=np.int32),
+                ),
+                _dict_column(
+                    "c_mktsegment",
+                    rng.integers(0, len(SEGMENTS), nc),
+                    sorted(SEGMENTS),
+                ),
+                Column(
+                    "c_nationkey", LogicalType.INT8,
+                    rng.integers(0, 25, nc).astype(np.int8),
+                ),
+            ),
+        )
+    )
+
+    # -------------------------------------------------------------- part
+    nparts = config.parts
+    type1 = rng.integers(0, len(TYPE_SYLLABLE_1), nparts)
+    type2 = rng.integers(0, len(TYPE_SYLLABLE_2), nparts)
+    type3 = rng.integers(0, len(TYPE_SYLLABLE_3), nparts)
+    type_strings = sorted(
+        f"{a} {b} {c}"
+        for a in TYPE_SYLLABLE_1
+        for b in TYPE_SYLLABLE_2
+        for c in TYPE_SYLLABLE_3
+    )
+    type_index = {name: i for i, name in enumerate(type_strings)}
+    type_codes = np.asarray(
+        [
+            type_index[
+                f"{TYPE_SYLLABLE_1[a]} {TYPE_SYLLABLE_2[b]} {TYPE_SYLLABLE_3[c]}"
+            ]
+            for a, b, c in zip(type1, type2, type3)
+        ]
+    )
+    brand_codes = rng.integers(0, 25, nparts)
+    brands = sorted(f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6))
+    container_strings = sorted(
+        f"{a} {b}" for a in CONTAINER_1 for b in CONTAINER_2
+    )
+    db.add_table(
+        Table(
+            name="part",
+            columns=(
+                Column(
+                    "p_partkey", LogicalType.INT32,
+                    np.arange(1, nparts + 1, dtype=np.int32),
+                ),
+                _dict_column("p_brand", brand_codes, brands),
+                _dict_column("p_type", type_codes, type_strings),
+                Column(
+                    "p_size", LogicalType.INT8,
+                    rng.integers(1, 51, nparts).astype(np.int8),
+                ),
+                _dict_column(
+                    "p_container",
+                    rng.integers(0, len(container_strings), nparts),
+                    container_strings,
+                ),
+            ),
+        )
+    )
+
+    # ------------------------------------------------------------ orders
+    no = config.orders
+    o_orderdate = rng.integers(DATE_1992_01_01, DATE_1998_08_02 + 1, no)
+    # Q13's predicate: o_comment not like '%special%requests%'. The spec's
+    # comment generator yields ~2 % matches; we materialise the outcome.
+    o_comment_special = rng.random(no) < 0.02
+    db.add_table(
+        Table(
+            name="orders",
+            columns=(
+                Column(
+                    "o_orderkey", LogicalType.INT32,
+                    np.arange(1, no + 1, dtype=np.int32),
+                ),
+                Column(
+                    "o_custkey", LogicalType.INT32,
+                    rng.integers(1, nc + 1, no).astype(np.int32),
+                ),
+                Column("o_orderdate", LogicalType.DATE, o_orderdate),
+                _dict_column(
+                    "o_orderpriority",
+                    rng.integers(0, len(PRIORITIES), no),
+                    sorted(PRIORITIES),
+                ),
+                Column(
+                    "o_shippriority", LogicalType.INT8,
+                    np.zeros(no, dtype=np.int8),
+                ),
+                Column(
+                    "o_comment_special", LogicalType.INT8,
+                    o_comment_special.astype(np.int8),
+                ),
+            ),
+        )
+    )
+
+    # ---------------------------------------------------------- lineitem
+    # 1-7 lines per order (spec), so |lineitem| ~= 4 * |orders|.
+    lines_per_order = rng.integers(1, 8, no)
+    nl = int(lines_per_order.sum())
+    l_orderkey = np.repeat(
+        np.arange(1, no + 1, dtype=np.int32), lines_per_order
+    )
+    order_date_per_line = np.repeat(o_orderdate, lines_per_order)
+    l_shipdate = order_date_per_line + rng.integers(1, 122, nl)
+    l_commitdate = order_date_per_line + rng.integers(30, 91, nl)
+    l_receiptdate = l_shipdate + rng.integers(1, 31, nl)
+    l_quantity = rng.integers(1, 51, nl)
+    # extendedprice ~ quantity * unit price in [900, 2000] dollars, cents
+    unit_cents = rng.integers(90_000, 200_001, nl, dtype=np.int64)
+    l_extendedprice = l_quantity.astype(np.int64) * unit_cents // 100
+    db.add_table(
+        Table(
+            name="lineitem",
+            columns=(
+                Column("l_orderkey", LogicalType.INT32, l_orderkey),
+                Column(
+                    "l_partkey", LogicalType.INT32,
+                    rng.integers(1, nparts + 1, nl).astype(np.int32),
+                ),
+                Column(
+                    "l_suppkey", LogicalType.INT32,
+                    rng.integers(1, ns + 1, nl).astype(np.int32),
+                ),
+                Column(
+                    "l_quantity", LogicalType.INT8,
+                    l_quantity.astype(np.int8),
+                ),
+                Column(
+                    "l_extendedprice", LogicalType.DECIMAL,
+                    l_extendedprice, scale=2,
+                ),
+                Column(
+                    "l_discount", LogicalType.INT8,
+                    rng.integers(0, 11, nl).astype(np.int8),
+                ),
+                Column(
+                    "l_tax", LogicalType.INT8,
+                    rng.integers(0, 9, nl).astype(np.int8),
+                ),
+                _dict_column(
+                    "l_returnflag",
+                    rng.integers(0, len(RETURNFLAGS), nl),
+                    RETURNFLAGS,
+                ),
+                _dict_column(
+                    "l_linestatus",
+                    (l_shipdate > DATE_1995_06_17).astype(np.int32),
+                    LINESTATUS,
+                ),
+                Column("l_shipdate", LogicalType.DATE, l_shipdate),
+                Column("l_commitdate", LogicalType.DATE, l_commitdate),
+                Column("l_receiptdate", LogicalType.DATE, l_receiptdate),
+                _dict_column(
+                    "l_shipinstruct",
+                    rng.integers(0, len(SHIPINSTRUCT), nl),
+                    SHIPINSTRUCT,
+                ),
+                _dict_column(
+                    "l_shipmode",
+                    rng.integers(0, len(SHIPMODES), nl),
+                    SHIPMODES,
+                ),
+            ),
+        )
+    )
+
+    # foreign keys (and their offset indexes, built eagerly)
+    db.add_foreign_key("nation", "n_regionkey", "region", "r_regionkey")
+    db.add_foreign_key("supplier", "s_nationkey", "nation", "n_nationkey")
+    db.add_foreign_key("customer", "c_nationkey", "nation", "n_nationkey")
+    db.add_foreign_key("orders", "o_custkey", "customer", "c_custkey")
+    db.add_foreign_key("lineitem", "l_orderkey", "orders", "o_orderkey")
+    db.add_foreign_key("lineitem", "l_partkey", "part", "p_partkey")
+    db.add_foreign_key("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    return db

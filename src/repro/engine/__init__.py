@@ -1,0 +1,58 @@
+"""Execution substrate: machine model, event costing, kernels, programs."""
+
+from .branch import TwoBitPredictor, steady_state_mispredict_rate
+from .cache import (
+    CacheHierarchy,
+    CacheStats,
+    SetAssociativeCache,
+    conditional_trace,
+    random_trace,
+    sequential_trace,
+)
+from .costing import CostAccountant, CostReport, Tracer
+from .events import (
+    Branch,
+    CondRead,
+    Compute,
+    Event,
+    RandomAccess,
+    SeqRead,
+    SeqWrite,
+    TupleOverhead,
+)
+from .hashtable import EMPTY, NULL_KEY, TOMBSTONE, HashTable
+from .machine import PAPER_MACHINE, MachineModel
+from .program import CompiledQuery, QueryResult, results_equal
+from .session import Session
+
+__all__ = [
+    "Branch",
+    "CacheHierarchy",
+    "CacheStats",
+    "CompiledQuery",
+    "CondRead",
+    "Compute",
+    "CostAccountant",
+    "CostReport",
+    "EMPTY",
+    "Event",
+    "HashTable",
+    "MachineModel",
+    "NULL_KEY",
+    "PAPER_MACHINE",
+    "QueryResult",
+    "RandomAccess",
+    "SeqRead",
+    "SeqWrite",
+    "Session",
+    "SetAssociativeCache",
+    "TOMBSTONE",
+    "Tracer",
+    "TupleOverhead",
+    "TwoBitPredictor",
+    "conditional_trace",
+    "random_trace",
+    "results_equal",
+    "sequential_trace",
+    "steady_state_mispredict_rate",
+]

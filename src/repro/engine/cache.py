@@ -1,0 +1,160 @@
+"""Trace-driven set-associative cache simulator.
+
+The cost accountant (:mod:`repro.engine.costing`) uses closed-form access
+costs so that full benchmark sweeps finish quickly. This module provides
+the ground truth those formulas are validated against: an exact
+set-associative LRU cache simulator driven by byte-address traces, plus a
+small multi-level hierarchy wrapper.
+
+It is used by the test suite and by ``bench_ablation_simulators`` to show
+that the analytic conditional-read and random-access costs track the
+simulated miss counts across densities and structure sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import CostModelError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class SetAssociativeCache:
+    """An exact LRU set-associative cache over byte addresses."""
+
+    def __init__(
+        self, capacity_bytes: int, line_bytes: int = 64, ways: int = 8
+    ) -> None:
+        if capacity_bytes <= 0 or line_bytes <= 0 or ways <= 0:
+            raise CostModelError("cache geometry must be positive")
+        num_lines = capacity_bytes // line_bytes
+        if num_lines % ways != 0:
+            raise CostModelError(
+                f"capacity {capacity_bytes} not divisible into {ways}-way sets"
+            )
+        self._line_bytes = line_bytes
+        self._ways = ways
+        self._num_sets = num_lines // ways
+        # Each set holds up to `ways` line tags in LRU order (MRU last).
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+        self.stats = CacheStats()
+
+    @property
+    def line_bytes(self) -> int:
+        return self._line_bytes
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; return True on hit."""
+        tag = address // self._line_bytes
+        index = tag % self._num_sets
+        lines = self._sets[index]
+        self.stats.accesses += 1
+        if tag in lines:
+            lines.remove(tag)
+            lines.append(tag)
+            return True
+        self.stats.misses += 1
+        if len(lines) == self._ways:
+            lines.pop(0)
+        lines.append(tag)
+        return False
+
+    def run_trace(self, addresses: Sequence[int]) -> CacheStats:
+        """Access every address in order; return this cache's stats."""
+        for address in np.asarray(addresses, dtype=np.int64):
+            self.access(int(address))
+        return self.stats
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+
+class CacheHierarchy:
+    """A multi-level inclusive cache hierarchy with a flat memory behind it.
+
+    ``expected_latency`` mirrors how the analytic model reports costs: the
+    average cycles per access given the observed per-level miss rates.
+    """
+
+    def __init__(
+        self,
+        levels: Sequence[SetAssociativeCache],
+        latencies: Sequence[float],
+        mem_latency: float,
+    ) -> None:
+        if len(levels) != len(latencies):
+            raise CostModelError("one latency per cache level required")
+        self._levels = list(levels)
+        self._latencies = list(latencies)
+        self._mem_latency = mem_latency
+
+    def access(self, address: int) -> float:
+        """Access an address; return the latency it experienced."""
+        for level, latency in zip(self._levels, self._latencies):
+            if level.access(address):
+                return latency
+        return self._mem_latency
+
+    def run_trace(self, addresses: Sequence[int]) -> float:
+        """Run a trace; return total latency cycles."""
+        total = 0.0
+        for address in np.asarray(addresses, dtype=np.int64):
+            total += self.access(int(address))
+        return total
+
+    def expected_latency(self) -> float:
+        """Average latency per access over everything simulated so far."""
+        if not self._levels or self._levels[0].stats.accesses == 0:
+            return 0.0
+        total_accesses = self._levels[0].stats.accesses
+        cycles = 0.0
+        remaining = total_accesses
+        for level, latency in zip(self._levels, self._latencies):
+            hits = level.stats.hits
+            cycles += hits * latency
+            remaining = level.stats.misses
+        cycles += remaining * self._mem_latency
+        return cycles / total_accesses
+
+
+def sequential_trace(base: int, n: int, width: int) -> np.ndarray:
+    """Byte addresses of a sequential scan of ``n`` ``width``-byte items."""
+    return base + np.arange(n, dtype=np.int64) * width
+
+
+def conditional_trace(
+    base: int, n: int, width: int, selected: np.ndarray
+) -> np.ndarray:
+    """Byte addresses of a conditional read touching ``selected`` rows."""
+    rows = np.flatnonzero(np.asarray(selected, dtype=bool))
+    return base + rows.astype(np.int64) * width
+
+
+def random_trace(
+    base: int, struct_bytes: int, n: int, width: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Byte addresses of ``n`` uniform random accesses into a structure."""
+    slots = struct_bytes // width
+    if slots <= 0:
+        raise CostModelError("structure too small for random trace")
+    return base + rng.integers(0, slots, size=n, dtype=np.int64) * width

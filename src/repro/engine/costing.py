@@ -1,0 +1,318 @@
+"""Cost accounting: converts measured event streams into simulated cycles.
+
+This is the runtime half of the reproduction's simulator substrate. Each
+kernel in a compiled program executes for real (NumPy) and emits events
+(:mod:`repro.engine.events`) describing the access pattern the equivalent
+compiled C would have. The :class:`CostAccountant` prices each event with
+closed-form models of:
+
+* sequential streaming (prefetcher-friendly per-line cost),
+* conditional reads (density-dependent line touch probability, with the
+  prefetcher degrading as density falls — the heart of the paper's
+  argument that `s_trav_cr` is a bad pattern),
+* uniform random accesses (capacity-apportioned cache latency, plus a
+  "hot entry" path for the key-masking throwaway entry, whose residency
+  degrades as cache-polluting valid lookups become more frequent),
+* branches (two-bit-predictor steady state — the 50 % selectivity hump),
+* scalar vs SIMD compute.
+
+The closed forms are validated against the exact trace-driven simulators
+in :mod:`repro.engine.cache` and :mod:`repro.engine.branch` by the test
+suite and the simulator ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import CostModelError
+from .branch import steady_state_mispredict_rate
+from .events import (
+    Branch,
+    CondRead,
+    Compute,
+    Event,
+    RandomAccess,
+    SeqRead,
+    SeqWrite,
+    TupleOverhead,
+)
+from .machine import MachineModel
+
+
+class CostAccountant:
+    """Prices individual events in simulated cycles."""
+
+    def __init__(self, machine: MachineModel) -> None:
+        self.machine = machine
+
+    # -- helpers ---------------------------------------------------------
+
+    def _resident(self, array_bytes: int) -> bool:
+        """Whether an array is a cache-resident intermediate.
+
+        A non-zero ``array_bytes`` marks a tile-sized intermediate
+        (``cmp``/``idx``/``tmp``/``key``): the code generator sizes tiles
+        to fit cache by construction, so these are resident regardless of
+        how far the benchmark harness scaled the cache capacities.
+        """
+        return array_bytes > 0
+
+    def _seq_cost(self, n: int, width: int, array_bytes: int) -> float:
+        if n <= 0:
+            return 0.0
+        lines = math.ceil(n * width / self.machine.line_bytes)
+        per_line = (
+            self.machine.lat_l1
+            if self._resident(array_bytes)
+            else self.machine.seq_line_cycles
+        )
+        return lines * per_line
+
+    # -- event pricing ---------------------------------------------------
+
+    def seq_read(self, event: SeqRead) -> float:
+        return self._seq_cost(event.n, event.width, event.array_bytes)
+
+    def seq_write(self, event: SeqWrite) -> float:
+        return self._seq_cost(event.n, event.width, event.array_bytes)
+
+    def cond_read(self, event: CondRead) -> float:
+        """Density-dependent conditional read cost.
+
+        With selection density ``d`` and ``epl`` elements per line, the
+        probability a line holds at least one selected element is
+        ``1 - (1-d)^epl``. Touched lines cost the streaming rate when the
+        traversal is dense (prefetcher locks on) and approach the full
+        memory latency as the touched lines thin out.
+        """
+        if event.n_range <= 0 or event.n_selected <= 0:
+            return 0.0
+        if event.n_selected > event.n_range:
+            raise CostModelError("conditional read selected more than range")
+        machine = self.machine
+        if self._resident(event.array_bytes):
+            lines = math.ceil(
+                event.n_selected * event.width / machine.line_bytes
+            )
+            return lines * machine.lat_l1
+        density = event.n_selected / event.n_range
+        epl = max(1, machine.line_bytes // event.width)
+        frac_lines = 1.0 - (1.0 - density) ** epl
+        total_lines = event.n_range * event.width / machine.line_bytes
+        touched = total_lines * frac_lines
+        # Touched-line cost interpolates between the streaming rate (the
+        # prefetcher locks onto dense forward traversals) and a miss
+        # (isolated touches defeat it). The quadratic keeps moderately
+        # dense traversals close to streaming, as hardware prefetchers
+        # do, and the miss term is MLP-hidden like any independent load.
+        per_line = machine.seq_line_cycles + (1.0 - frac_lines) ** 2 * (
+            (machine.lat_mem - machine.seq_line_cycles) / machine.mlp
+        )
+        return touched * per_line
+
+    def random_access(self, event: RandomAccess) -> float:
+        """Uniform random accesses, with an optional hot-entry fraction.
+
+        The hot entry (key masking's throwaway slot) is priced at L1
+        latency scaled up by the probability it was evicted, which grows
+        with the footprint of the cold accesses polluting the cache
+        between consecutive hot touches.
+        """
+        if event.n <= 0:
+            return 0.0
+        machine = self.machine
+        if not 0.0 <= event.hot_fraction <= 1.0:
+            raise CostModelError("hot_fraction must be in [0, 1]")
+        cold_latency = machine.random_latency(event.struct_bytes)
+        if event.prefetched:
+            cold_latency *= 1.0 - machine.prefetch_hide_fraction
+        cold_n = event.n * (1.0 - event.hot_fraction)
+        hot_n = event.n * event.hot_fraction
+        hot_latency = self._hot_latency(event)
+        # Per-tuple accesses are independent, so MLP hides most of each
+        # access's latency behind its neighbours' (floor: one issue slot).
+        cycles = cold_n * max(cold_latency / machine.mlp, 0.5) + hot_n * max(
+            hot_latency / machine.mlp, 0.5
+        )
+        return cycles + event.n * event.op_cycles
+
+    def _hot_latency(self, event: RandomAccess) -> float:
+        """Expected latency of hot-entry accesses.
+
+        Between two hot touches there are on average
+        ``(1 - hot) / hot`` cold accesses. Each cold miss to a structure
+        larger than the LLC has a chance of evicting the hot line; with a
+        cache of ``C`` lines the per-miss eviction probability is ~``1/C``
+        only for truly random replacement, but pollution pressure rises
+        with miss *rate*, so we model eviction probability per interval as
+        ``1 - exp(-cold_run * pressure)`` where the pressure grows with
+        how far the structure spills past the LLC.
+        """
+        machine = self.machine
+        if event.hot_fraction <= 0.0:
+            return machine.lat_l1
+        cold_run = (1.0 - event.hot_fraction) / event.hot_fraction
+        spill = max(0.0, 1.0 - machine.llc_bytes / max(event.struct_bytes, 1))
+        llc_lines = machine.llc_bytes / machine.line_bytes
+        pressure = spill / max(llc_lines * 0.01, 1.0)
+        evicted = 1.0 - math.exp(-cold_run * pressure)
+        return (
+            machine.lat_l1 * (1.0 - evicted)
+            + machine.random_latency(event.struct_bytes) * evicted
+        )
+
+    def branch(self, event: Branch) -> float:
+        rate = steady_state_mispredict_rate(event.taken_fraction)
+        return event.n * rate * self.machine.mispredict_penalty
+
+    def compute(self, event: Compute) -> float:
+        if event.simd:
+            per = self.machine.simd_cost(event.op, event.width)
+        else:
+            per = self.machine.op_cost(event.op)
+        return event.n * per
+
+    def tuple_overhead(self, event: TupleOverhead) -> float:
+        return event.n * event.cycles_each
+
+    def cycles(self, event: Event) -> float:
+        """Price any event."""
+        if isinstance(event, SeqRead):
+            return self.seq_read(event)
+        if isinstance(event, SeqWrite):
+            return self.seq_write(event)
+        if isinstance(event, CondRead):
+            return self.cond_read(event)
+        if isinstance(event, RandomAccess):
+            return self.random_access(event)
+        if isinstance(event, Branch):
+            return self.branch(event)
+        if isinstance(event, Compute):
+            return self.compute(event)
+        if isinstance(event, TupleOverhead):
+            return self.tuple_overhead(event)
+        raise CostModelError(f"unknown event type {type(event).__name__}")
+
+
+@dataclass
+class CostReport:
+    """Aggregated simulated cost of one program run."""
+
+    machine: MachineModel
+    total_cycles: float = 0.0
+    by_kernel: Dict[str, float] = field(default_factory=dict)
+    by_kind: Dict[str, float] = field(default_factory=dict)
+    events: List[Tuple[str, Event, float]] = field(default_factory=list)
+
+    def add(self, kernel: str, event: Event, cycles: float) -> None:
+        self.total_cycles += cycles
+        self.by_kernel[kernel] = self.by_kernel.get(kernel, 0.0) + cycles
+        kind = type(event).__name__
+        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + cycles
+        self.events.append((kernel, event, cycles))
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall time at the machine's nominal clock."""
+        return self.machine.cycles_to_seconds(self.total_cycles)
+
+    def breakdown(self) -> str:
+        """Human-readable per-kernel cost table."""
+        lines = [f"total: {self.total_cycles:,.0f} cycles ({self.seconds:.4f} s)"]
+        for kernel, cycles in sorted(
+            self.by_kernel.items(), key=lambda item: -item[1]
+        ):
+            share = 100.0 * cycles / self.total_cycles if self.total_cycles else 0
+            lines.append(f"  {kernel:<40s} {cycles:>14,.0f}  ({share:5.1f}%)")
+        return "\n".join(lines)
+
+
+#: Event classes whose cycles stream through the memory system and can be
+#: hidden under compute by an out-of-order core (and vice versa).
+_STREAM_EVENTS = (SeqRead, SeqWrite, CondRead)
+#: Event classes that execute on the core and overlap with streams.
+_COMPUTE_EVENTS = (Compute, TupleOverhead)
+# RandomAccess and Branch are *serial*: dependent pointer chases and
+# pipeline flushes cannot be hidden under the loop's other work.
+
+
+class Tracer:
+    """Collects events from running kernels and prices them eagerly.
+
+    Inside an :meth:`overlap` scope — one per generated loop — streaming
+    memory work and compute overlap as they do on an out-of-order core:
+    the scope costs ``max(stream, compute) + serial``, which is exactly
+    the ``max(comp, read)`` structure of the paper's cost models. Event
+    cycles in the report are scaled proportionally so breakdowns still
+    sum to the total.
+    """
+
+    def __init__(self, machine: MachineModel) -> None:
+        self.machine = machine
+        self.accountant = CostAccountant(machine)
+        self.report = CostReport(machine=machine)
+        self._kernel_stack: List[str] = []
+        self._overlap_buffer: List[Tuple[str, Event, float]] = []
+        self._overlap_depth = 0
+
+    @property
+    def current_kernel(self) -> str:
+        return self._kernel_stack[-1] if self._kernel_stack else "<toplevel>"
+
+    @contextmanager
+    def kernel(self, label: str) -> Iterator[None]:
+        """Scope subsequent events under a kernel label (nestable)."""
+        self._kernel_stack.append(label)
+        try:
+            yield
+        finally:
+            self._kernel_stack.pop()
+
+    @contextmanager
+    def overlap(self) -> Iterator[None]:
+        """Overlap streaming memory and compute within the scope.
+
+        Nested scopes are inert (the outermost wins).
+        """
+        self._overlap_depth += 1
+        try:
+            yield
+        finally:
+            self._overlap_depth -= 1
+            if self._overlap_depth == 0:
+                self._flush_overlap()
+
+    def _flush_overlap(self) -> None:
+        buffered = self._overlap_buffer
+        self._overlap_buffer = []
+        stream = sum(
+            cycles
+            for _, event, cycles in buffered
+            if isinstance(event, _STREAM_EVENTS)
+        )
+        compute = sum(
+            cycles
+            for _, event, cycles in buffered
+            if isinstance(event, _COMPUTE_EVENTS)
+        )
+        overlappable = stream + compute
+        effective = max(stream, compute)
+        scale = effective / overlappable if overlappable > 0 else 1.0
+        for kernel, event, cycles in buffered:
+            if isinstance(event, _STREAM_EVENTS + _COMPUTE_EVENTS):
+                self.report.add(kernel, event, cycles * scale)
+            else:
+                self.report.add(kernel, event, cycles)
+
+    def emit(self, event: Event) -> float:
+        """Record one event; return the cycles it was priced at."""
+        cycles = self.accountant.cycles(event)
+        if self._overlap_depth > 0:
+            self._overlap_buffer.append((self.current_kernel, event, cycles))
+        else:
+            self.report.add(self.current_kernel, event, cycles)
+        return cycles

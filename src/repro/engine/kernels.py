@@ -1,0 +1,560 @@
+"""The shared kernel library composed by every code-generation strategy.
+
+Each kernel does the real work with NumPy *and* emits the events the
+equivalent compiled C would generate against the memory system. All
+strategies use the same kernels (as the paper uses the same library code
+across its hand-coded strategies) and differ only in which kernels they
+compose and with which access patterns.
+
+Conventions:
+
+* ``session`` is always the first argument.
+* ``array`` names identify the column being touched in cost breakdowns.
+* Element width is taken from the NumPy dtype.
+* Kernels that read through a selection vector emit
+  :class:`~repro.engine.events.CondRead` (the ``s_trav_cr`` pattern);
+  kernels used by predicate pullups emit :class:`SeqRead` instead — that
+  substitution *is* the paper's contribution, made measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .events import (
+    Branch,
+    CondRead,
+    Compute,
+    RandomAccess,
+    SeqRead,
+    SeqWrite,
+    TupleOverhead,
+)
+from .hashtable import NULL_KEY, HashTable
+from .session import Session
+from ..storage.bitmap import BlockCompressedBitmap, PositionalBitmap
+
+#: Comparison operators supported by predicate kernels.
+_COMPARE_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def _width(values: np.ndarray) -> int:
+    return int(values.dtype.itemsize)
+
+
+# ---------------------------------------------------------------------------
+# Sequential column access
+# ---------------------------------------------------------------------------
+
+
+def seq_read(session: Session, values: np.ndarray, array: str) -> np.ndarray:
+    """Sequentially read a whole column (predicate pullup's access path)."""
+    session.tracer.emit(
+        SeqRead(n=values.shape[0], width=_width(values), array=array)
+    )
+    return values
+
+
+def seq_write(
+    session: Session,
+    values: np.ndarray,
+    array: str,
+    resident: bool = False,
+) -> np.ndarray:
+    """Account a sequential write of ``values`` (e.g. a masked key array).
+
+    ``resident`` marks tile-sized intermediates that stay in cache.
+    """
+    array_bytes = (
+        session.intermediate_bytes(_width(values)) if resident else 0
+    )
+    session.tracer.emit(
+        SeqWrite(
+            n=values.shape[0],
+            width=_width(values),
+            array=array,
+            array_bytes=array_bytes,
+        )
+    )
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+def compare(
+    session: Session,
+    values: np.ndarray,
+    op: str,
+    operand,
+    array: str,
+    simd: bool = True,
+    read: bool = True,
+) -> np.ndarray:
+    """Evaluate ``values <op> operand`` over the whole column.
+
+    This is the *prepass* form: no control dependency, so it is SIMD-able
+    (``simd=True``). Data-centric code passes ``simd=False`` because its
+    ``if`` precludes vectorisation. The comparison result is written to a
+    tile-resident ``cmp`` array.
+    """
+    try:
+        func = _COMPARE_OPS[op]
+    except KeyError as exc:
+        raise ExecutionError(f"unknown comparison {op!r}") from exc
+    if read:
+        seq_read(session, values, array)
+    session.tracer.emit(
+        Compute(n=values.shape[0], op="cmp", simd=simd, width=_width(values))
+    )
+    result = func(values, operand)
+    seq_write(session, result.view(np.uint8), f"cmp({array})", resident=True)
+    return result
+
+
+def compare_columns(
+    session: Session,
+    left: np.ndarray,
+    right: np.ndarray,
+    op: str,
+    arrays: Tuple[str, str],
+    simd: bool = True,
+    read: bool = True,
+) -> np.ndarray:
+    """Column-vs-column comparison (e.g. ``l_commitdate < l_receiptdate``)."""
+    try:
+        func = _COMPARE_OPS[op]
+    except KeyError as exc:
+        raise ExecutionError(f"unknown comparison {op!r}") from exc
+    if read:
+        seq_read(session, left, arrays[0])
+        seq_read(session, right, arrays[1])
+    session.tracer.emit(
+        Compute(n=left.shape[0], op="cmp", simd=simd, width=_width(left))
+    )
+    result = func(left, right)
+    seq_write(
+        session, result.view(np.uint8), f"cmp({arrays[0]})", resident=True
+    )
+    return result
+
+
+def isin(
+    session: Session,
+    values: np.ndarray,
+    members: Sequence[int],
+    array: str,
+    simd: bool = True,
+    read: bool = True,
+) -> np.ndarray:
+    """``value IN (...)`` evaluated as an OR of SIMD comparisons."""
+    if read:
+        seq_read(session, values, array)
+    session.tracer.emit(
+        Compute(
+            n=values.shape[0] * max(len(members), 1),
+            op="cmp",
+            simd=simd,
+            width=_width(values),
+        )
+    )
+    result = np.isin(values, np.asarray(list(members), dtype=values.dtype))
+    seq_write(session, result.view(np.uint8), f"cmp({array})", resident=True)
+    return result
+
+
+def string_match(
+    session: Session,
+    mask: np.ndarray,
+    array: str,
+    per_tuple_op: str = "strcmp",
+) -> np.ndarray:
+    """Account a string/LIKE predicate whose boolean result is ``mask``.
+
+    LIKE with wildcards cannot be SIMD-vectorised (paper's Q13
+    discussion), so the cost is scalar per tuple regardless of strategy.
+    The caller computes ``mask`` from decoded/dictionary data.
+    """
+    session.tracer.emit(
+        Compute(n=mask.shape[0], op=per_tuple_op, simd=False, width=1)
+    )
+    seq_write(session, mask.view(np.uint8), f"cmp({array})", resident=True)
+    return mask
+
+
+def combine_and(session: Session, *masks: np.ndarray) -> np.ndarray:
+    """AND several prepass results (SIMD-able byte ops)."""
+    if not masks:
+        raise ExecutionError("combine_and needs at least one mask")
+    result = masks[0]
+    for mask in masks[1:]:
+        session.tracer.emit(
+            Compute(n=result.shape[0], op="and", simd=True, width=1)
+        )
+        result = result & mask
+    return result
+
+
+def combine_or(session: Session, *masks: np.ndarray) -> np.ndarray:
+    """OR several prepass results."""
+    if not masks:
+        raise ExecutionError("combine_or needs at least one mask")
+    result = masks[0]
+    for mask in masks[1:]:
+        session.tracer.emit(
+            Compute(n=result.shape[0], op="or", simd=True, width=1)
+        )
+        result = result | mask
+    return result
+
+
+def branch(session: Session, mask: np.ndarray, site: str) -> np.ndarray:
+    """A conditional branch per tuple on ``mask`` (data-centric ``if``).
+
+    Emits the branch event with the *measured* taken fraction; returns the
+    mask unchanged for chaining.
+    """
+    n = int(mask.shape[0])
+    taken = float(mask.mean()) if n else 0.0
+    session.tracer.emit(Branch(n=n, taken_fraction=taken, site=site))
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Selection vectors and conditional access
+# ---------------------------------------------------------------------------
+
+
+def selection_vector(
+    session: Session, mask: np.ndarray, branching: bool = False
+) -> np.ndarray:
+    """Build a selection vector (indexes of set positions) from a mask.
+
+    The default is the *no-branch* (predicated) version from Ross: a data
+    dependency costing a couple of cycles for every tuple. The branching
+    version costs per selected tuple but pays mispredictions.
+    """
+    n = int(mask.shape[0])
+    idx = np.flatnonzero(mask).astype(np.int64)
+    if branching:
+        taken = float(mask.mean()) if n else 0.0
+        session.tracer.emit(Branch(n=n, taken_fraction=taken, site="selvec"))
+        session.tracer.emit(Compute(n=idx.shape[0], op="mov", simd=False))
+    else:
+        session.tracer.emit(Compute(n=n, op="select", simd=False))
+    seq_write(session, idx, "idx", resident=True)
+    return idx
+
+
+def gather(
+    session: Session,
+    values: np.ndarray,
+    idx: np.ndarray,
+    array: str,
+    n_range: Optional[int] = None,
+) -> np.ndarray:
+    """Conditional read of ``values`` through a selection vector.
+
+    Emits the ``s_trav_cr`` CondRead (density measured from ``idx``) plus
+    the per-element gather overhead. This is the pattern SWOLE eliminates.
+    """
+    n_range = values.shape[0] if n_range is None else n_range
+    k = int(idx.shape[0])
+    session.tracer.emit(
+        CondRead(
+            n_range=int(n_range), n_selected=k, width=_width(values), array=array
+        )
+    )
+    session.tracer.emit(Compute(n=k, op="gather", simd=False))
+    return values[idx]
+
+
+def conditional_read(
+    session: Session, values: np.ndarray, mask: np.ndarray, array: str
+) -> np.ndarray:
+    """Conditional read guarded by a per-tuple ``if`` (data-centric form).
+
+    Costs the same CondRead pattern but without gather overhead (the
+    branch itself was already costed by :func:`branch`).
+    """
+    k = int(mask.sum())
+    session.tracer.emit(
+        CondRead(
+            n_range=values.shape[0],
+            n_selected=k,
+            width=_width(values),
+            array=array,
+        )
+    )
+    return values[mask]
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic and aggregation
+# ---------------------------------------------------------------------------
+
+
+def arith(
+    session: Session,
+    op: str,
+    left: np.ndarray,
+    right,
+    simd: bool = True,
+) -> np.ndarray:
+    """Elementwise arithmetic with cost accounting.
+
+    ``op`` is one of add/sub/mul/div. Division results are truncated
+    toward zero to match integer codegen semantics.
+    """
+    if op not in ("add", "sub", "mul", "div"):
+        raise ExecutionError(f"unknown arithmetic op {op!r}")
+    n = int(np.shape(left)[0])
+    width = _width(left)
+    session.tracer.emit(Compute(n=n, op=op, simd=simd, width=width))
+    if op == "add":
+        return left + right
+    if op == "sub":
+        return left - right
+    if op == "mul":
+        return left * right
+    if op == "div":
+        divisor = np.asarray(right)
+        if divisor.size and (divisor == 0).any():
+            raise ExecutionError("division by zero in arith kernel")
+        quotient = np.floor_divide(left, right)
+        return quotient
+    raise ExecutionError(f"unknown arithmetic op {op!r}")
+
+
+def reduce_sum(
+    session: Session, values: np.ndarray, simd: bool = True
+) -> int:
+    """Sum a vector of already-materialised values."""
+    session.tracer.emit(
+        Compute(n=int(values.shape[0]), op="add", simd=simd, width=_width(values))
+    )
+    return int(values.sum(dtype=np.int64))
+
+
+def masked_sum(
+    session: Session,
+    values: np.ndarray,
+    mask: np.ndarray,
+    array: str,
+    read: bool = True,
+) -> int:
+    """Value masking aggregation (paper §III-A, Fig. 3).
+
+    Unconditionally reads ``values`` sequentially, multiplies by the 0/1
+    predicate result, and sums — all SIMD-able, all sequential. The wasted
+    work on masked tuples is the price of the access pattern.
+    """
+    if read:
+        seq_read(session, values, array)
+    n = int(values.shape[0])
+    width = _width(values)
+    session.tracer.emit(Compute(n=n, op="mul", simd=True, width=width))
+    session.tracer.emit(Compute(n=n, op="add", simd=True, width=width))
+    masked = values * mask.astype(values.dtype)
+    return int(masked.sum(dtype=np.int64))
+
+
+def scalar_loop(session: Session, n: int, label: str = "loop") -> None:
+    """Per-tuple loop overhead of scalar (non-tiled) generated code."""
+    session.tracer.emit(
+        TupleOverhead(
+            n=n, cycles_each=session.machine.scalar_loop_cycles, label=label
+        )
+    )
+
+
+def interpreter_overhead(session: Session, n: int, operators: int = 1) -> None:
+    """Per-tuple Volcano iterator overhead (sanity-check baseline only)."""
+    session.tracer.emit(
+        TupleOverhead(
+            n=n * operators,
+            cycles_each=session.machine.interpreter_tuple_cycles,
+            label="iterator",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hash table kernels
+# ---------------------------------------------------------------------------
+
+
+def _ht_op_cycles(session: Session, table: HashTable) -> float:
+    """Per-access compute: hash plus expected probe arithmetic."""
+    probes = max(table.mean_probes, 1.0)
+    return session.machine.op_cost("hash") + (probes - 1.0) * 2.0
+
+
+def ht_aggregate(
+    session: Session,
+    table: HashTable,
+    keys: np.ndarray,
+    deltas: np.ndarray,
+    agg: int = 0,
+    kind: str = "ht_insert",
+) -> None:
+    """Group-by insert/update: ``table[key][agg] += delta``.
+
+    Key-masked batches (keys equal to ``NULL_KEY``) are detected and
+    costed as hot-entry accesses — the throwaway entry of paper §III-B.
+    """
+    hot = float((keys == NULL_KEY).mean()) if keys.size else 0.0
+    table.aggregate(keys, deltas, agg=agg)
+    session.tracer.emit(
+        RandomAccess(
+            n=int(keys.shape[0]),
+            struct_bytes=table.nbytes,
+            kind=kind,
+            hot_fraction=hot,
+            op_cycles=_ht_op_cycles(session, table),
+            prefetched=session.ht_prefetch,
+        )
+    )
+
+
+def ht_insert_keys(
+    session: Session, table: HashTable, keys: np.ndarray
+) -> None:
+    """Set-semantics build (semijoin / join build side)."""
+    table.insert_keys(keys)
+    session.tracer.emit(
+        RandomAccess(
+            n=int(keys.shape[0]),
+            struct_bytes=table.nbytes,
+            kind="ht_insert",
+            op_cycles=_ht_op_cycles(session, table),
+            prefetched=session.ht_prefetch,
+        )
+    )
+
+
+def ht_lookup(
+    session: Session, table: HashTable, keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Probe: returns (slots, found). Hot-entry handling as in aggregate."""
+    hot = float((keys == NULL_KEY).mean()) if keys.size else 0.0
+    slots, found = table.lookup(keys)
+    session.tracer.emit(
+        RandomAccess(
+            n=int(keys.shape[0]),
+            struct_bytes=table.nbytes,
+            kind="ht_lookup",
+            hot_fraction=hot,
+            op_cycles=_ht_op_cycles(session, table),
+            prefetched=session.ht_prefetch,
+        )
+    )
+    return slots, found
+
+
+def ht_add_at(
+    session: Session,
+    table: HashTable,
+    slots: np.ndarray,
+    agg: int,
+    deltas: np.ndarray,
+) -> None:
+    """Scatter-add into already-resolved slots (cost: the adds only —
+    the random access was already paid by the lookup that produced
+    ``slots``)."""
+    table.add_at(slots, agg, deltas)
+    session.tracer.emit(
+        Compute(n=int(slots.shape[0]), op="add", simd=False, width=8)
+    )
+
+
+def ht_delete(
+    session: Session, table: HashTable, keys: np.ndarray
+) -> int:
+    """Delete keys (eager aggregation's cleanup scan)."""
+    existed = table.delete(keys)
+    session.tracer.emit(
+        RandomAccess(
+            n=int(keys.shape[0]),
+            struct_bytes=table.nbytes,
+            kind="ht_delete",
+            op_cycles=_ht_op_cycles(session, table),
+        )
+    )
+    return existed
+
+
+# ---------------------------------------------------------------------------
+# Positional bitmap kernels (paper §III-D)
+# ---------------------------------------------------------------------------
+
+
+def bitmap_build_mask(
+    session: Session, bitmap: PositionalBitmap, mask: np.ndarray, array: str
+) -> PositionalBitmap:
+    """Unconditional bitmap build: one sequential write of the whole map."""
+    bitmap.set_from_mask(mask)
+    session.tracer.emit(
+        SeqWrite(n=bitmap.nbytes, width=1, array=array, array_bytes=0)
+    )
+    return bitmap
+
+
+def bitmap_build_offsets(
+    session: Session,
+    bitmap: PositionalBitmap,
+    offsets: np.ndarray,
+    array: str,
+) -> PositionalBitmap:
+    """Selection-vector bitmap build: set bits only for selected rows."""
+    bitmap.set_offsets(offsets)
+    session.tracer.emit(
+        RandomAccess(
+            n=int(offsets.shape[0]),
+            struct_bytes=bitmap.nbytes,
+            kind="bitmap_set",
+        )
+    )
+    return bitmap
+
+
+def bitmap_probe(
+    session: Session,
+    bitmap,
+    offsets: np.ndarray,
+    array: str,
+) -> np.ndarray:
+    """Positional probe: test the bit at each foreign-key offset.
+
+    The offsets themselves come from the FK index, which the caller scans
+    sequentially (and accounts via :func:`seq_read`). The bitmap accesses
+    are random but the structure is tiny (paper: 100M rows ~= 12.5 MB),
+    so the capacity model prices them at cache latency. Works for both
+    packed and block-compressed bitmaps; compressed ones pay an extra flag
+    check per probe.
+    """
+    result = bitmap.test(offsets)
+    op_cycles = 0.0
+    if isinstance(bitmap, BlockCompressedBitmap):
+        op_cycles = 2.0  # flag load + branch-free select
+    session.tracer.emit(
+        RandomAccess(
+            n=int(offsets.shape[0]),
+            struct_bytes=bitmap.nbytes,
+            kind="bitmap_test",
+            op_cycles=op_cycles,
+        )
+    )
+    return result

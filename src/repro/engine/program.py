@@ -1,0 +1,85 @@
+"""Compiled query programs.
+
+A code-generation strategy compiles a query into a :class:`CompiledQuery`:
+the emitted C-like source (what the strategy *would* hand to a compiler —
+shown by the examples and compared against the paper's Figures 1/3/4/5)
+plus an executable kernel composition. Running the program produces both
+the real query answer and the simulated-cost report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from .costing import CostReport
+from .session import Session
+
+
+@dataclass
+class QueryResult:
+    """The answer plus the cost report of one program run."""
+
+    value: Dict[str, Any]
+    report: CostReport
+
+    @property
+    def cycles(self) -> float:
+        return self.report.total_cycles
+
+    @property
+    def seconds(self) -> float:
+        return self.report.seconds
+
+    def scalar(self, name: str = "sum") -> int:
+        """Convenience accessor for single-aggregate results."""
+        return self.value[name]
+
+    def groups(self) -> Dict[int, tuple]:
+        """Grouped results as a key -> aggregates mapping (sorted keys)."""
+        keys = np.asarray(self.value["keys"])
+        aggs = np.asarray(self.value["aggs"])
+        return {int(k): tuple(int(a) for a in row) for k, row in zip(keys, aggs)}
+
+
+@dataclass
+class CompiledQuery:
+    """A query compiled by one strategy: source text + runnable kernels."""
+
+    name: str
+    strategy: str
+    source: str
+    _fn: Callable[[Session], Dict[str, Any]]
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self, session: Optional[Session] = None) -> QueryResult:
+        """Execute the program; return the answer and its cost report.
+
+        A fresh tracer is used per run so repeated runs do not accumulate.
+        """
+        if session is None:
+            session = Session()
+        session.reset()
+        with session.tracer.kernel(f"{self.strategy}:{self.name}"):
+            value = self._fn(session)
+        return QueryResult(value=value, report=session.tracer.report)
+
+
+def results_equal(a: QueryResult, b: QueryResult) -> bool:
+    """Structural equality of two query answers (ignores costs).
+
+    Scalar aggregates compare exactly; grouped results compare as sorted
+    key -> aggregates mappings.
+    """
+    if set(a.value) != set(b.value):
+        return False
+    for key in a.value:
+        lhs, rhs = a.value[key], b.value[key]
+        if isinstance(lhs, np.ndarray) or isinstance(rhs, np.ndarray):
+            if not np.array_equal(np.asarray(lhs), np.asarray(rhs)):
+                return False
+        elif lhs != rhs:
+            return False
+    return True

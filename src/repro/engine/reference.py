@@ -1,0 +1,63 @@
+"""Reference query evaluator: plain NumPy, no cost accounting.
+
+Ground truth for the test suite: every code-generation strategy must
+produce exactly this answer. Deliberately written in the most obvious
+way possible (filter, join via membership, group with np.unique) so a
+reviewer can audit its correctness at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..plan.logical import Query
+from ..storage.database import Database
+
+
+def evaluate(query: Query, db: Database) -> Dict[str, Any]:
+    """Evaluate ``query`` and return the normalised result dict."""
+    data = db.data(query.table)
+    n = int(next(iter(data.values())).shape[0])
+    mask = (
+        np.ones(n, dtype=bool)
+        if query.predicate is None
+        else np.asarray(query.predicate.evaluate(data), dtype=bool)
+    )
+
+    if query.join is not None:
+        join = query.join
+        build = db.data(join.build_table)
+        bn = int(next(iter(build.values())).shape[0])
+        bmask = (
+            np.ones(bn, dtype=bool)
+            if join.build_predicate is None
+            else np.asarray(join.build_predicate.evaluate(build), dtype=bool)
+        )
+        valid_keys = build[join.pk_column][bmask]
+        mask = mask & np.isin(data[join.fk_column], valid_keys)
+
+    subset = {name: values[mask] for name, values in data.items()}
+    k = int(mask.sum())
+
+    if query.group_by is None:
+        result: Dict[str, Any] = {}
+        for agg in query.aggregates:
+            if agg.func == "count":
+                result[agg.name] = k
+            else:
+                values = agg.expr.evaluate(subset)
+                result[agg.name] = int(np.sum(values, dtype=np.int64)) if k else 0
+        return result
+
+    keys = subset[query.group_by].astype(np.int64)
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    aggs = np.zeros((unique_keys.shape[0], len(query.aggregates)), dtype=np.int64)
+    for i, agg in enumerate(query.aggregates):
+        if agg.func == "count":
+            deltas = np.ones(keys.shape[0], dtype=np.int64)
+        else:
+            deltas = np.asarray(agg.expr.evaluate(subset), dtype=np.int64)
+        np.add.at(aggs[:, i], inverse, deltas)
+    return {"keys": unique_keys, "aggs": aggs}

@@ -1,0 +1,39 @@
+"""Execution sessions: machine model + tracer + execution knobs."""
+
+from __future__ import annotations
+
+from .costing import Tracer
+from .machine import PAPER_MACHINE, MachineModel
+
+
+class Session:
+    """Everything a compiled program needs to run and be costed.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine (defaults to the paper's Xeon). Use
+        ``machine.scaled(f)`` when the data was shrunk by ``f`` relative
+        to the paper's scale.
+    tile:
+        Vector/tile size for strategies that stage intermediates. The
+        paper uses 1024, following Menon et al. and Kersten et al.
+    """
+
+    def __init__(
+        self, machine: MachineModel = PAPER_MACHINE, tile: int = 1024
+    ) -> None:
+        self.machine = machine
+        self.tile = tile
+        self.tracer = Tracer(machine)
+        #: When true, hash-table kernels mark their random accesses as
+        #: software-prefetched (set by the ROF strategy).
+        self.ht_prefetch = False
+
+    def reset(self) -> None:
+        """Discard accumulated cost state (fresh tracer)."""
+        self.tracer = Tracer(self.machine)
+
+    def intermediate_bytes(self, width: int) -> int:
+        """Footprint of a tile-sized intermediate array (cache resident)."""
+        return self.tile * width

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such
+as ``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table or column definition is inconsistent or unknown."""
+
+
+class StorageError(ReproError):
+    """A storage-layer operation failed (bad column data, codec misuse)."""
+
+
+class PlanError(ReproError):
+    """A logical plan is malformed or unsupported by a code generator."""
+
+
+class CodegenError(ReproError):
+    """A code-generation strategy cannot compile the given plan."""
+
+
+class ExecutionError(ReproError):
+    """A compiled program failed while executing."""
+
+
+class CostModelError(ReproError):
+    """A cost model was queried with invalid statistics."""
+
+
+class DataGenError(ReproError):
+    """A workload generator received invalid parameters."""

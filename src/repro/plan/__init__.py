@@ -1,0 +1,31 @@
+"""Logical plans and expressions for the generic code-generation path."""
+
+from .expressions import (
+    And,
+    Arith,
+    Col,
+    Compare,
+    Const,
+    Expr,
+    Or,
+    arith_ops,
+    conjuncts,
+)
+from .logical import AggSpec, JoinSpec, Query, QueryStats, sample_stats
+
+__all__ = [
+    "AggSpec",
+    "And",
+    "Arith",
+    "Col",
+    "Compare",
+    "Const",
+    "Expr",
+    "JoinSpec",
+    "Or",
+    "Query",
+    "QueryStats",
+    "arith_ops",
+    "conjuncts",
+    "sample_stats",
+]

@@ -1,0 +1,364 @@
+"""Scalar expression IR for logical plans.
+
+Expressions are built over the columns of a single table (the paper's
+microbenchmark queries and the generic codegen path never need
+cross-table expressions; hand-coded TPC-H programs handle those cases
+directly). Every node can:
+
+* report the columns it touches (``columns()``) — the input to access
+  merging, which fires when a column is referenced by both the predicate
+  and an aggregate;
+* evaluate itself over raw NumPy arrays (``evaluate``) — used by the
+  reference interpreter and by strategies after they have accounted the
+  reads themselves;
+* pretty-print as C (``to_c``) — used by the code emitters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import PlanError
+
+#: Comparison operators accepted by :class:`Compare`.
+COMPARE_OPS = ("<", "<=", ">", ">=", "==", "!=")
+#: Arithmetic operators accepted by :class:`Arith`.
+ARITH_OPS = ("add", "sub", "mul", "div")
+_ARITH_SYMBOL = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def columns(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def to_c(self) -> str:
+        raise NotImplementedError
+
+    # Sugar for building expressions fluently in examples/tests.
+    def __lt__(self, other) -> "Compare":
+        return Compare(self, "<", _lift(other))
+
+    def __le__(self, other) -> "Compare":
+        return Compare(self, "<=", _lift(other))
+
+    def __gt__(self, other) -> "Compare":
+        return Compare(self, ">", _lift(other))
+
+    def __ge__(self, other) -> "Compare":
+        return Compare(self, ">=", _lift(other))
+
+    def eq(self, other) -> "Compare":
+        """Equality predicate (named method: ``__eq__`` stays identity)."""
+        return Compare(self, "==", _lift(other))
+
+    def ne(self, other) -> "Compare":
+        return Compare(self, "!=", _lift(other))
+
+    def __add__(self, other) -> "Arith":
+        return Arith("add", self, _lift(other))
+
+    def __sub__(self, other) -> "Arith":
+        return Arith("sub", self, _lift(other))
+
+    def __mul__(self, other) -> "Arith":
+        return Arith("mul", self, _lift(other))
+
+    def __truediv__(self, other) -> "Arith":
+        return Arith("div", self, _lift(other))
+
+
+def _lift(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return Const(int(value))
+    raise PlanError(f"cannot use {value!r} in an expression")
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """Reference to a column of the plan's table."""
+
+    name: str
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset([self.name])
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        try:
+            return data[self.name]
+        except KeyError as exc:
+            raise PlanError(f"column {self.name!r} not bound") from exc
+
+    def to_c(self) -> str:
+        return f"{self.name}[i]"
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Integer literal (all stored data is integer-typed; see storage)."""
+
+    value: int
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        return np.int64(self.value)
+
+    def to_c(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """``left <op> right`` producing a boolean vector."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARE_OPS:
+            raise PlanError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        lhs = self.left.evaluate(data)
+        rhs = self.right.evaluate(data)
+        ufunc = {
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+            "==": np.equal,
+            "!=": np.not_equal,
+        }[self.op]
+        return ufunc(lhs, rhs)
+
+    def to_c(self) -> str:
+        return f"{self.left.to_c()} {self.op} {self.right.to_c()}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of boolean terms."""
+
+    terms: Tuple[Expr, ...]
+
+    def __init__(self, terms: Sequence[Expr]) -> None:
+        if not terms:
+            raise PlanError("And requires at least one term")
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for term in self.terms:
+            result |= term.columns()
+        return result
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        result = self.terms[0].evaluate(data)
+        for term in self.terms[1:]:
+            result = result & term.evaluate(data)
+        return result
+
+    def to_c(self) -> str:
+        return " && ".join(term.to_c() for term in self.terms)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of boolean terms."""
+
+    terms: Tuple[Expr, ...]
+
+    def __init__(self, terms: Sequence[Expr]) -> None:
+        if not terms:
+            raise PlanError("Or requires at least one term")
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for term in self.terms:
+            result |= term.columns()
+        return result
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        result = self.terms[0].evaluate(data)
+        for term in self.terms[1:]:
+            result = result | term.evaluate(data)
+        return result
+
+    def to_c(self) -> str:
+        return " || ".join(f"({term.to_c()})" for term in self.terms)
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    """Arithmetic expression; ``div`` truncates (integer semantics)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITH_OPS:
+            raise PlanError(f"unknown arithmetic operator {self.op!r}")
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        lhs = self.left.evaluate(data)
+        rhs = self.right.evaluate(data)
+        # Arithmetic is computed at aggregate width (int64) regardless of
+        # the narrow compressed storage width, matching the paper's
+        # "all aggregates are stored as 64-bit integers".
+        if isinstance(lhs, np.ndarray):
+            lhs = lhs.astype(np.int64, copy=False)
+        if isinstance(rhs, np.ndarray):
+            rhs = rhs.astype(np.int64, copy=False)
+        if self.op == "add":
+            return lhs + rhs
+        if self.op == "sub":
+            return lhs - rhs
+        if self.op == "mul":
+            return lhs * rhs
+        rhs_array = np.asarray(rhs)
+        if rhs_array.size and (rhs_array == 0).any():
+            raise PlanError("division by zero in expression")
+        return np.floor_divide(lhs, rhs)
+
+    def to_c(self) -> str:
+        return (
+            f"({self.left.to_c()} {_ARITH_SYMBOL[self.op]} {self.right.to_c()})"
+        )
+
+    def op_sequence(self) -> Tuple[str, ...]:
+        """Flattened arithmetic ops, used by compute-cost estimation."""
+        ops: Tuple[str, ...] = ()
+        for side in (self.left, self.right):
+            if isinstance(side, Arith):
+                ops += side.op_sequence()
+        return ops + (self.op,)
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """SQL ``CASE WHEN cond THEN value ... ELSE default END``.
+
+    The paper (§III-A) points out that CASE normally compiles to a chain
+    of branching if-else expressions, but value masking can instead
+    evaluate *every* arm unconditionally and mask the non-qualifying
+    results — see :mod:`repro.core.case_masking` for the two compiled
+    forms and the cost check.
+    """
+
+    branches: Tuple[Tuple[Expr, Expr], ...]
+    default: Expr
+
+    def __init__(self, branches, default: Expr) -> None:
+        branches = tuple((cond, value) for cond, value in branches)
+        if not branches:
+            raise PlanError("Case requires at least one WHEN branch")
+        object.__setattr__(self, "branches", branches)
+        object.__setattr__(self, "default", default)
+
+    def columns(self) -> FrozenSet[str]:
+        result = self.default.columns()
+        for cond, value in self.branches:
+            result |= cond.columns() | value.columns()
+        return result
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        conditions = [
+            np.asarray(cond.evaluate(data), dtype=bool)
+            for cond, _ in self.branches
+        ]
+        values = [
+            np.asarray(value.evaluate(data), dtype=np.int64) + np.int64(0)
+            for _, value in self.branches
+        ]
+        default = np.asarray(self.default.evaluate(data), dtype=np.int64)
+        return np.select(conditions, values, default=default)
+
+    def to_c(self) -> str:
+        parts = []
+        for cond, value in self.branches:
+            parts.append(f"({cond.to_c()}) ? {value.to_c()} : ")
+        return "".join(parts) + self.default.to_c()
+
+    def branch_ops(self) -> Tuple[Tuple[str, ...], ...]:
+        """Arithmetic per arm (condition + value), for cost models."""
+        return tuple(
+            arith_ops(cond) + arith_ops(value)
+            for cond, value in self.branches
+        )
+
+
+def conjuncts(predicate: Union[Expr, None]) -> Tuple[Expr, ...]:
+    """Split a predicate into top-level AND terms (one per prepass loop)."""
+    if predicate is None:
+        return ()
+    if isinstance(predicate, And):
+        return predicate.terms
+    return (predicate,)
+
+
+def col_refs(expr: Union[Expr, None]) -> Tuple[str, ...]:
+    """Every column *reference* in an expression (with repetitions).
+
+    Unlike ``columns()`` (a set), repeated references are repeated here —
+    cost models charge one read per reference unless merging removes it.
+    """
+    if expr is None:
+        return ()
+    if isinstance(expr, Col):
+        return (expr.name,)
+    if isinstance(expr, Const):
+        return ()
+    if isinstance(expr, (Compare, Arith)):
+        return col_refs(expr.left) + col_refs(expr.right)
+    if isinstance(expr, (And, Or)):
+        result: Tuple[str, ...] = ()
+        for term in expr.terms:
+            result += col_refs(term)
+        return result
+    if isinstance(expr, Case):
+        result = ()
+        for cond, value in expr.branches:
+            result += col_refs(cond) + col_refs(value)
+        return result + col_refs(expr.default)
+    raise PlanError(f"cannot walk expression {expr!r}")
+
+
+def arith_ops(expr: Expr) -> Tuple[str, ...]:
+    """All arithmetic ops in an expression (compute-bound detection)."""
+    if isinstance(expr, Arith):
+        return expr.op_sequence()
+    if isinstance(expr, (Compare,)):
+        return arith_ops(expr.left) + arith_ops(expr.right)
+    if isinstance(expr, (And, Or)):
+        result: Tuple[str, ...] = ()
+        for term in expr.terms:
+            result += arith_ops(term)
+        return result
+    if isinstance(expr, Case):
+        # value masking evaluates every arm, so all ops count (plus one
+        # comparison per arm, charged by the caller as cmp events)
+        result = ()
+        for ops in expr.branch_ops():
+            result += ops
+        return result + arith_ops(expr.default)
+    return ()

@@ -1,0 +1,25 @@
+"""Hand-coded TPC-H query programs (the paper's eight-query subset).
+
+Mirrors the paper's methodology: every strategy is hand-coded per query
+against the shared kernel library, so comparisons isolate the code
+generation strategy alone.
+"""
+
+from . import base
+from . import q01, q03, q04, q05, q06, q13, q14, q19
+from .base import (
+    STRATEGIES,
+    compile_tpch,
+    query_names,
+    reference_result,
+)
+
+for _module in (q01, q03, q04, q05, q06, q13, q14, q19):
+    base.register_query(_module.NAME, _module)
+
+__all__ = [
+    "STRATEGIES",
+    "compile_tpch",
+    "query_names",
+    "reference_result",
+]

@@ -1,0 +1,46 @@
+"""Shared fixtures: small generated databases and sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import microbench as mb
+from repro.datagen import tpch
+from repro.engine.machine import PAPER_MACHINE
+from repro.engine.session import Session
+
+
+@pytest.fixture(scope="session")
+def micro_db():
+    """A small microbenchmark database shared across tests."""
+    return mb.generate(
+        mb.MicrobenchConfig(num_rows=50_000, s_rows=500, c_cardinality=64)
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_config():
+    return mb.MicrobenchConfig(num_rows=50_000, s_rows=500, c_cardinality=64)
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """A tiny TPC-H database shared across tests."""
+    return tpch.generate(tpch.TpchConfig(scale_factor=0.002))
+
+
+@pytest.fixture(scope="session")
+def tpch_config():
+    return tpch.TpchConfig(scale_factor=0.002)
+
+
+@pytest.fixture()
+def session():
+    """A fresh execution session on the paper machine."""
+    return Session(machine=PAPER_MACHINE)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,86 @@
+"""Tests for the benchmark sweep harness (repro.bench.microbench)."""
+
+import pytest
+
+from repro.bench import microbench as bench
+from repro.datagen import microbench as mb
+
+SMALL = mb.MicrobenchConfig(num_rows=20_000, s_rows=200, c_cardinality=32)
+SELS = (10, 50, 90)
+
+
+class TestSweepResult:
+    def test_add_and_table(self):
+        result = bench.SweepResult(title="t", x_label="sel%")
+        result.add(10, "a", 1.0)
+        result.add(10, "b", 2.0)
+        result.add(20, "a", 3.0)
+        result.add(20, "b", 1.0)
+        text = result.format_table()
+        assert "t" in text and "sel%" in text
+
+    def test_crossover(self):
+        result = bench.SweepResult(title="t", x_label="sel%")
+        for x, a, b in ((10, 2.0, 1.0), (20, 1.5, 1.6), (30, 1.0, 2.0)):
+            result.add(x, "a", a)
+            result.add(x, "b", b)
+        assert result.crossover("a", "b") == 20
+        assert result.crossover("b", "a") == 10
+
+    def test_crossover_none_when_never_cheaper(self):
+        result = bench.SweepResult(title="t", x_label="sel%")
+        result.add(10, "a", 2.0)
+        result.add(10, "b", 1.0)
+        assert result.crossover("a", "b") is None
+
+
+class TestScaledMachine:
+    def test_caches_shrink_with_data(self):
+        machine = bench.scaled_machine(SMALL)
+        from repro.engine.machine import PAPER_MACHINE
+
+        assert machine.llc_bytes < PAPER_MACHINE.llc_bytes
+
+
+class TestFigureSweeps:
+    def test_fig8_structure(self):
+        result = bench.fig8("mul", config=SMALL, selectivities=SELS)
+        assert set(result.series) == {"datacentric", "hybrid", "swole"}
+        assert result.x_values == list(SELS)
+        assert all(
+            len(series) == len(SELS) for series in result.series.values()
+        )
+        assert all(
+            v > 0 for series in result.series.values() for v in series
+        )
+
+    def test_fig8_value_masking_flat(self):
+        result = bench.fig8("mul", config=SMALL, selectivities=SELS)
+        swole = result.series["swole"]
+        assert max(swole) / min(swole) < 1.2
+
+    def test_fig9_scales_cardinality(self):
+        result = bench.fig9(10_000_000, config=SMALL, selectivities=(50,))
+        assert "uQ2" in result.title
+
+    def test_fig10_merging_beats_plain_masking(self):
+        result = bench.fig10("r_x", config=SMALL, selectivities=SELS)
+        assert set(result.series) == {"datacentric", "hybrid", "swole"}
+
+    def test_fig11_bitmaps_flat(self):
+        result = bench.fig11("probe", 90, config=SMALL, selectivities=SELS)
+        swole = result.series["swole"]
+        assert max(swole) / min(swole) < 1.3
+
+    def test_fig11_bad_side_rejected(self):
+        with pytest.raises(ValueError):
+            bench.fig11("sideways", 50, config=SMALL, selectivities=SELS)
+
+    def test_fig12_structure(self):
+        result = bench.fig12(1_000, config=SMALL, selectivities=SELS)
+        assert result.decisions  # planner decisions recorded
+
+    def test_run_strategies_returns_seconds(self, micro_db):
+        machine = bench.scaled_machine(SMALL)
+        out = bench.run_strategies(mb.q1(50), micro_db, machine)
+        assert set(out) == {"datacentric", "hybrid", "swole"}

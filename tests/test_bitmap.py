@@ -1,0 +1,123 @@
+"""Tests for positional bitmaps (repro.storage.bitmap)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.bitmap import (
+    BlockCompressedBitmap,
+    PositionalBitmap,
+    bitmap_from_mask,
+    maybe_compress,
+)
+
+
+class TestPositionalBitmap:
+    def test_starts_empty(self):
+        bitmap = PositionalBitmap(100)
+        assert bitmap.count() == 0
+        assert not bitmap.test(np.arange(100)).any()
+
+    def test_set_from_mask_roundtrip(self):
+        mask = np.zeros(77, dtype=bool)
+        mask[[0, 5, 63, 64, 76]] = True
+        bitmap = bitmap_from_mask(mask)
+        assert bitmap.to_mask().tolist() == mask.tolist()
+        assert bitmap.count() == 5
+
+    def test_set_offsets(self):
+        bitmap = PositionalBitmap(20)
+        bitmap.set_offsets(np.asarray([1, 1, 19]))
+        assert bitmap.test(np.asarray([0, 1, 19])).tolist() == [
+            False,
+            True,
+            True,
+        ]
+
+    def test_mask_rewrite_clears_old_bits(self):
+        bitmap = PositionalBitmap(10)
+        bitmap.set_offsets(np.asarray([0]))
+        bitmap.set_from_mask(np.zeros(10, dtype=bool))
+        assert bitmap.count() == 0
+
+    def test_wrong_mask_length_rejected(self):
+        with pytest.raises(StorageError):
+            PositionalBitmap(10).set_from_mask(np.zeros(9, dtype=bool))
+
+    def test_out_of_range_offsets_rejected(self):
+        bitmap = PositionalBitmap(10)
+        with pytest.raises(StorageError):
+            bitmap.set_offsets(np.asarray([10]))
+        with pytest.raises(StorageError):
+            bitmap.test(np.asarray([-1]))
+
+    def test_nbytes_is_one_bit_per_row(self):
+        # the paper's example: 100M rows ~ 12.5 MB
+        assert PositionalBitmap(100_000_000).nbytes == 12_500_000
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(StorageError):
+            PositionalBitmap(-1)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_mask_roundtrip_property(self, bits):
+        mask = np.asarray(bits, dtype=bool)
+        bitmap = bitmap_from_mask(mask)
+        assert bitmap.to_mask().tolist() == bits
+        probe = np.arange(len(bits))
+        assert bitmap.test(probe).tolist() == bits
+
+
+class TestBlockCompressedBitmap:
+    def test_equivalent_to_source(self, rng):
+        mask = rng.random(10_000) < 0.3
+        source = bitmap_from_mask(mask)
+        compressed = BlockCompressedBitmap(source, block_bits=512)
+        assert compressed.to_mask().tolist() == mask.tolist()
+        probes = rng.integers(0, 10_000, 500)
+        assert (
+            compressed.test(probes).tolist() == source.test(probes).tolist()
+        )
+
+    def test_uniform_blocks_compress(self):
+        mask = np.zeros(8192, dtype=bool)
+        mask[:4096] = True  # two uniform blocks at block_bits=4096
+        compressed = BlockCompressedBitmap(bitmap_from_mask(mask))
+        assert compressed.mixed_fraction == 0.0
+        assert compressed.nbytes < bitmap_from_mask(mask).nbytes
+
+    def test_mixed_blocks_stored_verbatim(self, rng):
+        mask = rng.random(8192) < 0.5
+        compressed = BlockCompressedBitmap(bitmap_from_mask(mask), 512)
+        assert compressed.mixed_fraction > 0.5
+
+    def test_bad_block_bits_rejected(self):
+        with pytest.raises(StorageError):
+            BlockCompressedBitmap(PositionalBitmap(10), block_bits=12)
+
+    def test_out_of_range_probe_rejected(self):
+        compressed = BlockCompressedBitmap(PositionalBitmap(10))
+        with pytest.raises(StorageError):
+            compressed.test(np.asarray([11]))
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=600))
+    @settings(max_examples=40, deadline=None)
+    def test_compressed_equivalence_property(self, bits):
+        mask = np.asarray(bits, dtype=bool)
+        source = bitmap_from_mask(mask)
+        compressed = BlockCompressedBitmap(source, block_bits=64)
+        assert compressed.to_mask().tolist() == bits
+
+
+class TestMaybeCompress:
+    def test_compresses_sparse_bitmap(self):
+        mask = np.zeros(100_000, dtype=bool)
+        mask[:100] = True
+        assert maybe_compress(bitmap_from_mask(mask)) is not None
+
+    def test_declines_dense_random_bitmap(self, rng):
+        mask = rng.random(100_000) < 0.5
+        assert maybe_compress(bitmap_from_mask(mask), block_bits=512) is None

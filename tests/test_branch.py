@@ -1,0 +1,78 @@
+"""Tests for branch prediction (trace simulator vs analytic model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.branch import TwoBitPredictor, steady_state_mispredict_rate
+from repro.errors import CostModelError
+
+
+class TestTwoBitPredictor:
+    def test_initial_state_validated(self):
+        with pytest.raises(CostModelError):
+            TwoBitPredictor(initial_state=4)
+
+    def test_saturates_taken(self):
+        p = TwoBitPredictor(0)
+        for _ in range(10):
+            p.record(True)
+        assert p.state == 3
+        assert p.predict() is True
+
+    def test_saturates_not_taken(self):
+        p = TwoBitPredictor(3)
+        for _ in range(10):
+            p.record(False)
+        assert p.state == 0
+        assert p.predict() is False
+
+    def test_single_anomaly_does_not_flip_prediction(self):
+        # the hysteresis property that motivates two bits
+        p = TwoBitPredictor(3)
+        p.record(False)
+        assert p.predict() is True
+
+    def test_all_taken_trace_has_at_most_two_mispredicts(self):
+        p = TwoBitPredictor(0)
+        assert p.run_trace(np.ones(100, dtype=bool)) <= 2
+
+    def test_alternating_trace_is_pathological(self):
+        p = TwoBitPredictor(1)
+        outcomes = np.tile([True, False], 100)
+        assert p.run_trace(outcomes) >= 90
+
+
+class TestSteadyState:
+    def test_extremes_are_perfect(self):
+        assert steady_state_mispredict_rate(0.0) == 0.0
+        assert steady_state_mispredict_rate(1.0) == 0.0
+
+    def test_peak_at_half(self):
+        assert steady_state_mispredict_rate(0.5) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        for p in (0.1, 0.25, 0.4):
+            assert steady_state_mispredict_rate(
+                p
+            ) == pytest.approx(steady_state_mispredict_rate(1 - p))
+
+    def test_monotone_toward_half(self):
+        rates = [steady_state_mispredict_rate(p) for p in
+                 (0.05, 0.15, 0.3, 0.5)]
+        assert rates == sorted(rates)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CostModelError):
+            steady_state_mispredict_rate(1.5)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_analytic_matches_simulation(self, p_taken):
+        """The Markov steady state tracks the trace simulator closely."""
+        rng = np.random.default_rng(99)
+        outcomes = rng.random(20_000) < p_taken
+        simulated = TwoBitPredictor(1).run_trace(outcomes) / outcomes.shape[0]
+        analytic = steady_state_mispredict_rate(p_taken)
+        assert simulated == pytest.approx(analytic, abs=0.03)

@@ -1,0 +1,121 @@
+"""Tests for the trace-driven cache simulator (repro.engine.cache)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import (
+    CacheHierarchy,
+    SetAssociativeCache,
+    conditional_trace,
+    random_trace,
+    sequential_trace,
+)
+from repro.errors import CostModelError
+
+
+def _cache(capacity=1024, line=64, ways=2):
+    return SetAssociativeCache(capacity, line_bytes=line, ways=ways)
+
+
+class TestSetAssociativeCache:
+    def test_geometry_validated(self):
+        with pytest.raises(CostModelError):
+            SetAssociativeCache(0)
+        with pytest.raises(CostModelError):
+            SetAssociativeCache(100, line_bytes=64, ways=3)
+
+    def test_cold_miss_then_hit(self):
+        cache = _cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True  # same line
+        assert cache.access(64) is False  # next line
+
+    def test_lru_eviction_within_set(self):
+        # two-way set: third distinct line mapping to the set evicts LRU
+        cache = _cache(capacity=256, line=64, ways=2)  # 2 sets
+        set_stride = 2 * 64  # same set every 2 lines
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+
+    def test_lru_updated_on_hit(self):
+        cache = _cache(capacity=256, line=64, ways=2)
+        set_stride = 2 * 64
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a; b becomes LRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_sequential_trace_miss_rate(self):
+        cache = _cache(capacity=4096)
+        trace = sequential_trace(0, 1024, width=4)  # 4KB = 64 lines
+        stats = cache.run_trace(trace)
+        assert stats.misses == 64
+        assert stats.miss_rate == pytest.approx(64 / 1024)
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = _cache(capacity=1024)
+        # cycle through 4KB repeatedly: every access misses (LRU + loop)
+        trace = np.tile(sequential_trace(0, 64, width=64), 4)
+        stats = cache.run_trace(trace)
+        assert stats.miss_rate == 1.0
+
+    def test_working_set_fitting_cache_hits_after_warmup(self):
+        cache = _cache(capacity=8192, ways=8)
+        trace = np.tile(sequential_trace(0, 64, width=64), 4)
+        stats = cache.run_trace(trace)
+        assert stats.misses == 64  # cold misses only
+
+    def test_reset_stats(self):
+        cache = _cache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+
+class TestTraceBuilders:
+    def test_conditional_trace_selects_rows(self):
+        selected = np.asarray([True, False, True])
+        trace = conditional_trace(100, 3, 8, selected)
+        assert trace.tolist() == [100, 116]
+
+    def test_random_trace_in_bounds(self, rng):
+        trace = random_trace(0, 1024, 100, 8, rng)
+        assert trace.min() >= 0
+        assert trace.max() < 1024
+
+    def test_random_trace_bad_struct(self, rng):
+        with pytest.raises(CostModelError):
+            random_trace(0, 4, 10, 8, rng)
+
+
+class TestHierarchy:
+    def test_latency_per_level(self):
+        l1 = _cache(capacity=256, ways=2)
+        l2 = _cache(capacity=1024, ways=2)
+        hier = CacheHierarchy([l1, l2], [4.0, 12.0], mem_latency=100.0)
+        assert hier.access(0) == 100.0  # cold
+        assert hier.access(0) == 4.0  # now in L1
+
+    def test_mismatched_latencies_rejected(self):
+        with pytest.raises(CostModelError):
+            CacheHierarchy([_cache()], [1.0, 2.0], 100.0)
+
+    def test_expected_latency_between_l1_and_memory(self, rng):
+        l1 = _cache(capacity=512, ways=2)
+        hier = CacheHierarchy([l1], [4.0], mem_latency=100.0)
+        hier.run_trace(random_trace(0, 64 * 1024, 2000, 8, rng))
+        assert 4.0 <= hier.expected_latency() <= 100.0
+
+    def test_small_structure_mostly_hits(self, rng):
+        l1 = _cache(capacity=4096, ways=4)
+        hier = CacheHierarchy([l1], [4.0], mem_latency=100.0)
+        hier.run_trace(random_trace(0, 1024, 5000, 8, rng))
+        assert hier.expected_latency() < 10.0

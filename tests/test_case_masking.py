@@ -1,0 +1,112 @@
+"""Tests for CASE-statement value masking (paper §III-A extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import case_masking
+from repro.engine.events import Branch, CondRead
+from repro.engine.machine import PAPER_MACHINE
+from repro.engine.session import Session
+from repro.errors import PlanError
+from repro.plan.expressions import Case, Col, Const, arith_ops, col_refs
+
+
+@pytest.fixture()
+def data(rng):
+    return {
+        "x": rng.integers(0, 100, 20_000).astype(np.int32),
+        "a": rng.integers(1, 50, 20_000).astype(np.int32),
+        "b": rng.integers(1, 50, 20_000).astype(np.int32),
+    }
+
+
+@pytest.fixture()
+def tiered_case():
+    """CASE WHEN x<30 THEN a*2 WHEN x<70 THEN a+b ELSE b END."""
+    return Case(
+        branches=(
+            (Col("x") < Const(30), Col("a") * Const(2)),
+            (Col("x") < Const(70), Col("a") + Col("b")),
+        ),
+        default=Col("b"),
+    )
+
+
+class TestCaseExpression:
+    def test_requires_branches(self):
+        with pytest.raises(PlanError):
+            Case(branches=(), default=Const(0))
+
+    def test_evaluate_first_match_wins(self, data, tiered_case):
+        out = tiered_case.evaluate(data)
+        x, a, b = (data[k].astype(np.int64) for k in ("x", "a", "b"))
+        expected = np.where(x < 30, a * 2, np.where(x < 70, a + b, b))
+        assert np.array_equal(out, expected)
+
+    def test_columns_and_refs(self, tiered_case):
+        assert tiered_case.columns() == frozenset({"x", "a", "b"})
+        assert col_refs(tiered_case).count("x") == 2
+
+    def test_arith_ops_counts_all_arms(self, tiered_case):
+        assert sorted(arith_ops(tiered_case)) == ["add", "mul"]
+
+    def test_to_c_is_ternary_chain(self, tiered_case):
+        c = tiered_case.to_c()
+        assert c.count("?") == 2 and c.endswith("b[i]")
+
+
+class TestCompiledForms:
+    def test_both_forms_agree_with_numpy(self, data, tiered_case):
+        expected = int(tiered_case.evaluate(data).sum())
+        masked = case_masking.masked_case_sum(Session(), data, tiered_case)
+        branched = case_masking.branching_case_sum(
+            Session(), data, tiered_case
+        )
+        assert masked == expected
+        assert branched == expected
+
+    def test_masked_form_emits_no_branches(self, data, tiered_case):
+        session = Session()
+        case_masking.masked_case_sum(session, data, tiered_case)
+        events = [e for _, e, _ in session.tracer.report.events]
+        assert not any(isinstance(e, Branch) for e in events)
+        assert not any(isinstance(e, CondRead) for e in events)
+
+    def test_branching_form_pays_mispredictions(self, data, tiered_case):
+        session = Session()
+        case_masking.branching_case_sum(session, data, tiered_case)
+        branches = [
+            e
+            for _, e, _ in session.tracer.report.events
+            if isinstance(e, Branch)
+        ]
+        assert len(branches) == len(tiered_case.branches)
+
+    def test_masking_wins_on_cheap_arms(self, data, tiered_case):
+        masked = Session()
+        case_masking.masked_case_sum(masked, data, tiered_case)
+        branched = Session()
+        case_masking.branching_case_sum(branched, data, tiered_case)
+        assert (
+            masked.tracer.report.total_cycles
+            < branched.tracer.report.total_cycles
+        )
+
+
+class TestCostCheck:
+    def test_cheap_case_masks(self, tiered_case):
+        assert case_masking.masking_beneficial(
+            PAPER_MACHINE, tiered_case, 1_000_000
+        )
+
+    def test_expensive_arms_branch(self):
+        pricey = Case(
+            branches=tuple(
+                (Col("x") < Const(10 * i), Col("a") / Col("b"))
+                for i in range(1, 9)
+            ),
+            default=Col("b") / Col("a"),
+        )
+        assert not case_masking.masking_beneficial(
+            PAPER_MACHINE, pricey, 1_000_000
+        )

@@ -1,0 +1,163 @@
+"""Cross-strategy answer equivalence: the repository's spine invariant.
+
+Every code-generation strategy — interpreter, data-centric, hybrid, ROF,
+SWOLE (with whatever techniques its planner picked) — must return exactly
+the reference interpreter's answer on every query shape, across
+selectivities and on adversarial hypothesis-generated data.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.swole  # noqa: F401 - registers the swole strategy
+from repro.codegen import available_strategies, compile_query
+from repro.datagen import microbench as mb
+from repro.engine import Session, reference
+from repro.engine.program import results_equal
+from repro.plan.expressions import And, Col, Const
+from repro.plan.logical import AggSpec, JoinSpec, Query
+from repro.storage.column import Column, LogicalType
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+STRATEGIES = ("interpreter", "datacentric", "hybrid", "rof", "swole")
+
+
+def _assert_matches_reference(query, db):
+    expected = reference.evaluate(query, db)
+    session = Session()
+    for strategy in STRATEGIES:
+        compiled = compile_query(query, db, strategy)
+        result = compiled.run(session)
+        assert set(result.value) == set(expected), strategy
+        for key in expected:
+            lhs, rhs = expected[key], result.value[key]
+            if isinstance(lhs, np.ndarray):
+                assert np.array_equal(lhs, np.asarray(rhs)), (strategy, key)
+            else:
+                assert lhs == rhs, (strategy, key)
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        assert set(STRATEGIES) <= set(available_strategies())
+
+
+@pytest.mark.parametrize("sel", [0, 5, 50, 95, 100])
+@pytest.mark.parametrize("op", ["mul", "div"])
+def test_q1_all_selectivities(micro_db, sel, op):
+    _assert_matches_reference(mb.q1(sel, op), micro_db)
+
+
+@pytest.mark.parametrize("sel", [0, 10, 60, 100])
+def test_q2_group_by(micro_db, sel):
+    _assert_matches_reference(mb.q2(sel), micro_db)
+
+
+@pytest.mark.parametrize("col", ["r_b", "r_x"])
+def test_q3_access_merging(micro_db, col):
+    _assert_matches_reference(mb.q3(40, col), micro_db)
+
+
+@pytest.mark.parametrize("sel1,sel2", [(0, 50), (10, 90), (90, 10), (100, 100)])
+def test_q4_semijoin(micro_db, sel1, sel2):
+    _assert_matches_reference(mb.q4(sel1, sel2), micro_db)
+
+
+@pytest.mark.parametrize("sel", [0, 30, 100])
+def test_q5_groupjoin(micro_db, sel):
+    _assert_matches_reference(mb.q5(sel), micro_db)
+
+
+def test_count_aggregate(micro_db):
+    query = Query(
+        table="R",
+        predicate=Col("r_x") < Const(20),
+        aggregates=(
+            AggSpec("sum", Col("r_a"), name="total"),
+            AggSpec("count", name="n"),
+        ),
+        name="count-query",
+    )
+    _assert_matches_reference(query, micro_db)
+
+
+def test_grouped_count(micro_db):
+    query = Query(
+        table="R",
+        predicate=Col("r_x") < Const(70),
+        aggregates=(AggSpec("count", name="n"),),
+        group_by="r_c",
+        name="grouped-count",
+    )
+    _assert_matches_reference(query, micro_db)
+
+
+def test_results_equal_helper(micro_db):
+    query = mb.q1(30)
+    session = Session()
+    a = compile_query(query, micro_db, "hybrid").run(session)
+    b = compile_query(query, micro_db, "swole").run(session)
+    assert results_equal(a, b)
+
+
+@st.composite
+def tiny_database(draw):
+    """A small random R/S pair with valid foreign keys."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    s_n = draw(st.integers(min_value=1, max_value=16))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    r = Table(
+        name="R",
+        columns=(
+            Column("r_a", LogicalType.INT8, rng.integers(1, 101, n)),
+            Column("r_b", LogicalType.INT8, rng.integers(1, 101, n)),
+            Column("r_x", LogicalType.INT8, rng.integers(0, 100, n)),
+            Column("r_y", LogicalType.INT8, np.ones(n, dtype=np.int8)),
+            Column("r_c", LogicalType.INT32, rng.integers(0, 8, n)),
+            Column("r_fk", LogicalType.INT32, rng.integers(0, s_n, n)),
+        ),
+    )
+    s = Table(
+        name="S",
+        columns=(
+            Column("s_pk", LogicalType.INT32, np.arange(s_n, dtype=np.int32)),
+            Column("s_x", LogicalType.INT8, rng.integers(0, 100, s_n)),
+        ),
+    )
+    db = Database()
+    db.add_table(r)
+    db.add_table(s)
+    db.add_foreign_key("R", "r_fk", "S", "s_pk")
+    return db
+
+
+@given(db=tiny_database(), sel=st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_scalar_aggregation_equivalence_property(db, sel):
+    _assert_matches_reference(mb.q1(sel), db)
+
+
+@given(db=tiny_database(), sel=st.integers(min_value=0, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_group_by_equivalence_property(db, sel):
+    _assert_matches_reference(mb.q2(sel), db)
+
+
+@given(
+    db=tiny_database(),
+    sel1=st.integers(min_value=0, max_value=100),
+    sel2=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=20, deadline=None)
+def test_semijoin_equivalence_property(db, sel1, sel2):
+    _assert_matches_reference(mb.q4(sel1, sel2), db)
+
+
+@given(db=tiny_database(), sel=st.integers(min_value=0, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_groupjoin_equivalence_property(db, sel):
+    _assert_matches_reference(mb.q5(sel), db)

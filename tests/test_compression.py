@@ -1,0 +1,143 @@
+"""Tests for the compression codecs (repro.storage.compression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.column import LogicalType
+from repro.storage.compression import (
+    compress_int_column,
+    dictionary_encode,
+    fixed_point_decode,
+    fixed_point_encode,
+    null_suppress,
+    suppressed_logical_type,
+)
+
+
+class TestDictionaryEncoding:
+    def test_roundtrip(self):
+        values = ["red", "green", "blue", "red", "blue"]
+        enc = dictionary_encode(values)
+        assert enc.decode().tolist() == values
+
+    def test_dictionary_is_sorted_unique(self):
+        enc = dictionary_encode(["b", "a", "b"])
+        assert enc.dictionary == ("a", "b")
+
+    def test_codes_dtype(self):
+        enc = dictionary_encode(["x"])
+        assert enc.codes.dtype == np.int32
+
+    def test_range_predicates_work_on_codes(self):
+        values = ["apple", "cherry", "banana"]
+        enc = dictionary_encode(values)
+        cutoff = enc.dictionary.index("banana")
+        decoded = np.asarray(values)
+        assert (
+            (enc.codes <= cutoff).tolist()
+            == (decoded <= "banana").tolist()
+        )
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(blacklist_characters="\x00"),
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, values):
+        enc = dictionary_encode(values)
+        assert enc.decode().tolist() == [str(v) for v in values]
+
+    def test_nul_characters_rejected(self):
+        with pytest.raises(StorageError):
+            dictionary_encode(["a\x00b"])
+
+
+class TestNullSuppression:
+    def test_small_values_become_int8(self):
+        assert null_suppress(np.asarray([0, 100, -100])).dtype == np.int8
+
+    def test_medium_values_become_int16(self):
+        assert null_suppress(np.asarray([0, 1000])).dtype == np.int16
+
+    def test_large_values_stay_int64(self):
+        assert null_suppress(np.asarray([2**40])).dtype == np.int64
+
+    def test_empty_array(self):
+        assert null_suppress(np.asarray([], dtype=np.int64)).dtype == np.int8
+
+    def test_rejects_floats(self):
+        with pytest.raises(StorageError):
+            null_suppress(np.asarray([1.5]))
+
+    def test_suppressed_logical_type(self):
+        assert (
+            suppressed_logical_type(np.asarray([1, 2])) is LogicalType.INT8
+        )
+        assert (
+            suppressed_logical_type(np.asarray([2**20]))
+            is LogicalType.INT32
+        )
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lossless_property(self, values):
+        array = np.asarray(values, dtype=np.int64)
+        narrowed = null_suppress(array)
+        assert narrowed.astype(np.int64).tolist() == values
+
+
+class TestFixedPoint:
+    def test_roundtrip(self):
+        values = np.asarray([1.25, -3.5, 0.0])
+        encoded = fixed_point_encode(values, 2)
+        assert encoded.tolist() == [125, -350, 0]
+        assert fixed_point_decode(encoded, 2).tolist() == values.tolist()
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(StorageError):
+            fixed_point_encode(np.asarray([1.0]), -1)
+
+    def test_overflow_detected(self):
+        with pytest.raises(StorageError):
+            fixed_point_encode(np.asarray([1e19]), 2)
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(10**12), max_value=10**12),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_integers_exact_property(self, values, scale):
+        array = np.asarray(values, dtype=np.float64)
+        encoded = fixed_point_encode(array, scale)
+        decoded = fixed_point_decode(encoded, scale)
+        assert decoded.tolist() == [float(v) for v in values]
+
+
+class TestCompressIntColumn:
+    def test_narrowest_type_chosen(self):
+        col = compress_int_column("a", np.asarray([1, 2, 3]))
+        assert col.logical_type is LogicalType.INT8
+
+    def test_values_preserved(self):
+        col = compress_int_column("a", np.asarray([300, -300]))
+        assert col.logical_type is LogicalType.INT16
+        assert col.values.tolist() == [300, -300]

@@ -1,0 +1,248 @@
+"""Tests for event pricing and the tracer (repro.engine.costing).
+
+These pin down the cost-model invariants that the paper's argument rests
+on: sequential < conditional < random per element, the misprediction hump
+at 50 %, density-dependent conditional reads, hot-entry behaviour for key
+masking, and the stream/compute overlap that realises the paper's
+``max(comp, read)`` structure.
+"""
+
+import pytest
+
+from repro.engine.costing import CostAccountant, Tracer
+from repro.engine.events import (
+    Branch,
+    CondRead,
+    Compute,
+    RandomAccess,
+    SeqRead,
+    SeqWrite,
+    TupleOverhead,
+)
+from repro.engine.machine import PAPER_MACHINE
+from repro.errors import CostModelError
+
+ACC = CostAccountant(PAPER_MACHINE)
+N = 1_000_000
+
+
+def per_element(cycles: float, n: int = N) -> float:
+    return cycles / n
+
+
+class TestSeqAccess:
+    def test_linear_in_rows(self):
+        one = ACC.seq_read(SeqRead(n=N, width=8))
+        two = ACC.seq_read(SeqRead(n=2 * N, width=8))
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+    def test_linear_in_width(self):
+        narrow = ACC.seq_read(SeqRead(n=N, width=1))
+        wide = ACC.seq_read(SeqRead(n=N, width=8))
+        assert wide == pytest.approx(8 * narrow, rel=0.01)
+
+    def test_resident_intermediate_cheaper(self):
+        cold = ACC.seq_write(SeqWrite(n=N, width=8))
+        resident = ACC.seq_write(SeqWrite(n=N, width=8, array_bytes=8192))
+        assert resident < cold
+
+    def test_zero_rows_free(self):
+        assert ACC.seq_read(SeqRead(n=0, width=8)) == 0.0
+
+
+class TestCondRead:
+    def test_monotone_in_selected(self):
+        costs = [
+            ACC.cond_read(CondRead(n_range=N, n_selected=k, width=8))
+            for k in (N // 100, N // 10, N // 2, N)
+        ]
+        assert costs == sorted(costs)
+
+    def test_dense_approaches_sequential(self):
+        cond = ACC.cond_read(CondRead(n_range=N, n_selected=N, width=8))
+        seq = ACC.seq_read(SeqRead(n=N, width=8))
+        assert cond == pytest.approx(seq, rel=0.05)
+
+    def test_sparse_costs_more_per_selected_element(self):
+        sparse = ACC.cond_read(CondRead(n_range=N, n_selected=N // 100, width=8))
+        dense = ACC.cond_read(CondRead(n_range=N, n_selected=N, width=8))
+        assert sparse / (N // 100) > dense / N
+
+    def test_selected_beyond_range_rejected(self):
+        with pytest.raises(CostModelError):
+            ACC.cond_read(CondRead(n_range=10, n_selected=11, width=8))
+
+    def test_zero_selected_free(self):
+        assert ACC.cond_read(CondRead(n_range=N, n_selected=0, width=8)) == 0
+
+
+class TestRandomAccess:
+    def test_monotone_in_structure_size(self):
+        costs = [
+            ACC.random_access(RandomAccess(n=N, struct_bytes=s))
+            for s in (1024, 10**6, 10**8, 10**10)
+        ]
+        assert costs == sorted(costs)
+
+    def test_random_worse_than_sequential_per_element(self):
+        random = ACC.random_access(
+            RandomAccess(n=N, struct_bytes=10**9)
+        )
+        seq = ACC.seq_read(SeqRead(n=N, width=8))
+        assert random > seq
+
+    def test_hot_entries_cheap_when_predicate_fails_often(self):
+        # key masking: 95% of accesses hit the throwaway entry
+        mostly_hot = ACC.random_access(
+            RandomAccess(n=N, struct_bytes=10**9, hot_fraction=0.95)
+        )
+        all_cold = ACC.random_access(
+            RandomAccess(n=N, struct_bytes=10**9, hot_fraction=0.0)
+        )
+        assert mostly_hot < 0.3 * all_cold
+
+    def test_hot_entry_degrades_with_pollution(self):
+        # more cold lookups between hot touches -> hot entry evicted
+        light = ACC._hot_latency(
+            RandomAccess(n=N, struct_bytes=10**9, hot_fraction=0.9)
+        )
+        heavy = ACC._hot_latency(
+            RandomAccess(n=N, struct_bytes=10**9, hot_fraction=0.1)
+        )
+        assert heavy > light
+
+    def test_prefetch_discount(self):
+        plain = ACC.random_access(RandomAccess(n=N, struct_bytes=10**9))
+        prefetched = ACC.random_access(
+            RandomAccess(n=N, struct_bytes=10**9, prefetched=True)
+        )
+        assert prefetched < plain
+
+    def test_op_cycles_added(self):
+        base = ACC.random_access(RandomAccess(n=N, struct_bytes=1024))
+        extra = ACC.random_access(
+            RandomAccess(n=N, struct_bytes=1024, op_cycles=5.0)
+        )
+        assert extra == pytest.approx(base + 5.0 * N)
+
+    def test_bad_hot_fraction(self):
+        with pytest.raises(CostModelError):
+            ACC.random_access(
+                RandomAccess(n=N, struct_bytes=10, hot_fraction=2.0)
+            )
+
+
+class TestBranch:
+    def test_hump_peaks_at_half(self):
+        costs = {
+            p: ACC.branch(Branch(n=N, taken_fraction=p))
+            for p in (0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+        }
+        assert costs[0.5] == max(costs.values())
+        assert costs[0.0] == 0.0
+        assert costs[1.0] == 0.0
+
+    def test_symmetric(self):
+        lo = ACC.branch(Branch(n=N, taken_fraction=0.2))
+        hi = ACC.branch(Branch(n=N, taken_fraction=0.8))
+        assert lo == pytest.approx(hi)
+
+
+class TestCompute:
+    def test_simd_speedup(self):
+        scalar = ACC.compute(Compute(n=N, op="mul", simd=False, width=8))
+        simd = ACC.compute(Compute(n=N, op="mul", simd=True, width=8))
+        assert simd == pytest.approx(scalar / 4)
+
+    def test_division_not_vectorised(self):
+        scalar = ACC.compute(Compute(n=N, op="div", simd=False))
+        simd = ACC.compute(Compute(n=N, op="div", simd=True))
+        assert simd == scalar
+
+    def test_tuple_overhead(self):
+        cost = ACC.tuple_overhead(TupleOverhead(n=N, cycles_each=2.0))
+        assert cost == 2.0 * N
+
+    def test_unknown_event_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(CostModelError):
+            ACC.cycles(Weird())
+
+
+class TestTracerOverlap:
+    def test_overlap_takes_max_of_stream_and_compute(self):
+        tracer = Tracer(PAPER_MACHINE)
+        stream = SeqRead(n=N, width=8)
+        comp = Compute(n=N, op="div", simd=False)
+        stream_cost = ACC.seq_read(stream)
+        comp_cost = ACC.compute(comp)
+        with tracer.overlap():
+            tracer.emit(stream)
+            tracer.emit(comp)
+        assert tracer.report.total_cycles == pytest.approx(
+            max(stream_cost, comp_cost)
+        )
+
+    def test_serial_events_not_overlapped(self):
+        tracer = Tracer(PAPER_MACHINE)
+        random = RandomAccess(n=N, struct_bytes=10**9)
+        random_cost = ACC.random_access(random)
+        with tracer.overlap():
+            tracer.emit(SeqRead(n=N, width=8))
+            tracer.emit(random)
+        seq_cost = ACC.seq_read(SeqRead(n=N, width=8))
+        assert tracer.report.total_cycles == pytest.approx(
+            seq_cost + random_cost
+        )
+
+    def test_nested_overlap_is_inert(self):
+        tracer = Tracer(PAPER_MACHINE)
+        with tracer.overlap():
+            with tracer.overlap():
+                tracer.emit(SeqRead(n=N, width=8))
+            tracer.emit(Compute(n=N, op="div", simd=False))
+        expected = max(
+            ACC.seq_read(SeqRead(n=N, width=8)),
+            ACC.compute(Compute(n=N, op="div", simd=False)),
+        )
+        assert tracer.report.total_cycles == pytest.approx(expected)
+
+    def test_outside_overlap_costs_add(self):
+        tracer = Tracer(PAPER_MACHINE)
+        tracer.emit(SeqRead(n=N, width=8))
+        tracer.emit(Compute(n=N, op="div", simd=False))
+        expected = ACC.seq_read(SeqRead(n=N, width=8)) + ACC.compute(
+            Compute(n=N, op="div", simd=False)
+        )
+        assert tracer.report.total_cycles == pytest.approx(expected)
+
+    def test_kernel_attribution(self):
+        tracer = Tracer(PAPER_MACHINE)
+        with tracer.kernel("scan"):
+            tracer.emit(SeqRead(n=N, width=8))
+        assert "scan" in tracer.report.by_kernel
+        assert tracer.report.by_kind["SeqRead"] > 0
+
+    def test_breakdown_renders(self):
+        tracer = Tracer(PAPER_MACHINE)
+        with tracer.kernel("scan"):
+            tracer.emit(SeqRead(n=N, width=8))
+        text = tracer.report.breakdown()
+        assert "scan" in text and "cycles" in text
+
+
+class TestAccessPatternOrdering:
+    def test_paper_premise_seq_beats_cond_beats_random(self):
+        """The paper's core premise, as model invariants: per element,
+        sequential <= conditional (mid density) <= random (big struct)."""
+        seq = per_element(ACC.seq_read(SeqRead(n=N, width=8)))
+        cond = per_element(
+            ACC.cond_read(CondRead(n_range=N, n_selected=N // 2, width=8)),
+            N // 2,
+        )
+        random = per_element(
+            ACC.random_access(RandomAccess(n=N, struct_bytes=10**10))
+        )
+        assert seq <= cond <= random

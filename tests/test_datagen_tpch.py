@@ -1,0 +1,120 @@
+"""Tests for the TPC-H generator: cardinalities, integrity, value domains."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import tpch
+from repro.errors import DataGenError
+
+
+class TestConfig:
+    def test_cardinality_ratios(self):
+        config = tpch.TpchConfig(scale_factor=0.1)
+        assert config.customers == 15_000
+        assert config.suppliers == 1_000
+        assert config.parts == 20_000
+        assert config.orders == 150_000
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(DataGenError):
+            tpch.TpchConfig(scale_factor=0)
+
+    def test_machine_scale_anchored_to_sf10(self):
+        assert tpch.TpchConfig(scale_factor=10).machine_scale == 1.0
+        assert tpch.TpchConfig(scale_factor=0.01).machine_scale == 1000.0
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, tpch_db):
+        assert tpch_db.table("region").num_rows == 5
+        assert tpch_db.table("nation").num_rows == 25
+
+    def test_lineitem_about_four_per_order(self, tpch_db, tpch_config):
+        ratio = tpch_db.table("lineitem").num_rows / tpch_config.orders
+        assert 3.5 <= ratio <= 4.5
+
+
+class TestReferentialIntegrity:
+    @pytest.mark.parametrize(
+        "table,column",
+        [
+            ("nation", "n_regionkey"),
+            ("supplier", "s_nationkey"),
+            ("customer", "c_nationkey"),
+            ("orders", "o_custkey"),
+            ("lineitem", "l_orderkey"),
+            ("lineitem", "l_partkey"),
+            ("lineitem", "l_suppkey"),
+        ],
+    )
+    def test_fk_indexes_exist(self, tpch_db, table, column):
+        index = tpch_db.fk_index(table, column)
+        assert len(index) == tpch_db.table(table).num_rows
+
+    def test_lineitem_clustered_by_orderkey(self, tpch_db):
+        """Lineitem rows are generated in order-key order — the property
+        the Q4 bitmap build's sequential write pattern relies on."""
+        orderkeys = tpch_db.table("lineitem")["l_orderkey"]
+        assert (np.diff(orderkeys.astype(np.int64)) >= 0).all()
+
+
+class TestValueDomains:
+    def test_dates_in_spec_range(self, tpch_db):
+        orders = tpch_db.table("orders")["o_orderdate"]
+        assert orders.min() >= tpch.DATE_1992_01_01
+        assert orders.max() <= tpch.DATE_1998_08_02
+
+    def test_date_relationships(self, tpch_db):
+        line = tpch_db.table("lineitem")
+        assert (line["l_receiptdate"] > line["l_shipdate"]).all()
+
+    def test_quantity_range(self, tpch_db):
+        qty = tpch_db.table("lineitem")["l_quantity"]
+        assert qty.min() >= 1 and qty.max() <= 50
+
+    def test_discount_and_tax_ranges(self, tpch_db):
+        line = tpch_db.table("lineitem")
+        assert 0 <= line["l_discount"].min() <= line["l_discount"].max() <= 10
+        assert 0 <= line["l_tax"].min() <= line["l_tax"].max() <= 8
+
+    def test_extendedprice_positive_fixed_point(self, tpch_db):
+        price = tpch_db.table("lineitem").column("l_extendedprice")
+        assert price.scale == 2
+        assert (price.values > 0).all()
+
+    def test_q13_predicate_rate(self, tpch_db):
+        special = tpch_db.table("orders")["o_comment_special"]
+        assert float(special.mean()) == pytest.approx(0.02, abs=0.02)
+
+    def test_q1_cutoff_selects_most_rows(self, tpch_db):
+        shipdate = tpch_db.table("lineitem")["l_shipdate"]
+        assert float((shipdate <= 10471).mean()) > 0.9
+
+
+class TestDictionaries:
+    def test_shipmodes(self, tpch_db):
+        col = tpch_db.table("lineitem").column("l_shipmode")
+        assert set(col.dictionary) == set(tpch.SHIPMODES)
+
+    def test_q19_constants_exist(self, tpch_db):
+        part = tpch_db.table("part")
+        for brand in ("Brand#12", "Brand#23", "Brand#34"):
+            part.column("p_brand").code_for(brand)
+        for container in ("SM CASE", "MED BAG", "LG PKG"):
+            part.column("p_container").code_for(container)
+
+    def test_promo_types_exist(self, tpch_db):
+        p_type = tpch_db.table("part").column("p_type")
+        assert any(t.startswith("PROMO") for t in p_type.dictionary)
+
+    def test_mktsegments(self, tpch_db):
+        col = tpch_db.table("customer").column("c_mktsegment")
+        assert "BUILDING" in col.dictionary
+
+    def test_determinism(self, tpch_config):
+        a = tpch.generate(tpch_config)
+        b = tpch.generate(tpch_config)
+        assert np.array_equal(
+            a.table("lineitem")["l_extendedprice"],
+            b.table("lineitem")["l_extendedprice"],
+        )

@@ -1,0 +1,162 @@
+"""Tests for the C emitters, the reference engine, and the ROF strategy."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_query
+from repro.codegen import emit
+from repro.datagen import microbench as mb
+from repro.engine import Session, reference
+from repro.engine.events import RandomAccess
+from repro.plan.expressions import Col, Const
+from repro.plan.logical import AggSpec, Query
+
+
+class TestEmitters:
+    def test_datacentric_shape(self):
+        source = emit.emit_datacentric(mb.q1(13))
+        assert "if (r_x[i] < 13 && r_y[i] == 1)" in source
+        assert "sum += (r_a[i] * r_b[i]);" in source
+
+    def test_hybrid_has_three_inner_loops(self):
+        source = emit.emit_hybrid(mb.q1(13))
+        assert source.count("for (j = 0;") == 3  # prepass, selvec, agg
+        assert "cmp[j]" in source and "idx[k]" in source
+
+    def test_rof_has_prefetch_for_hash_queries(self):
+        source = emit.emit_rof(mb.q2(13))
+        assert "prefetch(" in source
+
+    def test_rof_no_prefetch_without_hash_table(self):
+        source = emit.emit_rof(mb.q1(13))
+        assert "prefetch(" not in source
+
+    def test_value_masking_multiplies_by_cmp(self):
+        source = emit.emit_value_masking(mb.q1(13))
+        assert "* cmp[j];" in source
+
+    def test_access_merging_uses_tmp(self):
+        source = emit.emit_value_masking(mb.q3(13, "r_x"), merged=["r_x"])
+        assert "tmp[j]" in source and "merged access" in source
+
+    def test_key_masking_masks_key_and_drops_throwaway(self):
+        source = emit.emit_key_masking(mb.q2(13))
+        assert "NULL_KEY" in source
+        assert "ht_drop(ht, NULL_KEY)" in source
+
+    def test_bitmap_semijoin_modes(self):
+        query = mb.q4(10, 20)
+        unconditional = emit.emit_bitmap_semijoin(query, True)
+        selective = emit.emit_bitmap_semijoin(query, False)
+        assert "unconditional write" in unconditional
+        assert "if (" in selective
+
+    def test_eager_aggregation_inverts_predicate(self):
+        source = emit.emit_eager_aggregation(mb.q5(13))
+        assert "!(" in source  # the inverted deletion predicate
+        assert "ht_delete" in source
+
+    def test_build_prefix_covers_join(self):
+        source = emit.emit_datacentric(mb.q4(10, 20))
+        assert "ht_insert(ht, s_pk[i]);" in source
+
+    def test_interpreter_mentions_iterators(self):
+        source = emit.emit_interpreter(mb.q5(13))
+        assert "plan->next()" in source and "HashJoin" in source
+
+
+class TestReferenceEngine:
+    def test_scalar_no_predicate(self, micro_db):
+        query = Query(
+            table="R", aggregates=(AggSpec("sum", Col("r_a"), name="s"),)
+        )
+        out = reference.evaluate(query, micro_db)
+        assert out["s"] == int(
+            micro_db.table("R")["r_a"].astype(np.int64).sum()
+        )
+
+    def test_empty_selection(self, micro_db):
+        query = Query(
+            table="R",
+            predicate=Col("r_x") < Const(0),
+            aggregates=(
+                AggSpec("sum", Col("r_a"), name="s"),
+                AggSpec("count", name="n"),
+            ),
+        )
+        out = reference.evaluate(query, micro_db)
+        assert out == {"s": 0, "n": 0}
+
+    def test_grouped_keys_sorted(self, micro_db):
+        out = reference.evaluate(mb.q2(60), micro_db)
+        assert (np.diff(out["keys"]) > 0).all()
+
+    def test_semijoin_filters_by_valid_keys(self, micro_db):
+        everything = reference.evaluate(mb.q4(100, 100), micro_db)
+        filtered = reference.evaluate(mb.q4(100, 10), micro_db)
+        assert filtered["sum"] <= everything["sum"]
+
+
+class TestRofStrategy:
+    def test_prefetch_marked_on_hash_accesses(self, micro_db):
+        compiled = compile_query(mb.q2(50), micro_db, "rof")
+        result = compiled.run(Session())
+        ht_events = [
+            e
+            for _, e, _ in result.report.events
+            if isinstance(e, RandomAccess) and e.kind.startswith("ht_")
+        ]
+        assert ht_events and all(e.prefetched for e in ht_events)
+
+    def test_prefetch_flag_restored_after_run(self, micro_db):
+        session = Session()
+        compile_query(mb.q2(50), micro_db, "rof").run(session)
+        assert session.ht_prefetch is False
+
+    def test_rof_cheaper_than_hybrid_on_hash_heavy_query(self):
+        config = mb.MicrobenchConfig(
+            num_rows=100_000, s_rows=1_000, c_cardinality=30_000
+        )
+        db = mb.generate(config)
+        from repro.bench.microbench import scaled_machine
+
+        session = Session(machine=scaled_machine(config))
+        hybrid = compile_query(mb.q2(80), db, "hybrid").run(session)
+        rof = compile_query(mb.q2(80), db, "rof").run(session)
+        assert rof.cycles < hybrid.cycles  # prefetching hides ht latency
+
+    def test_rof_same_answers(self, micro_db):
+        session = Session()
+        for query in (mb.q1(40), mb.q4(40, 60), mb.q5(40)):
+            a = compile_query(query, micro_db, "hybrid").run(session)
+            b = compile_query(query, micro_db, "rof").run(session)
+            from repro.engine.program import results_equal
+
+            assert results_equal(a, b)
+
+
+class TestBenchCli:
+    def test_fig2_runs(self, capsys):
+        from repro.bench.__main__ import run_figure
+
+        run_figure("fig2", rows=1000, sf=0.002)
+        out = capsys.readouterr().out
+        assert "Value Masking" in out
+
+    def test_unknown_figure_rejected(self):
+        from repro.bench.__main__ import run_figure
+
+        with pytest.raises(SystemExit):
+            run_figure("fig99", rows=1000, sf=0.002)
+
+
+class TestTpchReport:
+    def test_report_table_and_row_lookup(self, tpch_db, tpch_config):
+        from repro.bench.tpch import run_fig6
+
+        report = run_fig6(tpch_config, queries=("Q1", "Q6"), db=tpch_db)
+        text = report.format_table()
+        assert "Q1" in text and "Q6" in text and "sw/hy" in text
+        assert report.row("Q1").swole_speedup > 0
+        with pytest.raises(KeyError):
+            report.row("Q2")

@@ -1,0 +1,157 @@
+"""Tests for the expression IR (repro.plan.expressions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.plan.expressions import (
+    And,
+    Arith,
+    Col,
+    Compare,
+    Const,
+    Or,
+    arith_ops,
+    col_refs,
+    conjuncts,
+)
+
+
+@pytest.fixture()
+def data(rng):
+    return {
+        "a": rng.integers(1, 100, 500).astype(np.int8),
+        "b": rng.integers(1, 100, 500).astype(np.int8),
+        "x": rng.integers(0, 100, 500).astype(np.int32),
+    }
+
+
+class TestBuilding:
+    def test_operator_sugar(self):
+        expr = Col("x") < Const(13)
+        assert isinstance(expr, Compare) and expr.op == "<"
+
+    def test_eq_method(self):
+        expr = Col("x").eq(1)
+        assert expr.op == "==" and expr.right == Const(1)
+
+    def test_int_lifting(self):
+        expr = Col("a") * 3
+        assert expr.right == Const(3)
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(PlanError):
+            Col("a") * "nope"
+
+    def test_bad_compare_op_rejected(self):
+        with pytest.raises(PlanError):
+            Compare(Col("a"), "<>", Const(1))
+
+    def test_bad_arith_op_rejected(self):
+        with pytest.raises(PlanError):
+            Arith("mod", Col("a"), Const(2))
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(PlanError):
+            And([])
+
+
+class TestEvaluation:
+    def test_compare(self, data):
+        out = (Col("x") < Const(50)).evaluate(data)
+        assert np.array_equal(out, data["x"] < 50)
+
+    def test_and_or(self, data):
+        expr = And([Col("x") < Const(50), Col("a") > Const(10)])
+        expected = (data["x"] < 50) & (data["a"] > 10)
+        assert np.array_equal(expr.evaluate(data), expected)
+        expr = Or([Col("x") < Const(10), Col("x") > Const(90)])
+        expected = (data["x"] < 10) | (data["x"] > 90)
+        assert np.array_equal(expr.evaluate(data), expected)
+
+    def test_arith_upcasts_to_int64(self, data):
+        out = (Col("a") * Col("b")).evaluate(data)
+        assert out.dtype == np.int64
+        assert np.array_equal(
+            out, data["a"].astype(np.int64) * data["b"].astype(np.int64)
+        )
+
+    def test_division_truncates(self, data):
+        out = (Col("a") / Col("b")).evaluate(data)
+        expected = np.floor_divide(
+            data["a"].astype(np.int64), data["b"].astype(np.int64)
+        )
+        assert np.array_equal(out, expected)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(PlanError):
+            (Col("a") / Const(0)).evaluate({"a": np.asarray([1])})
+
+    def test_unbound_column_rejected(self):
+        with pytest.raises(PlanError):
+            Col("nope").evaluate({"a": np.asarray([1])})
+
+
+class TestIntrospection:
+    def test_columns(self):
+        expr = And([Col("x") < Const(1), Col("a") * Col("x") > Const(2)])
+        assert expr.columns() == frozenset({"x", "a"})
+
+    def test_col_refs_counts_repeats(self):
+        expr = Col("x") * Col("x")
+        assert col_refs(expr) == ("x", "x")
+
+    def test_col_refs_none(self):
+        assert col_refs(None) == ()
+
+    def test_conjuncts_splits_top_level_and(self):
+        terms = conjuncts(And([Col("a") < Const(1), Col("b") < Const(2)]))
+        assert len(terms) == 2
+
+    def test_conjuncts_single_term(self):
+        assert len(conjuncts(Col("a") < Const(1))) == 1
+        assert conjuncts(None) == ()
+
+    def test_arith_ops_flattened(self):
+        expr = (Col("a") * Col("b")) + Col("x")
+        assert sorted(arith_ops(expr)) == ["add", "mul"]
+
+    def test_arith_ops_inside_compare(self):
+        expr = (Col("a") / Col("b")) < Const(3)
+        assert arith_ops(expr) == ("div",)
+
+
+class TestToC:
+    def test_compare(self):
+        assert (Col("x") < Const(13)).to_c() == "x[i] < 13"
+
+    def test_and(self):
+        expr = And([Col("x") < Const(13), Col("y").eq(1)])
+        assert expr.to_c() == "x[i] < 13 && y[i] == 1"
+
+    def test_arith_parenthesised(self):
+        assert (Col("a") * Col("b")).to_c() == "(a[i] * b[i])"
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=60),
+    st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_predicate_evaluation_matches_numpy(values, cutoff):
+    data = {"x": np.asarray(values, dtype=np.int32)}
+    expr = Col("x") < Const(cutoff)
+    assert np.array_equal(expr.evaluate(data), data["x"] < cutoff)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=127), min_size=1, max_size=60)
+)
+@settings(max_examples=50, deadline=None)
+def test_product_never_overflows_narrow_storage(values):
+    """int8 storage, int64 arithmetic: products are exact."""
+    data = {"a": np.asarray(values, dtype=np.int8)}
+    out = (Col("a") * Col("a")).evaluate(data)
+    assert out.tolist() == [v * v for v in values]

@@ -1,0 +1,72 @@
+"""Tests for foreign-key offset indexes (repro.storage.fkindex)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.column import int_column
+from repro.storage.fkindex import ForeignKeyIndex
+from repro.storage.table import make_table
+
+
+def _tables(pk_values, fk_values):
+    referenced = make_table("dim", [int_column("pk", pk_values)])
+    referencing = make_table("fact", [int_column("fk", fk_values)])
+    return referencing, referenced
+
+
+class TestDenseKeys:
+    def test_zero_based_dense(self):
+        fact, dim = _tables([0, 1, 2, 3], [2, 0, 3])
+        index = ForeignKeyIndex(fact, "fk", dim, "pk")
+        assert index.is_dense
+        assert index.offsets.tolist() == [2, 0, 3]
+
+    def test_one_based_dense(self):
+        fact, dim = _tables([1, 2, 3], [3, 1])
+        index = ForeignKeyIndex(fact, "fk", dim, "pk")
+        assert index.is_dense
+        assert index.offsets.tolist() == [2, 0]
+
+    def test_offsets_read_only(self):
+        fact, dim = _tables([0, 1], [1])
+        index = ForeignKeyIndex(fact, "fk", dim, "pk")
+        with pytest.raises(ValueError):
+            index.offsets[0] = 0
+
+
+class TestGeneralKeys:
+    def test_unsorted_primary_keys(self):
+        fact, dim = _tables([30, 10, 20], [10, 30, 20, 10])
+        index = ForeignKeyIndex(fact, "fk", dim, "pk")
+        assert not index.is_dense
+        assert index.offsets.tolist() == [1, 0, 2, 1]
+
+    def test_offsets_resolve_to_matching_rows(self, rng):
+        pk = rng.permutation(np.arange(0, 2000, 2))  # even sparse keys
+        fk = rng.choice(pk, size=500)
+        fact, dim = _tables(pk, fk)
+        index = ForeignKeyIndex(fact, "fk", dim, "pk")
+        assert np.array_equal(pk[index.offsets], fk)
+
+    def test_violation_detected(self):
+        fact, dim = _tables([0, 1, 2], [5])
+        with pytest.raises(StorageError):
+            ForeignKeyIndex(fact, "fk", dim, "pk")
+
+    def test_violation_detected_for_sparse_keys(self):
+        fact, dim = _tables([10, 20, 30], [15])
+        with pytest.raises(StorageError):
+            ForeignKeyIndex(fact, "fk", dim, "pk")
+
+
+class TestMetadata:
+    def test_len_and_nbytes(self):
+        fact, dim = _tables([0, 1, 2], [1, 1, 2, 0])
+        index = ForeignKeyIndex(fact, "fk", dim, "pk")
+        assert len(index) == 4
+        assert index.nbytes == 4 * 8
+
+    def test_describe_mentions_kind(self):
+        fact, dim = _tables([0, 1], [1])
+        assert "dense" in ForeignKeyIndex(fact, "fk", dim, "pk").describe()

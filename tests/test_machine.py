@@ -1,0 +1,86 @@
+"""Tests for the machine model (repro.engine.machine)."""
+
+import pytest
+
+from repro.engine.machine import PAPER_MACHINE, MachineModel, SIMD_EXEMPT_OPS
+from repro.errors import CostModelError
+
+
+class TestLatencies:
+    def test_hierarchy_ordering(self):
+        m = PAPER_MACHINE
+        assert m.lat_l1 < m.lat_l2 < m.lat_llc < m.lat_mem
+        assert m.seq_line_cycles < m.lat_llc
+
+    def test_random_latency_monotone_in_size(self):
+        m = PAPER_MACHINE
+        sizes = [1024, 64 * 1024, 4 * 1024 * 1024, 256 * 1024 * 1024]
+        latencies = [m.random_latency(s) for s in sizes]
+        assert latencies == sorted(latencies)
+
+    def test_tiny_structure_is_l1(self):
+        assert PAPER_MACHINE.random_latency(1024) == PAPER_MACHINE.lat_l1
+
+    def test_huge_structure_approaches_memory(self):
+        lat = PAPER_MACHINE.random_latency(100 * 1024 * 1024 * 1024)
+        assert lat > 0.9 * PAPER_MACHINE.lat_mem
+
+    def test_zero_structure(self):
+        assert PAPER_MACHINE.random_latency(0) == PAPER_MACHINE.lat_l1
+
+    def test_negative_rejected(self):
+        with pytest.raises(CostModelError):
+            PAPER_MACHINE.random_latency(-1)
+
+
+class TestOps:
+    def test_division_expensive(self):
+        m = PAPER_MACHINE
+        assert m.op_cost("div") > 10 * m.op_cost("mul")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CostModelError):
+            PAPER_MACHINE.op_cost("frobnicate")
+
+    def test_simd_lanes_by_width(self):
+        m = PAPER_MACHINE
+        assert m.simd_lanes(1) == 32
+        assert m.simd_lanes(4) == 8
+        assert m.simd_lanes(8) == 4
+
+    def test_simd_lanes_bad_width(self):
+        with pytest.raises(CostModelError):
+            PAPER_MACHINE.simd_lanes(0)
+
+    def test_simd_exempt_ops_do_not_speed_up(self):
+        m = PAPER_MACHINE
+        for op in SIMD_EXEMPT_OPS:
+            assert m.simd_cost(op, 8) == m.op_cost(op)
+
+    def test_simd_speeds_up_regular_ops(self):
+        m = PAPER_MACHINE
+        assert m.simd_cost("mul", 8) == m.op_cost("mul") / 4
+
+
+class TestScaling:
+    def test_caches_shrink(self):
+        scaled = PAPER_MACHINE.scaled(100)
+        assert scaled.llc_bytes == PAPER_MACHINE.llc_bytes // 100
+        assert scaled.l1_bytes < PAPER_MACHINE.l1_bytes
+
+    def test_latencies_unchanged(self):
+        scaled = PAPER_MACHINE.scaled(50)
+        assert scaled.lat_mem == PAPER_MACHINE.lat_mem
+        assert scaled.mispredict_penalty == PAPER_MACHINE.mispredict_penalty
+
+    def test_floor_prevents_degenerate_caches(self):
+        scaled = PAPER_MACHINE.scaled(10**9)
+        assert scaled.l1_bytes >= 4 * scaled.line_bytes
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(CostModelError):
+            PAPER_MACHINE.scaled(0)
+
+    def test_cycles_to_seconds(self):
+        m = MachineModel(ghz=2.0)
+        assert m.cycles_to_seconds(2e9) == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Tests for the SWOLE planner's technique decisions."""
+
+import pytest
+
+from repro.core import planner as P
+from repro.core.planner import plan_query, technique_matrix
+from repro.datagen import microbench as mb
+from repro.engine.machine import PAPER_MACHINE
+
+
+@pytest.fixture(scope="module")
+def db():
+    return mb.generate(
+        mb.MicrobenchConfig(num_rows=50_000, s_rows=500, c_cardinality=64)
+    )
+
+
+#: Machine scaled as the harness would for this 50K-row database.
+MACHINE = PAPER_MACHINE.scaled(mb.PAPER_R_ROWS / 50_000)
+
+
+class TestScalarDecisions:
+    def test_memory_bound_mul_picks_value_masking(self, db):
+        plan = plan_query(mb.q1(50, "mul"), db, MACHINE)
+        assert plan.aggregation == P.VALUE_MASKING
+        assert plan.uses_pullup
+
+    def test_compute_bound_div_falls_back_to_hybrid(self, db):
+        plan = plan_query(mb.q1(30, "div"), db, MACHINE)
+        assert plan.aggregation == P.HYBRID
+
+    def test_estimates_recorded_for_all_candidates(self, db):
+        plan = plan_query(mb.q1(50), db, MACHINE)
+        assert set(plan.estimates) == {P.HYBRID, P.VALUE_MASKING}
+        assert all(v > 0 for v in plan.estimates.values())
+
+
+class TestAccessMerging:
+    def test_detected_when_column_reused(self, db):
+        plan = plan_query(mb.q3(50, "r_x"), db, MACHINE)
+        assert plan.merged_columns == ("r_x",)
+
+    def test_not_applied_without_reuse(self, db):
+        plan = plan_query(mb.q1(50), db, MACHINE)
+        assert plan.merged_columns == ()
+
+
+class TestGroupedDecisions:
+    def test_three_candidates_considered(self, db):
+        plan = plan_query(mb.q2(50), db, MACHINE)
+        assert set(plan.estimates) == {
+            P.HYBRID,
+            P.VALUE_MASKING,
+            P.KEY_MASKING,
+        }
+
+    def test_low_selectivity_prefers_hybrid(self, db):
+        plan = plan_query(mb.q2(2), db, MACHINE)
+        assert plan.aggregation == P.HYBRID
+
+
+class TestSemijoinDecisions:
+    def test_bitmap_always_chosen(self, db):
+        plan = plan_query(mb.q4(50, 50), db, MACHINE)
+        assert plan.semijoin_build in (P.BITMAP_MASK, P.BITMAP_OFFSETS)
+
+    def test_high_build_selectivity_prefers_mask_write(self, db):
+        plan = plan_query(mb.q4(50, 95), db, MACHINE)
+        assert plan.semijoin_build == P.BITMAP_MASK
+
+
+class TestGroupjoinDecisions:
+    def test_mode_is_decided(self, db):
+        plan = plan_query(mb.q5(50), db, MACHINE)
+        assert plan.groupjoin_mode in (P.EAGER, P.GROUPJOIN)
+        assert set(plan.estimates) == {P.EAGER, P.GROUPJOIN}
+
+    def test_describe_mentions_choices(self, db):
+        plan = plan_query(mb.q5(50), db, MACHINE)
+        assert "groupjoin=" in plan.describe()
+
+
+class TestTechniqueMatrix:
+    def test_matches_paper_figure_2(self):
+        matrix = technique_matrix()
+        assert set(matrix) == {
+            "Value Masking",
+            "Key Masking",
+            "Access Merging",
+            "Positional Bitmaps",
+            "Eager Aggregation",
+        }
+        assert matrix["Access Merging"]["heuristics"] == "Always Better"
+        assert matrix["Positional Bitmaps"]["heuristics"] == "Always Better"

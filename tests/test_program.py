@@ -1,0 +1,72 @@
+"""Tests for compiled programs and result handling."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_query
+from repro.datagen import microbench as mb
+from repro.engine import Session
+from repro.engine.program import CompiledQuery, QueryResult, results_equal
+from repro.engine.costing import CostReport
+from repro.engine.machine import PAPER_MACHINE
+
+
+class TestCompiledQuery:
+    def test_run_uses_fresh_tracer(self, micro_db):
+        compiled = compile_query(mb.q1(50), micro_db, "hybrid")
+        session = Session()
+        first = compiled.run(session)
+        second = compiled.run(session)
+        assert first.cycles == pytest.approx(second.cycles)
+
+    def test_run_without_session(self, micro_db):
+        compiled = compile_query(mb.q1(50), micro_db, "hybrid")
+        result = compiled.run()
+        assert result.cycles > 0
+
+    def test_source_attached(self, micro_db):
+        compiled = compile_query(mb.q1(50), micro_db, "datacentric")
+        assert "for (i = 0" in compiled.source
+
+    def test_seconds_consistent_with_cycles(self, micro_db):
+        compiled = compile_query(mb.q1(50), micro_db, "hybrid")
+        result = compiled.run(Session(machine=PAPER_MACHINE))
+        assert result.seconds == pytest.approx(
+            result.cycles / (PAPER_MACHINE.ghz * 1e9)
+        )
+
+
+class TestQueryResult:
+    def test_scalar_accessor(self, micro_db):
+        result = compile_query(mb.q1(50), micro_db, "hybrid").run()
+        assert result.scalar("sum") == result.value["sum"]
+
+    def test_groups_accessor(self, micro_db):
+        result = compile_query(mb.q2(50), micro_db, "hybrid").run()
+        groups = result.groups()
+        assert len(groups) == len(result.value["keys"])
+        first_key = int(result.value["keys"][0])
+        assert groups[first_key][0] == int(result.value["aggs"][0][0])
+
+
+class TestResultsEqual:
+    def _result(self, value):
+        return QueryResult(value=value, report=CostReport(machine=PAPER_MACHINE))
+
+    def test_scalar_equality(self):
+        assert results_equal(self._result({"sum": 5}), self._result({"sum": 5}))
+        assert not results_equal(
+            self._result({"sum": 5}), self._result({"sum": 6})
+        )
+
+    def test_different_keys_unequal(self):
+        assert not results_equal(
+            self._result({"sum": 5}), self._result({"count": 5})
+        )
+
+    def test_array_equality(self):
+        a = self._result({"keys": np.asarray([1, 2])})
+        b = self._result({"keys": np.asarray([1, 2])})
+        c = self._result({"keys": np.asarray([1, 3])})
+        assert results_equal(a, b)
+        assert not results_equal(a, c)

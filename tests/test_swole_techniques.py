@@ -1,0 +1,214 @@
+"""Tests for the SWOLE technique pipelines: correctness plus the
+access-pattern contracts that make them "access-aware".
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_query
+from repro.core import planner as P
+from repro.core.swole import compile_swole
+from repro.datagen import microbench as mb
+from repro.engine import Session, reference
+from repro.engine.events import CondRead, RandomAccess, SeqRead
+from repro.engine.hashtable import NULL_KEY
+from repro.engine.machine import PAPER_MACHINE
+from repro.plan.logical import QueryStats
+
+
+def run_events(compiled, kind):
+    result = compiled.run(Session())
+    return result, [
+        e for _, e, _ in result.report.events if isinstance(e, kind)
+    ]
+
+
+def force_stats(query, db, **overrides):
+    """Stats that force a particular planner decision for testing."""
+    from repro.plan.logical import sample_stats
+
+    stats = sample_stats(query, db.all_data())
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestValueMasking:
+    def test_no_conditional_reads_on_aggregate_columns(self, micro_db):
+        compiled = compile_swole(
+            mb.q1(50), micro_db, force=P.VALUE_MASKING
+        )
+        result, cond_reads = run_events(compiled, CondRead)
+        agg_arrays = {e.array for e in cond_reads}
+        assert "r_a" not in agg_arrays and "r_b" not in agg_arrays
+
+    def test_flat_cost_across_selectivity(self, micro_db):
+        session = Session()
+        costs = [
+            compile_swole(mb.q1(sel), micro_db, force=P.VALUE_MASKING)
+            .run(session)
+            .cycles
+            for sel in (5, 50, 95)
+        ]
+        assert max(costs) / min(costs) < 1.05
+
+    def test_answers_match_reference(self, micro_db):
+        for sel in (0, 33, 100):
+            query = mb.q1(sel)
+            compiled = compile_swole(query, micro_db, force=P.VALUE_MASKING)
+            expected = reference.evaluate(query, micro_db)
+            assert compiled.run(Session()).value == expected
+
+    def test_grouped_variant_drops_masked_only_groups(self, micro_db):
+        query = mb.q2(10)
+        compiled = compile_swole(query, micro_db, force=P.VALUE_MASKING)
+        result = compiled.run(Session())
+        expected = reference.evaluate(query, micro_db)
+        assert np.array_equal(result.value["keys"], expected["keys"])
+        assert np.array_equal(result.value["aggs"], expected["aggs"])
+
+
+class TestKeyMasking:
+    def test_answers_match_reference(self, micro_db):
+        query = mb.q2(40)
+        compiled = compile_swole(query, micro_db, force=P.KEY_MASKING)
+        expected = reference.evaluate(query, micro_db)
+        result = compiled.run(Session())
+        assert np.array_equal(result.value["keys"], expected["keys"])
+        assert np.array_equal(result.value["aggs"], expected["aggs"])
+
+    def test_null_key_never_in_output(self, micro_db):
+        compiled = compile_swole(mb.q2(1), micro_db, force=P.KEY_MASKING)
+        result = compiled.run(Session())
+        assert NULL_KEY not in result.value["keys"]
+
+    def test_hash_accesses_marked_hot_at_low_selectivity(self, micro_db):
+        compiled = compile_swole(mb.q2(10), micro_db, force=P.KEY_MASKING)
+        _, randoms = run_events(compiled, RandomAccess)
+        hot = [e for e in randoms if e.hot_fraction > 0.5]
+        assert hot, "masked keys should hit the throwaway entry"
+
+    def test_aggregate_columns_read_sequentially(self, micro_db):
+        compiled = compile_swole(mb.q2(30), micro_db, force=P.KEY_MASKING)
+        result, seq_reads = run_events(compiled, SeqRead)
+        arrays = {e.array for e in seq_reads}
+        assert {"r_a", "r_b", "r_c"} <= arrays
+
+
+class TestPositionalBitmapSemijoin:
+    def test_matches_hash_semijoin(self, micro_db):
+        query = mb.q4(30, 60)
+        swole = compile_swole(query, micro_db)
+        hybrid = compile_query(query, micro_db, "hybrid")
+        session = Session()
+        assert swole.run(session).value == hybrid.run(session).value
+
+    def test_no_hash_table_events(self, micro_db):
+        compiled = compile_swole(mb.q4(30, 60), micro_db)
+        _, randoms = run_events(compiled, RandomAccess)
+        kinds = {e.kind for e in randoms}
+        assert "ht_insert" not in kinds and "ht_lookup" not in kinds
+        assert any(k.startswith("bitmap") for k in kinds) or "bitmap_test" in kinds
+
+    def test_both_build_modes_correct(self, micro_db):
+        query = mb.q4(50, 50)
+        expected = reference.evaluate(query, micro_db)
+        from repro.core.positional_bitmap import semijoin_pipeline
+
+        for mode in (P.BITMAP_MASK, P.BITMAP_OFFSETS):
+            session = Session()
+            value = semijoin_pipeline(
+                session, micro_db, query, mode, P.VALUE_MASKING
+            )
+            assert value == expected
+
+    def test_hybrid_aggregation_fallback_correct(self, micro_db):
+        query = mb.q4(50, 50)
+        expected = reference.evaluate(query, micro_db)
+        from repro.core.positional_bitmap import semijoin_pipeline
+
+        session = Session()
+        value = semijoin_pipeline(
+            session, micro_db, query, P.BITMAP_MASK, P.HYBRID
+        )
+        assert value == expected
+
+
+class TestEagerAggregation:
+    def test_matches_traditional_groupjoin(self, micro_db):
+        query = mb.q5(40)
+        from repro.core.eager_aggregation import groupjoin_pipeline
+
+        session = Session()
+        value = groupjoin_pipeline(session, micro_db, query)
+        expected = reference.evaluate(query, micro_db)
+        assert np.array_equal(value["keys"], expected["keys"])
+        assert np.array_equal(value["aggs"], expected["aggs"])
+
+    def test_deletions_charged(self, micro_db):
+        from repro.core.eager_aggregation import groupjoin_pipeline
+
+        session = Session()
+        groupjoin_pipeline(session, micro_db, mb.q5(30))
+        kinds = {
+            e.kind
+            for _, e, _ in session.tracer.report.events
+            if isinstance(e, RandomAccess)
+        }
+        assert "ht_delete" in kinds
+
+    def test_with_probe_side_predicate(self, micro_db):
+        """EA composes with key masking when the probe side filters."""
+        from repro.core.eager_aggregation import groupjoin_pipeline
+        from repro.plan.expressions import Col, Const
+        from repro.plan.logical import AggSpec, JoinSpec, Query
+
+        query = Query(
+            table="R",
+            predicate=Col("r_x") < Const(40),
+            aggregates=(AggSpec("sum", Col("r_a"), name="sum"),),
+            group_by="r_fk",
+            join=JoinSpec(
+                build_table="S",
+                fk_column="r_fk",
+                pk_column="s_pk",
+                build_predicate=Col("s_x") < Const(60),
+            ),
+            name="ea-with-pred",
+        )
+        session = Session()
+        value = groupjoin_pipeline(session, micro_db, query)
+        expected = reference.evaluate(query, micro_db)
+        assert np.array_equal(value["keys"], expected["keys"])
+        assert np.array_equal(value["aggs"], expected["aggs"])
+
+
+class TestAccessMerging:
+    def test_merged_column_read_once(self, micro_db):
+        query = mb.q3(50, "r_x")
+        compiled = compile_swole(query, micro_db, force=P.VALUE_MASKING)
+        _, seq_reads = run_events(compiled, SeqRead)
+        reads_of_x = [e for e in seq_reads if e.array == "r_x"]
+        assert len(reads_of_x) == 1
+
+    def test_merging_reduces_cost(self, micro_db):
+        from repro.core import access_merging
+
+        query = mb.q3(50, "r_x")
+        assert access_merging.merging_opportunity(query) == ("r_x",)
+        assert access_merging.merged_read_set(query) == set()
+        assert access_merging.merged_read_set(query, enabled=False) is None
+        no_reuse = mb.q1(50)
+        assert access_merging.merged_read_set(no_reuse) is None
+        assert access_merging.saved_reads(query, 100) == 100
+
+
+class TestPlanNotes:
+    def test_compiled_query_carries_plan(self, micro_db):
+        compiled = compile_swole(mb.q1(50), micro_db)
+        assert "aggregation=" in compiled.notes["plan"]
+        assert compiled.notes["estimates"]
+
+    def test_force_overrides_planner(self, micro_db):
+        compiled = compile_swole(mb.q1(50, "div"), micro_db, force=P.VALUE_MASKING)
+        assert "value_masking" in compiled.notes["plan"]

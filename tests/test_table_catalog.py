@@ -1,0 +1,130 @@
+"""Tests for tables, catalog, and the Database facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.column import int_column
+from repro.storage.database import Database
+from repro.storage.table import Catalog, ForeignKey, Table, make_table
+
+
+def _table(name="t", n=5):
+    return make_table(
+        name,
+        [
+            int_column("pk", np.arange(n)),
+            int_column("v", np.arange(n) * 2),
+        ],
+    )
+
+
+class TestTable:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            make_table("t", [int_column("a", [1]), int_column("b", [1, 2])])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            make_table("t", [int_column("a", [1]), int_column("a", [2])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=())
+
+    def test_num_rows(self):
+        assert _table(n=7).num_rows == 7
+        assert len(_table(n=7)) == 7
+
+    def test_column_lookup(self):
+        table = _table()
+        assert table.column("v").name == "v"
+        assert "v" in table
+        assert "nope" not in table
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            _table().column("nope")
+
+    def test_getitem_returns_raw_values(self):
+        assert _table()["v"].tolist() == [0, 2, 4, 6, 8]
+
+    def test_nbytes_sums_columns(self):
+        table = _table(n=4)
+        assert table.nbytes == sum(c.nbytes for c in table.columns)
+
+    def test_select_rows(self):
+        sub = _table().select_rows(np.asarray([3, 1]))
+        assert sub["pk"].tolist() == [3, 1]
+        assert sub.num_rows == 2
+
+    def test_head(self):
+        head = _table(n=10).head(3)
+        assert head["pk"].tolist() == [0, 1, 2]
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        cat = Catalog()
+        cat.add_table(_table("x"))
+        assert cat.table("x").name == "x"
+        assert "x" in cat
+        assert cat.table_names == ["x"]
+
+    def test_duplicate_table_rejected(self):
+        cat = Catalog()
+        cat.add_table(_table("x"))
+        with pytest.raises(SchemaError):
+            cat.add_table(_table("x"))
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(SchemaError):
+            Catalog().table("nope")
+
+    def test_foreign_key_endpoints_validated(self):
+        cat = Catalog()
+        cat.add_table(_table("a"))
+        cat.add_table(_table("b"))
+        with pytest.raises(SchemaError):
+            cat.add_foreign_key(ForeignKey("a", "nope", "b", "pk"))
+
+    def test_foreign_keys_filtered_by_table(self):
+        cat = Catalog()
+        cat.add_table(_table("a"))
+        cat.add_table(_table("b"))
+        cat.add_foreign_key(ForeignKey("a", "v", "b", "pk"))
+        assert len(cat.foreign_keys("a")) == 1
+        assert cat.foreign_keys("b") == []
+        assert len(cat.foreign_keys()) == 1
+
+
+class TestDatabase:
+    def test_fk_index_built_eagerly(self):
+        db = Database()
+        db.add_table(_table("dim", n=4))
+        db.add_table(
+            make_table(
+                "fact", [int_column("fk", [0, 3, 2, 2]), int_column("x", [1, 2, 3, 4])]
+            )
+        )
+        index = db.add_foreign_key("fact", "fk", "dim", "pk")
+        assert index.offsets.tolist() == [0, 3, 2, 2]
+        assert db.has_fk_index("fact", "fk")
+
+    def test_missing_fk_index_raises(self):
+        db = Database()
+        db.add_table(_table("t"))
+        with pytest.raises(SchemaError):
+            db.fk_index("t", "v")
+
+    def test_data_returns_all_columns(self):
+        db = Database()
+        db.add_table(_table("t"))
+        data = db.data("t")
+        assert set(data) == {"pk", "v"}
+
+    def test_column_values_with_rows(self):
+        db = Database()
+        db.add_table(_table("t"))
+        out = db.column_values("t", "v", rows=np.asarray([0, 2]))
+        assert out.tolist() == [0, 4]
