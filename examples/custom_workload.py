@@ -13,11 +13,9 @@ Run:  python examples/custom_workload.py
 
 import numpy as np
 
+from repro import Engine
 from repro.bench.microbench import scaled_machine
-from repro.codegen import compile_query
-from repro.core.swole import compile_swole
 from repro.datagen.microbench import MicrobenchConfig
-from repro.engine.session import Session
 from repro.plan.expressions import And, Col, Const
 from repro.plan.logical import AggSpec, Query
 from repro.storage.column import Column, LogicalType, string_column
@@ -65,17 +63,17 @@ def main() -> None:
 
     # caches scaled as if this were a 100M-row production table
     machine = scaled_machine(MicrobenchConfig(num_rows=1_000_000))
-    session = Session(machine=machine)
+    engine = Engine(db, machine=machine, workers=4)
 
-    compiled = compile_swole(query, db, machine=machine)
+    compiled = engine.compile(query)  # "auto" -> SWOLE, cached
     print(f"SWOLE plan: {compiled.notes['plan']}")
     print("candidate estimates (cycles):")
     for technique, cycles in sorted(compiled.notes["estimates"].items()):
         print(f"  {technique:<24s} {cycles:>16,.0f}")
     print()
 
-    result = compiled.run(session)
-    hybrid = compile_query(query, db, "hybrid").run(session)
+    result = engine.execute(query)  # morsel-parallel on 4 workers
+    hybrid = engine.execute(query, "hybrid")
     assert np.array_equal(result.value["keys"], hybrid.value["keys"])
     assert np.array_equal(result.value["aggs"], hybrid.value["aggs"])
 
@@ -90,6 +88,11 @@ def main() -> None:
         f"simulated runtime: swole {result.seconds:.4f}s vs "
         f"hybrid {hybrid.seconds:.4f}s "
         f"({hybrid.seconds / result.seconds:.2f}x)"
+    )
+    print(
+        f"parallel: {result.metrics.workers} workers, "
+        f"{result.metrics.morsels} morsels, "
+        f"{result.metrics.speedup:.2f}x simulated critical-path speedup"
     )
 
 

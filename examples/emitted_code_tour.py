@@ -8,8 +8,7 @@ semijoin (positional bitmap), and the groupjoin (eager aggregation).
 Run:  python examples/emitted_code_tour.py
 """
 
-import repro.core.swole  # noqa: F401
-from repro.codegen import compile_query
+from repro import Engine
 from repro.core import planner as P
 from repro.core.swole import compile_swole
 from repro.datagen import microbench as mb
@@ -25,16 +24,19 @@ def show(title: str, source: str) -> None:
 
 def main() -> None:
     db = mb.generate(mb.MicrobenchConfig(num_rows=100_000, s_rows=1_000))
+    engine = Engine(db)
 
     # Figure 1: the existing strategies on the running example
     query = mb.q1(13)
     for strategy in ("datacentric", "hybrid", "rof"):
         show(
             f"Fig 1 — {strategy} for {query.name}",
-            compile_query(query, db, strategy).source,
+            engine.compile(query, strategy).source,
         )
 
-    # Figure 3: value masking
+    # Figure 3+: forced SWOLE techniques. Engine.compile always lets
+    # the planner choose, so the force= research knob keeps using
+    # repro.core.swole.compile_swole directly.
     show(
         "Fig 3 — SWOLE value masking",
         compile_swole(query, db, force=P.VALUE_MASKING).source,
@@ -58,14 +60,14 @@ def main() -> None:
         compile_swole(merged, db, force=P.VALUE_MASKING).source,
     )
 
-    # §III-D: positional bitmap semijoin
+    # §III-D: positional bitmap semijoin (planner's own pick -> Engine)
     semijoin = mb.q4(50, 50)
     show("§III-D — positional bitmap semijoin",
-         compile_swole(semijoin, db).source)
+         engine.compile(semijoin).source)
 
     # §III-E: eager aggregation (force by picking a favourable config)
     groupjoin = mb.q5(80)
-    compiled = compile_swole(groupjoin, db)
+    compiled = engine.compile(groupjoin)
     show(
         f"§III-E — groupjoin plan ({compiled.notes['plan']})",
         compiled.source,

@@ -3,22 +3,24 @@
 Generates TPC-H data, runs the paper's eight queries under every
 strategy, prints the Figure 6 table (with the paper's reported SWOLE
 speedups alongside), and then zooms into Q4 — the paper's biggest win —
-showing where each strategy's cycles go.
+showing where each strategy's cycles go. Everything runs through one
+:class:`repro.Engine`, so the eight queries compile once into its plan
+cache and the single-table scans (Q1, Q6) can run morsel-parallel.
 
-Run:  python examples/tpch_demo.py [scale_factor]
+Run:  python examples/tpch_demo.py [scale_factor] [workers]
 """
 
 import sys
 
+from repro import Engine
 from repro.bench.tpch import run_fig6
 from repro.datagen import tpch as tpchgen
 from repro.engine.machine import PAPER_MACHINE
-from repro.engine.session import Session
-from repro.tpch import compile_tpch
 
 
 def main() -> None:
     sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     config = tpchgen.TpchConfig(scale_factor=sf)
     print(f"generating TPC-H SF {sf} ...")
     db = tpchgen.generate(config)
@@ -26,14 +28,14 @@ def main() -> None:
         print(f"  {name:<10s} {db.table(name).num_rows:>10,d} rows")
     print()
 
-    report = run_fig6(config, db=db)
+    report = run_fig6(config, db=db, workers=workers)
     print(report.format_table())
     print()
 
     print("Q4 anatomy (hash semijoin vs positional bitmap):")
-    session = Session(machine=PAPER_MACHINE.scaled(config.machine_scale))
+    engine = Engine(db, machine=PAPER_MACHINE.scaled(config.machine_scale))
     for strategy in ("hybrid", "swole"):
-        result = compile_tpch("Q4", strategy, db).run(session)
+        result = engine.execute("Q4", strategy)
         print(f"--- {strategy}")
         print(result.report.breakdown())
     print()

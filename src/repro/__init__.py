@@ -3,35 +3,90 @@
 Reproduction of Crotty, Galakatos & Kraska (ICDE 2020). See README.md for
 the public API tour and DESIGN.md for the architecture.
 
-Typical entry points::
+The unified entry point is :class:`Engine` — compile (with plan caching),
+execute (morsel-parallel), inspect run metrics::
 
-    from repro import Session, compile_query, compile_swole
+    from repro import Engine
     from repro.datagen import microbench as mb
 
     db = mb.generate(mb.MicrobenchConfig(num_rows=1_000_000))
-    program = compile_swole(mb.q1(13), db)
-    result = program.run(Session())
+    engine = Engine(db, workers=4)
+    result = engine.execute(mb.q1(13))
+    print(result.scalar(), result.metrics.describe())
+
+The historical free functions ``compile_query`` / ``compile_swole``
+remain as deprecated wrappers; prefer ``Engine.compile``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from .codegen import available_strategies, compile_query
-from .core import compile_swole, plan_query
-from .engine import MachineModel, PAPER_MACHINE, Session
+import warnings as _warnings
+
+from .codegen import available_strategies
+from .codegen import compile_query as _compile_query
+from .core import compile_swole as _compile_swole
+from .core import plan_query
+from .engine import (
+    Engine,
+    ExecutionKnobs,
+    MachineModel,
+    MorselExecutor,
+    PAPER_MACHINE,
+    PlanCache,
+    RunMetrics,
+    Session,
+)
 from .errors import ReproError
 from .plan import AggSpec, Col, Const, JoinSpec, Query
 from .storage import Database
+
+
+def compile_query(query, db, strategy):
+    """Deprecated: use :meth:`Engine.compile` instead.
+
+    ``Engine(db).compile(query, strategy)`` adds plan caching and pairs
+    with morsel-parallel execution; this wrapper compiles uncached.
+    """
+    _warnings.warn(
+        "repro.compile_query is deprecated; use repro.Engine(db)"
+        ".compile(query, strategy)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _compile_query(query, db, strategy)
+
+
+def compile_swole(query, db, machine=None, stats=None, force=None):
+    """Deprecated: use :meth:`Engine.compile` instead.
+
+    ``Engine(db, machine=...).compile(query)`` resolves to SWOLE by
+    default; keep using :func:`repro.core.swole.compile_swole` directly
+    for the ``stats``/``force`` research knobs.
+    """
+    _warnings.warn(
+        "repro.compile_swole is deprecated; use repro.Engine(db, "
+        "machine=...).compile(query)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _compile_swole(query, db, machine=machine, stats=stats, force=force)
+
 
 __all__ = [
     "AggSpec",
     "Col",
     "Const",
     "Database",
+    "Engine",
+    "ExecutionKnobs",
     "JoinSpec",
     "MachineModel",
+    "MorselExecutor",
     "PAPER_MACHINE",
+    "PlanCache",
     "Query",
     "ReproError",
+    "RunMetrics",
     "Session",
     "__version__",
     "available_strategies",

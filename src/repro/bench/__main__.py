@@ -1,7 +1,11 @@
 """Command-line figure regenerator: ``python -m repro.bench <figure>``.
 
 Figures: fig2, fig6, fig8, fig9, fig10, fig11, fig12, all.
-Use ``--rows`` / ``--sf`` to trade fidelity for speed.
+Use ``--rows`` / ``--sf`` to trade fidelity for speed, ``--workers`` to
+run partitionable scans morsel-parallel (seconds become the simulated
+critical path), and ``--plan-cache cold`` to force recompilation between
+sweep points. ``--quick`` runs a small smoke suite: one fig8 panel plus
+a parallel-scan and plan-cache demonstration.
 """
 
 from __future__ import annotations
@@ -19,8 +23,15 @@ def _print(block: str) -> None:
     print()
 
 
-def run_figure(name: str, rows: int, sf: float) -> None:
+def run_figure(
+    name: str,
+    rows: int,
+    sf: float,
+    workers: int = 1,
+    plan_cache: str = "warm",
+) -> None:
     config = mb.MicrobenchConfig(num_rows=rows)
+    par = dict(workers=workers, plan_cache=plan_cache)
     if name == "fig2":
         from ..core.planner import technique_matrix
 
@@ -35,21 +46,23 @@ def run_figure(name: str, rows: int, sf: float) -> None:
     if name == "fig6":
         _print(
             tpchbench.run_fig6(
-                tpchgen.TpchConfig(scale_factor=sf)
+                tpchgen.TpchConfig(scale_factor=sf), **par
             ).format_table()
         )
         return
     if name == "fig8":
         for op in ("mul", "div"):
-            _print(micro.fig8(op, config=config).format_table())
+            _print(micro.fig8(op, config=config, **par).format_table())
         return
     if name == "fig9":
         for cardinality in (10, 1_000, 100_000, 10_000_000):
-            _print(micro.fig9(cardinality, config=config).format_table())
+            _print(
+                micro.fig9(cardinality, config=config, **par).format_table()
+            )
         return
     if name == "fig10":
         for col in ("r_b", "r_x"):
-            _print(micro.fig10(col, config=config).format_table())
+            _print(micro.fig10(col, config=config, **par).format_table())
         return
     if name == "fig11":
         for side, fixed in (
@@ -58,13 +71,51 @@ def run_figure(name: str, rows: int, sf: float) -> None:
             ("build", 10),
             ("build", 90),
         ):
-            _print(micro.fig11(side, fixed, config=config).format_table())
+            _print(
+                micro.fig11(side, fixed, config=config, **par).format_table()
+            )
         return
     if name == "fig12":
         for s_rows in (mb.PAPER_S_SMALL, mb.PAPER_S_LARGE):
-            _print(micro.fig12(s_rows, config=config).format_table())
+            _print(micro.fig12(s_rows, config=config, **par).format_table())
         return
     raise SystemExit(f"unknown figure {name!r}")
+
+
+def run_quick(workers: int) -> None:
+    """CI smoke run: tiny fig8 panel + executor and plan-cache demos."""
+    from ..engine import Engine
+
+    config = mb.MicrobenchConfig(num_rows=50_000, s_rows=500, c_cardinality=32)
+    _print(
+        micro.fig8(
+            "mul", config=config, selectivities=(10, 50, 90)
+        ).format_table()
+    )
+
+    db = mb.generate(config)
+    machine = micro.scaled_machine(config)
+    engine = Engine(db, machine=machine, workers=workers)
+    query = mb.q1(50)
+
+    serial = engine.execute(query, "swole", workers=1)
+    parallel = engine.execute(query, "swole", workers=workers)
+    assert serial.value == parallel.value, "parallel result diverged"
+    print(f"morsel executor ({workers} workers, uQ1 scan):")
+    print(parallel.metrics.describe())
+    print()
+
+    warm = engine.execute(query, "swole", workers=workers)
+    stats = engine.cache_stats
+    print(
+        f"plan cache: first run {serial.metrics.plan_cache}, "
+        f"warm run {warm.metrics.plan_cache} "
+        f"(hits={stats.hits} misses={stats.misses} -> "
+        f"{stats.misses} compilation(s) for "
+        f"{stats.hits + stats.misses} executions)"
+    )
+    speedup = parallel.metrics.speedup
+    print(f"simulated parallel speedup: {speedup:.2f}x at {workers} workers")
 
 
 def main() -> None:
@@ -73,7 +124,8 @@ def main() -> None:
     )
     parser.add_argument(
         "figures",
-        nargs="+",
+        nargs="*",
+        default=[],
         help="fig2 fig6 fig8 fig9 fig10 fig11 fig12, or 'all'",
     )
     parser.add_argument(
@@ -88,12 +140,40 @@ def main() -> None:
         default=0.01,
         help="TPC-H scale factor (paper: 10; caches scale to match)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads for partitionable scans (simulated critical "
+        "path is reported when > 1)",
+    )
+    parser.add_argument(
+        "--plan-cache",
+        choices=("warm", "cold"),
+        default="warm",
+        help="'warm' reuses compiled plans across a sweep; 'cold' "
+        "recompiles at every point",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke suite (CI): tiny fig8 + executor/cache demos",
+    )
     args = parser.parse_args()
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    if args.quick:
+        run_quick(max(args.workers, 4))
+        return
     figures = args.figures
+    if not figures:
+        parser.error("name at least one figure, or pass --quick")
     if figures == ["all"]:
         figures = ["fig2", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12"]
     for figure in figures:
-        run_figure(figure, args.rows, args.sf)
+        run_figure(
+            figure, args.rows, args.sf, args.workers, args.plan_cache
+        )
 
 
 if __name__ == "__main__":

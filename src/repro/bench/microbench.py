@@ -17,12 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..codegen import compile_query
 from ..core.swole import compile_swole
 from ..datagen import microbench as mb
+from ..engine.facade import Engine
 from ..engine.machine import PAPER_MACHINE, MachineModel
-from ..engine.program import CompiledQuery
-from ..engine.session import Session
 from ..plan.logical import Query
 from ..storage.database import Database
 
@@ -42,6 +40,11 @@ class SweepResult:
     x_values: List[int] = field(default_factory=list)
     series: Dict[str, List[float]] = field(default_factory=dict)
     decisions: Dict[int, str] = field(default_factory=dict)
+    #: Worker count the sweep ran with (seconds are the simulated
+    #: critical path when > 1).
+    workers: int = 1
+    #: Plan-cache counters of the sweep's engine (hits/misses/...).
+    cache_stats: Dict[str, float] = field(default_factory=dict)
 
     def add(self, x: int, strategy: str, seconds: float) -> None:
         if x not in self.x_values:
@@ -50,10 +53,13 @@ class SweepResult:
 
     def format_table(self) -> str:
         names = list(self.series)
+        title = self.title
+        if self.workers > 1:
+            title += f" [{self.workers} workers]"
         header = f"{self.x_label:>6s} " + " ".join(
             f"{name:>12s}" for name in names
         )
-        lines = [self.title, header]
+        lines = [title, header]
         for i, x in enumerate(self.x_values):
             row = f"{x:>6d} " + " ".join(
                 f"{self.series[name][i]:>12.4f}" for name in names
@@ -61,6 +67,11 @@ class SweepResult:
             if x in self.decisions:
                 row += f"   [{self.decisions[x]}]"
             lines.append(row)
+        if self.cache_stats:
+            lines.append(
+                "plan cache: hits={hits} misses={misses} "
+                "evictions={evictions}".format(**self.cache_stats)
+            )
         return "\n".join(lines)
 
     def crossover(self, a: str, b: str) -> Optional[int]:
@@ -81,16 +92,21 @@ def run_strategies(
     db: Database,
     machine: MachineModel,
     strategies: Sequence[str] = PAPER_SERIES,
+    workers: int = 1,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, float]:
-    """Compile and run ``query`` under each strategy; seconds by name."""
-    session = Session(machine=machine)
+    """Run ``query`` under each strategy; simulated seconds by name.
+
+    With ``workers > 1`` the reported seconds are the simulated parallel
+    critical path of the morsel schedule. Pass a shared ``engine`` to
+    amortise compilation through its plan cache across calls.
+    """
+    if engine is None:
+        engine = Engine(db, machine=machine, workers=workers)
     out: Dict[str, float] = {}
     for strategy in strategies:
-        if strategy == "swole":
-            compiled: CompiledQuery = compile_swole(query, db, machine=machine)
-        else:
-            compiled = compile_query(query, db, strategy)
-        out[strategy] = compiled.run(session).seconds
+        result = engine.execute(query, strategy, workers=workers)
+        out[strategy] = result.metrics.parallel_seconds
     return out
 
 
@@ -101,15 +117,23 @@ def _sweep(
     query_for: Callable[[int], Query],
     selectivities: Sequence[int],
     strategies: Sequence[str],
+    workers: int = 1,
+    plan_cache: str = "warm",
 ) -> SweepResult:
-    result = SweepResult(title=title, x_label="sel%")
+    engine = Engine(db, machine=machine, workers=workers)
+    result = SweepResult(title=title, x_label="sel%", workers=workers)
     for sel in selectivities:
+        if plan_cache == "cold":
+            engine.invalidate()
         query = query_for(sel)
-        seconds = run_strategies(query, db, machine, strategies)
+        seconds = run_strategies(
+            query, db, machine, strategies, workers=workers, engine=engine
+        )
         for strategy, value in seconds.items():
             result.add(sel, strategy, value)
         swole_compiled = compile_swole(query, db, machine=machine)
         result.decisions[sel] = swole_compiled.notes.get("plan", "")
+    result.cache_stats = engine.cache_stats.snapshot()
     return result
 
 
@@ -119,6 +143,8 @@ def fig8(
     selectivities: Sequence[int] = DEFAULT_SELECTIVITIES,
     db: Optional[Database] = None,
     strategies: Sequence[str] = PAPER_SERIES,
+    workers: int = 1,
+    plan_cache: str = "warm",
 ) -> SweepResult:
     """Figure 8: µQ1 value masking, ``op`` in {'mul' (8a), 'div' (8b)}."""
     if db is None:
@@ -131,6 +157,8 @@ def fig8(
         lambda sel: mb.q1(sel, op),
         selectivities,
         strategies,
+        workers=workers,
+        plan_cache=plan_cache,
     )
 
 
@@ -139,6 +167,8 @@ def fig9(
     config: Optional[mb.MicrobenchConfig] = None,
     selectivities: Sequence[int] = DEFAULT_SELECTIVITIES,
     strategies: Sequence[str] = PAPER_SERIES,
+    workers: int = 1,
+    plan_cache: str = "warm",
 ) -> SweepResult:
     """Figure 9: µQ2 key masking at a group-by cardinality.
 
@@ -166,6 +196,8 @@ def fig9(
         mb.q2,
         selectivities,
         strategies,
+        workers=workers,
+        plan_cache=plan_cache,
     )
 
 
@@ -175,6 +207,8 @@ def fig10(
     selectivities: Sequence[int] = DEFAULT_SELECTIVITIES,
     db: Optional[Database] = None,
     strategies: Sequence[str] = PAPER_SERIES,
+    workers: int = 1,
+    plan_cache: str = "warm",
 ) -> SweepResult:
     """Figure 10: µQ3 access merging, ``col`` in {'r_b' (10a), 'r_x' (10b)}."""
     if db is None:
@@ -187,6 +221,8 @@ def fig10(
         lambda sel: mb.q3(sel, col),
         selectivities,
         strategies,
+        workers=workers,
+        plan_cache=plan_cache,
     )
 
 
@@ -196,6 +232,8 @@ def fig11(
     config: Optional[mb.MicrobenchConfig] = None,
     selectivities: Sequence[int] = DEFAULT_SELECTIVITIES,
     strategies: Sequence[str] = PAPER_SERIES,
+    workers: int = 1,
+    plan_cache: str = "warm",
 ) -> SweepResult:
     """Figure 11: µQ4 positional bitmaps. ``fixed_side`` is 'probe' or
     'build'; the other side's selectivity sweeps. |S| is the 1M panel,
@@ -220,7 +258,16 @@ def fig11(
         title = f"Fig 11: uQ4 bitmaps, build sel fixed {fixed_sel}%"
     else:
         raise ValueError("fixed_side must be 'probe' or 'build'")
-    return _sweep(title, db, machine, query_for, selectivities, strategies)
+    return _sweep(
+        title,
+        db,
+        machine,
+        query_for,
+        selectivities,
+        strategies,
+        workers=workers,
+        plan_cache=plan_cache,
+    )
 
 
 def fig12(
@@ -228,6 +275,8 @@ def fig12(
     config: Optional[mb.MicrobenchConfig] = None,
     selectivities: Sequence[int] = DEFAULT_SELECTIVITIES,
     strategies: Sequence[str] = PAPER_SERIES,
+    workers: int = 1,
+    plan_cache: str = "warm",
 ) -> SweepResult:
     """Figure 12: µQ5 eager aggregation, |S| in {1K (12a), 1M (12b)} at
     paper scale (scaled down with the data)."""
@@ -252,4 +301,6 @@ def fig12(
         mb.q5,
         selectivities,
         strategies,
+        workers=workers,
+        plan_cache=plan_cache,
     )

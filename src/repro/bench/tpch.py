@@ -12,10 +12,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..datagen import tpch as tpchgen
+from ..engine.facade import Engine
 from ..engine.machine import PAPER_MACHINE
-from ..engine.session import Session
 from ..storage.database import Database
-from ..tpch import compile_tpch, query_names
+from ..tpch import query_names
 
 #: Strategy series of Figure 6 (interpreter plays HyPer's sanity role).
 FIG6_SERIES = ("interpreter", "datacentric", "hybrid", "swole")
@@ -57,6 +57,8 @@ class TpchReport:
 
     scale_factor: float
     rows: List[TpchRow] = field(default_factory=list)
+    workers: int = 1
+    cache_stats: Dict[str, float] = field(default_factory=dict)
 
     def format_table(self) -> str:
         header = (
@@ -64,8 +66,10 @@ class TpchReport:
             + " ".join(f"{name:>12s}" for name in FIG6_SERIES)
             + f" {'hy/dc':>7s} {'sw/hy':>7s} {'paper':>7s}"
         )
+        suffix = f", {self.workers} workers" if self.workers > 1 else ""
         lines = [
-            f"Fig 6: TPC-H (SF {self.scale_factor}, simulated seconds)",
+            f"Fig 6: TPC-H (SF {self.scale_factor}, simulated "
+            f"seconds{suffix})",
             header,
         ]
         for row in self.rows:
@@ -94,17 +98,27 @@ def run_fig6(
     queries: Optional[Sequence[str]] = None,
     strategies: Sequence[str] = FIG6_SERIES,
     db: Optional[Database] = None,
+    workers: int = 1,
+    plan_cache: str = "warm",
 ) -> TpchReport:
-    """Run the Figure 6 experiment and return the report."""
+    """Run the Figure 6 experiment and return the report.
+
+    With ``workers > 1`` the single-table scans (Q1, Q6) run
+    morsel-parallel and their seconds are the simulated critical path;
+    ``plan_cache="cold"`` drops compiled plans between queries.
+    """
     if db is None:
         db = tpchgen.generate(config)
     machine = PAPER_MACHINE.scaled(config.machine_scale)
-    session = Session(machine=machine)
-    report = TpchReport(scale_factor=config.scale_factor)
+    engine = Engine(db, machine=machine, workers=workers)
+    report = TpchReport(scale_factor=config.scale_factor, workers=workers)
     for name in queries or query_names():
+        if plan_cache == "cold":
+            engine.invalidate()
         seconds = {
-            strategy: compile_tpch(name, strategy, db).run(session).seconds
+            strategy: engine.execute(name, strategy).metrics.parallel_seconds
             for strategy in strategies
         }
         report.rows.append(TpchRow(query=name, seconds=seconds))
+    report.cache_stats = engine.cache_stats.snapshot()
     return report

@@ -24,6 +24,18 @@ def column_width(data: Dict[str, np.ndarray], name: str) -> int:
     return int(data[name].dtype.itemsize)
 
 
+def slice_columns(
+    data: Dict[str, np.ndarray], lo: int, hi: int
+) -> Dict[str, np.ndarray]:
+    """A zero-copy row-range view of a column dict (one morsel's input)."""
+    return {name: values[lo:hi] for name, values in data.items()}
+
+
+def table_rows(data: Dict[str, np.ndarray]) -> int:
+    """Row count of a column dict."""
+    return int(next(iter(data.values())).shape[0])
+
+
 def emit_seq_reads(
     session: Session,
     data: Dict[str, np.ndarray],

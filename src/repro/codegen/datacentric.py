@@ -4,6 +4,11 @@ One fused, push-based loop per pipeline; tuples stay "in registers".
 Predicates become per-tuple ``if`` statements (short-circuit conjuncts),
 so downstream column accesses are *conditional* and every predicate is a
 branch-misprediction site. No SIMD: the control dependency precludes it.
+
+Pipeline bodies take the scanned columns as an explicit parameter so the
+morsel executor can run them over row-range slices; scans and semijoin
+probes declare :class:`~repro.engine.program.ParallelPlan`s, while the
+groupjoin mutates the shared build-side table and stays serial.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import numpy as np
 
 from ..engine import kernels as K
 from ..engine.hashtable import HashTable
-from ..engine.program import CompiledQuery
+from ..engine.program import CompiledQuery, ParallelPlan
 from ..engine.session import Session
 from ..plan.expressions import conjuncts
 from ..plan.logical import Query
@@ -26,6 +31,8 @@ from .common import (
     emit_cond_reads,
     eval_aggregates_subset,
     grouped_result,
+    slice_columns,
+    table_rows,
 )
 from .emit import emit_datacentric
 
@@ -45,9 +52,7 @@ def _build_hash_table(
         if build_conjs:
             mask = datacentric_predicate(session, build_data, build_conjs)
         else:
-            mask = np.ones(
-                next(iter(build_data.values())).shape[0], dtype=bool
-            )
+            mask = np.ones(table_rows(build_data), dtype=bool)
             K.scalar_loop(session, int(mask.shape[0]))
         keys = build_data[join.pk_column][mask]
         emit_cond_reads(session, build_data, [join.pk_column], int(mask.sum()))
@@ -60,6 +65,7 @@ def _build_hash_table(
 def compile_datacentric(query: Query, db: Database) -> CompiledQuery:
     """Compile ``query`` with the data-centric strategy."""
     data = db.data(query.table)
+    n_rows = table_rows(data)
     source = emit_datacentric(query)
     conjs = query.predicate_conjuncts()
     agg_cols = agg_exprs_columns(query.aggregates)
@@ -68,32 +74,43 @@ def compile_datacentric(query: Query, db: Database) -> CompiledQuery:
         if query.join is not None:
             return _run_join(session)
         with session.tracer.overlap():
-            return _run_scan(session)
+            return _run_scan(session, data)
 
-    def _run_scan(session: Session) -> Dict[str, Any]:
-        mask = datacentric_predicate(session, data, conjs)
+    def _scan_mask(
+        session: Session, view: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        if conjs:
+            return datacentric_predicate(session, view, conjs)
+        mask = np.ones(table_rows(view), dtype=bool)
+        K.scalar_loop(session, int(mask.shape[0]))
+        return mask
+
+    def _run_scan(
+        session: Session, view: Dict[str, np.ndarray]
+    ) -> Dict[str, Any]:
+        mask = _scan_mask(session, view)
         k = int(mask.sum())
         if query.group_by is None:
             with session.tracer.kernel("aggregate"):
-                emit_cond_reads(session, data, agg_cols, k)
+                emit_cond_reads(session, view, agg_cols, k)
                 return eval_aggregates_subset(
-                    session, data, query.aggregates, mask, simd=False
+                    session, view, query.aggregates, mask, simd=False
                 )
         with session.tracer.kernel("group-by aggregate"):
             emit_cond_reads(
-                session, data, set(agg_cols) | {query.group_by}, k
+                session, view, set(agg_cols) | {query.group_by}, k
             )
-            return _grouped_aggregate(session, mask)
+            return _grouped_aggregate(session, view, mask)
 
     def _grouped_aggregate(
-        session: Session, mask: np.ndarray
+        session: Session, view: Dict[str, np.ndarray], mask: np.ndarray
     ) -> Dict[str, Any]:
-        keys = data[query.group_by][mask].astype(np.int64)
+        keys = view[query.group_by][mask].astype(np.int64)
         table = HashTable(
             expected_keys=_expected_groups(keys),
             num_aggs=len(query.aggregates),
         )
-        subset = {name: values[mask] for name, values in data.items()}
+        subset = {name: values[mask] for name, values in view.items()}
         for i, agg in enumerate(query.aggregates):
             if agg.func == "count":
                 deltas = np.ones(keys.shape[0], dtype=np.int64)
@@ -105,22 +122,15 @@ def compile_datacentric(query: Query, db: Database) -> CompiledQuery:
         result_keys, result_aggs = table.items()
         return grouped_result(result_keys, result_aggs)
 
-    def _run_join(session: Session) -> Dict[str, Any]:
-        if query.is_groupjoin:
-            return _run_groupjoin(session)
-        table = _build_hash_table(session, db, query, num_aggs=0)
+    def _probe_semijoin(
+        session: Session, view: Dict[str, np.ndarray], table: HashTable
+    ) -> Dict[str, Any]:
         with session.tracer.kernel(f"probe {query.table}"), \
                 session.tracer.overlap():
-            if conjs:
-                mask = datacentric_predicate(session, data, conjs)
-            else:
-                mask = np.ones(
-                    next(iter(data.values())).shape[0], dtype=bool
-                )
-                K.scalar_loop(session, int(mask.shape[0]))
+            mask = _scan_mask(session, view)
             k = int(mask.sum())
-            emit_cond_reads(session, data, [query.join.fk_column], k)
-            fk = data[query.join.fk_column][mask].astype(np.int64)
+            emit_cond_reads(session, view, [query.join.fk_column], k)
+            fk = view[query.join.fk_column][mask].astype(np.int64)
             _, found = K.ht_lookup(session, table, fk)
             taken = float(found.mean()) if found.size else 0.0
             session.tracer.emit(
@@ -128,10 +138,16 @@ def compile_datacentric(query: Query, db: Database) -> CompiledQuery:
             )
             match_mask = mask.copy()
             match_mask[mask] = found
-            emit_cond_reads(session, data, agg_cols, int(match_mask.sum()))
+            emit_cond_reads(session, view, agg_cols, int(match_mask.sum()))
             return eval_aggregates_subset(
-                session, data, query.aggregates, match_mask, simd=False
+                session, view, query.aggregates, match_mask, simd=False
             )
+
+    def _run_join(session: Session) -> Dict[str, Any]:
+        if query.is_groupjoin:
+            return _run_groupjoin(session)
+        table = _build_hash_table(session, db, query, num_aggs=0)
+        return _probe_semijoin(session, data, table)
 
     def _run_groupjoin(session: Session) -> Dict[str, Any]:
         # Groupjoin (Moerkotte & Neumann): the build-side hash table is
@@ -141,13 +157,7 @@ def compile_datacentric(query: Query, db: Database) -> CompiledQuery:
         table = _build_hash_table(session, db, query, num_aggs=num_aggs)
         with session.tracer.kernel(f"probe {query.table}"), \
                 session.tracer.overlap():
-            if conjs:
-                mask = datacentric_predicate(session, data, conjs)
-            else:
-                mask = np.ones(
-                    next(iter(data.values())).shape[0], dtype=bool
-                )
-                K.scalar_loop(session, int(mask.shape[0]))
+            mask = _scan_mask(session, data)
             k = int(mask.sum())
             emit_cond_reads(session, data, [query.join.fk_column], k)
             fk = data[query.join.fk_column][mask].astype(np.int64)
@@ -184,8 +194,37 @@ def compile_datacentric(query: Query, db: Database) -> CompiledQuery:
                 keys[touched], aggs[touched, : len(query.aggregates)]
             )
 
+    parallel = None
+    if query.join is None:
+
+        def scan_partial(session, ctx, lo, hi):
+            with session.tracer.overlap():
+                return _run_scan(session, slice_columns(data, lo, hi))
+
+        parallel = ParallelPlan(
+            table=query.table, n_rows=n_rows, partial=scan_partial
+        )
+    elif not query.is_groupjoin:
+
+        def probe_setup(session):
+            return _build_hash_table(session, db, query, num_aggs=0)
+
+        def probe_partial(session, table, lo, hi):
+            return _probe_semijoin(session, slice_columns(data, lo, hi), table)
+
+        parallel = ParallelPlan(
+            table=query.table,
+            n_rows=n_rows,
+            partial=probe_partial,
+            setup=probe_setup,
+        )
+
     return CompiledQuery(
-        name=query.name, strategy="datacentric", source=source, _fn=run
+        name=query.name,
+        strategy="datacentric",
+        source=source,
+        _fn=run,
+        parallel=parallel,
     )
 
 
@@ -206,7 +245,8 @@ def compile_interpreter(query: Query, db: Database) -> CompiledQuery:
 
     Executes like the data-centric program — tuple at a time with the same
     access patterns — but pays per-tuple iterator dispatch for every
-    operator a classic interpreted engine would run.
+    operator a classic interpreted engine would run. Iterator dispatch is
+    inherently serial control flow, so no parallel plan is declared.
     """
     from .emit import emit_interpreter
 

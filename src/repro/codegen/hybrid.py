@@ -5,6 +5,12 @@ Tiled loops: a SIMD *prepass* evaluates each predicate conjunct into a
 ``idx``, and downstream operators read columns *through* ``idx`` — the
 conditional-read pattern that SWOLE later replaces. This is the paper's
 state-of-the-art baseline.
+
+All pipeline bodies take the scanned columns as an explicit parameter,
+so the same code runs the full table serially or one morsel of it under
+the parallel executor; scans and semijoin probes declare
+:class:`~repro.engine.program.ParallelPlan`s (the groupjoin accumulates
+into the shared build-side table and stays serial).
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import numpy as np
 
 from ..engine import kernels as K
 from ..engine.hashtable import HashTable
-from ..engine.program import CompiledQuery
+from ..engine.program import CompiledQuery, ParallelPlan
 from ..engine.session import Session
 from ..plan.expressions import conjuncts
 from ..plan.logical import Query
@@ -26,6 +32,8 @@ from .common import (
     eval_aggregates_subset,
     grouped_result,
     prepass_predicate,
+    slice_columns,
+    table_rows,
 )
 from .datacentric import _expected_groups
 from .emit import emit_hybrid
@@ -38,7 +46,7 @@ def build_hash_table_hybrid(
     join = query.join
     build_data = db.data(join.build_table)
     build_conjs = conjuncts(join.build_predicate)
-    n = int(next(iter(build_data.values())).shape[0])
+    n = table_rows(build_data)
     with session.tracer.kernel(f"build {join.build_table}"), \
             session.tracer.overlap():
         if build_conjs:
@@ -61,47 +69,51 @@ def build_hash_table_hybrid(
 def compile_hybrid(query: Query, db: Database) -> CompiledQuery:
     """Compile ``query`` with the hybrid strategy."""
     data = db.data(query.table)
+    n_rows = table_rows(data)
     source = emit_hybrid(query)
     conjs = query.predicate_conjuncts()
     agg_cols = agg_exprs_columns(query.aggregates)
 
-    def select(session: Session) -> np.ndarray:
-        """Prepass + selection vector over the main table."""
-        n = int(next(iter(data.values())).shape[0])
+    def select(session: Session, view: Dict[str, np.ndarray]) -> np.ndarray:
+        """Prepass + selection vector over the scanned rows."""
         if conjs:
-            mask = prepass_predicate(session, data, conjs)
+            mask = prepass_predicate(session, view, conjs)
             K.selection_vector(session, mask)
             return mask
-        return np.ones(n, dtype=bool)
+        return np.ones(table_rows(view), dtype=bool)
 
     def run(session: Session) -> Dict[str, Any]:
         if query.join is not None:
-            return _run_join(session)
+            if query.is_groupjoin:
+                return _run_groupjoin(session)
+            table = build_hash_table_hybrid(session, db, query, num_aggs=0)
+            return _probe_semijoin(session, data, table)
         with session.tracer.overlap():
-            return _run_scan(session)
+            return _run_scan(session, data)
 
-    def _run_scan(session: Session) -> Dict[str, Any]:
+    def _run_scan(
+        session: Session, view: Dict[str, np.ndarray]
+    ) -> Dict[str, Any]:
         with session.tracer.kernel(f"scan {query.table}"):
-            mask = select(session)
-        k = int(mask.sum())
+            mask = select(session, view)
         if query.group_by is None:
             with session.tracer.kernel("aggregate"):
                 idx = np.flatnonzero(mask)
                 for col in agg_cols:
-                    K.gather(session, data[col], idx, col)
+                    K.gather(session, view[col], idx, col)
                 return eval_aggregates_subset(
-                    session, data, query.aggregates, mask, simd=False
+                    session, view, query.aggregates, mask, simd=False
                 )
         with session.tracer.kernel("group-by aggregate"):
             idx = np.flatnonzero(mask)
             for col in sorted(set(agg_cols) | {query.group_by}):
-                K.gather(session, data[col], idx, col)
-            keys = data[query.group_by][mask].astype(np.int64)
+                K.gather(session, view[col], idx, col)
+            keys = view[query.group_by][mask].astype(np.int64)
             table = HashTable(
                 expected_keys=_expected_groups(keys),
                 num_aggs=len(query.aggregates),
             )
-            subset = {name: values[mask] for name, values in data.items()}
+            subset = {name: values[mask] for name, values in view.items()}
             for i, agg in enumerate(query.aggregates):
                 if agg.func == "count":
                     deltas = np.ones(keys.shape[0], dtype=np.int64)
@@ -113,16 +125,15 @@ def compile_hybrid(query: Query, db: Database) -> CompiledQuery:
             result_keys, result_aggs = table.items()
             return grouped_result(result_keys, result_aggs)
 
-    def _run_join(session: Session) -> Dict[str, Any]:
-        if query.is_groupjoin:
-            return _run_groupjoin(session)
-        table = build_hash_table_hybrid(session, db, query, num_aggs=0)
+    def _probe_semijoin(
+        session: Session, view: Dict[str, np.ndarray], table: HashTable
+    ) -> Dict[str, Any]:
         with session.tracer.kernel(f"probe {query.table}"), \
                 session.tracer.overlap():
-            mask = select(session)
+            mask = select(session, view)
             idx = np.flatnonzero(mask)
             fk = K.gather(
-                session, data[query.join.fk_column], idx, query.join.fk_column
+                session, view[query.join.fk_column], idx, query.join.fk_column
             ).astype(np.int64)
             _, found = K.ht_lookup(session, table, fk)
             # compress matches into a second selection vector (no-branch)
@@ -133,9 +144,9 @@ def compile_hybrid(query: Query, db: Database) -> CompiledQuery:
             match_mask[mask] = found
             match_idx = np.flatnonzero(match_mask)
             for col in agg_cols:
-                K.gather(session, data[col], match_idx, col)
+                K.gather(session, view[col], match_idx, col)
             return eval_aggregates_subset(
-                session, data, query.aggregates, match_mask, simd=False
+                session, view, query.aggregates, match_mask, simd=False
             )
 
     def _run_groupjoin(session: Session) -> Dict[str, Any]:
@@ -143,7 +154,7 @@ def compile_hybrid(query: Query, db: Database) -> CompiledQuery:
         table = build_hash_table_hybrid(session, db, query, num_aggs=num_aggs)
         with session.tracer.kernel(f"probe {query.table}"), \
                 session.tracer.overlap():
-            mask = select(session)
+            mask = select(session, data)
             idx = np.flatnonzero(mask)
             fk = K.gather(
                 session, data[query.join.fk_column], idx, query.join.fk_column
@@ -182,6 +193,35 @@ def compile_hybrid(query: Query, db: Database) -> CompiledQuery:
                 keys[touched], aggs[touched, : len(query.aggregates)]
             )
 
+    parallel = None
+    if query.join is None:
+
+        def scan_partial(session, ctx, lo, hi):
+            with session.tracer.overlap():
+                return _run_scan(session, slice_columns(data, lo, hi))
+
+        parallel = ParallelPlan(
+            table=query.table, n_rows=n_rows, partial=scan_partial
+        )
+    elif not query.is_groupjoin:
+
+        def probe_setup(session):
+            return build_hash_table_hybrid(session, db, query, num_aggs=0)
+
+        def probe_partial(session, table, lo, hi):
+            return _probe_semijoin(session, slice_columns(data, lo, hi), table)
+
+        parallel = ParallelPlan(
+            table=query.table,
+            n_rows=n_rows,
+            partial=probe_partial,
+            setup=probe_setup,
+        )
+
     return CompiledQuery(
-        name=query.name, strategy="hybrid", source=source, _fn=run
+        name=query.name,
+        strategy="hybrid",
+        source=source,
+        _fn=run,
+        parallel=parallel,
     )

@@ -7,13 +7,19 @@ are control flow (one always-full ``idx`` vector) and latency hiding on
 hash accesses. The paper excluded ROF from its evaluation because its
 relative runtimes were the same as or worse than hybrid's; it is
 implemented here for completeness and for the microbench explorer.
+
+The prefetch toggle lives on :class:`~repro.engine.session.ExecutionKnobs`;
+ROF flips it around the wrapped hybrid pipeline — including the per-worker
+sessions of the morsel executor, whose cloned knobs would otherwise lose
+the toggle.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Dict
 
-from ..engine.program import CompiledQuery
+from ..engine.program import CompiledQuery, ParallelPlan
 from ..engine.session import Session
 from ..plan.logical import Query
 from ..storage.database import Database
@@ -22,19 +28,59 @@ from .emit import emit_rof
 from .hybrid import compile_hybrid
 
 
+@contextmanager
+def _prefetching(session: Session):
+    previous = session.knobs.ht_prefetch
+    session.knobs.ht_prefetch = True
+    try:
+        yield
+    finally:
+        session.knobs.ht_prefetch = previous
+
+
 @register_strategy("rof")
 def compile_rof(query: Query, db: Database) -> CompiledQuery:
     """Compile with ROF: hybrid's pipeline + prefetched hash accesses."""
     inner = compile_hybrid(query, db)
 
     def run(session: Session) -> Dict[str, Any]:
-        previous = session.ht_prefetch
-        session.ht_prefetch = True
-        try:
+        with _prefetching(session):
             return inner._fn(session)
-        finally:
-            session.ht_prefetch = previous
+
+    parallel = None
+    if inner.parallel is not None:
+        inner_plan = inner.parallel
+
+        def partial(session, ctx, lo, hi):
+            with _prefetching(session):
+                return inner_plan.partial(session, ctx, lo, hi)
+
+        setup = None
+        if inner_plan.setup is not None:
+
+            def setup(session):
+                with _prefetching(session):
+                    return inner_plan.setup(session)
+
+        finalize = None
+        if inner_plan.finalize is not None:
+
+            def finalize(session, merged, ctx):
+                with _prefetching(session):
+                    return inner_plan.finalize(session, merged, ctx)
+
+        parallel = ParallelPlan(
+            table=inner_plan.table,
+            n_rows=inner_plan.n_rows,
+            partial=partial,
+            setup=setup,
+            finalize=finalize,
+        )
 
     return CompiledQuery(
-        name=query.name, strategy="rof", source=emit_rof(query), _fn=run
+        name=query.name,
+        strategy="rof",
+        source=emit_rof(query),
+        _fn=run,
+        parallel=parallel,
     )

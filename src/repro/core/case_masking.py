@@ -150,9 +150,8 @@ def masking_beneficial(machine: MachineModel, case: Case, num_rows: int) -> bool
         alive = float(num_rows)
         for ops in case.branch_ops():
             branched.emit(Compute(n=int(alive), op="cmp", simd=False))
-            branched.emit(
-                Branch(n=int(alive), taken_fraction=min(uniform / (alive / num_rows), 1.0))
-            )
+            taken = min(uniform / (alive / num_rows), 1.0)
+            branched.emit(Branch(n=int(alive), taken_fraction=taken))
             for op in ops:
                 branched.emit(Compute(n=int(alive * uniform), op=op, simd=False))
             branched.emit(

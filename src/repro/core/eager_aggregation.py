@@ -10,6 +10,12 @@ the access pattern.
 
 If the probe side has its own predicate, its keys are *key-masked* into
 the throwaway entry, composing §III-B with §III-E.
+
+The pipeline splits into :func:`eager_partial` (the unconditional
+aggregation, runnable over one morsel of the probe table) and
+:func:`cleanup_merged` (the build-side deletion scan applied to the
+merged partial states) so the morsel executor can parallelise step 1;
+:func:`groupjoin_pipeline` chains them over the full table.
 """
 
 from __future__ import annotations
@@ -25,9 +31,10 @@ from ..codegen.common import (
     emit_seq_reads,
     grouped_result,
     prepass_predicate,
+    table_rows,
 )
 from ..engine import kernels as K
-from ..engine.events import Compute
+from ..engine.events import Compute, RandomAccess
 from ..engine.hashtable import NULL_KEY, HashTable
 from ..engine.session import Session
 from ..plan.expressions import conjuncts
@@ -36,30 +43,33 @@ from ..storage.database import Database
 from .key_masking import mask_keys
 
 
-def groupjoin_pipeline(
+def eager_partial(
     session: Session,
     db: Database,
     query: Query,
+    view: Dict[str, np.ndarray],
 ) -> Dict[str, Any]:
-    """Groupjoin rewritten as eager aggregation + cleanup deletions."""
-    join = query.join
-    data = db.data(query.table)
-    n = int(next(iter(data.values())).shape[0])
+    """Unconditional aggregation of (a morsel of) the probe table.
 
-    # --- 1. unconditional aggregation of the probe table by its FK ------
+    Returns the raw hash-table state — every key including the
+    ``NULL_KEY`` throwaway, with the trailing count column — so partial
+    states merge additively before :func:`cleanup_merged`.
+    """
+    join = query.join
+    n = table_rows(view)
     with session.tracer.kernel(f"eager aggregate {query.table}"), \
             session.tracer.overlap():
         main_conjs = query.predicate_conjuncts()
-        emit_seq_reads(session, data, [join.fk_column])
-        keys = data[join.fk_column].astype(np.int64)
+        emit_seq_reads(session, view, [join.fk_column])
+        keys = view[join.fk_column].astype(np.int64)
         if main_conjs:
-            mask = prepass_predicate(session, data, main_conjs)
+            mask = prepass_predicate(session, view, main_conjs)
             keys = mask_keys(session, keys, mask, join.fk_column)
         build_rows = db.table(join.build_table).num_rows
         num_aggs = len(query.aggregates) + 1
         table = HashTable(expected_keys=build_rows + 1, num_aggs=num_aggs)
         cols = agg_exprs_columns(query.aggregates)
-        emit_seq_reads(session, data, cols)
+        emit_seq_reads(session, view, cols)
         slots = None
         for i, agg in enumerate(query.aggregates):
             if agg.func == "count":
@@ -67,7 +77,7 @@ def groupjoin_pipeline(
                 session.tracer.emit(Compute(n=n, op="add", simd=True))
             else:
                 emit_expr_compute(session, agg.expr, n, simd=True)
-                deltas = np.asarray(agg.expr.evaluate(data), dtype=np.int64)
+                deltas = np.asarray(agg.expr.evaluate(view), dtype=np.int64)
             if slots is None:
                 K.ht_aggregate(session, table, keys, deltas, agg=i)
                 slots, _ = table.lookup(keys)
@@ -82,10 +92,32 @@ def groupjoin_pipeline(
             num_aggs - 1,
             np.ones(n, dtype=np.int64),
         )
+    result_keys, aggs = table.items()
+    return {"keys": result_keys, "aggs": aggs}
 
-    # --- 2. delete keys filtered by the build-side predicate ------------
+
+def cleanup_merged(
+    session: Session,
+    db: Database,
+    query: Query,
+    merged: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Build-side cleanup scan over a merged eager-aggregation state.
+
+    Deletes the keys whose build row fails the build predicate, drops the
+    throwaway entry and groups that saw no unmasked tuple, and strips the
+    bookkeeping count column.
+    """
+    join = query.join
+    num_aggs = len(query.aggregates) + 1
+    result_keys = np.asarray(merged["keys"], dtype=np.int64)
+    aggs = np.atleast_2d(np.asarray(merged["aggs"]))
+    if result_keys.size == 0:
+        aggs = aggs.reshape(0, num_aggs)
+
     build_data = db.data(join.build_table)
-    bn = int(next(iter(build_data.values())).shape[0])
+    bn = table_rows(build_data)
+    build_rows = db.table(join.build_table).num_rows
     with session.tracer.kernel(f"cleanup scan {join.build_table}"), \
             session.tracer.overlap():
         build_conjs = conjuncts(join.build_predicate)
@@ -97,13 +129,39 @@ def groupjoin_pipeline(
         else:
             delete_mask = np.zeros(bn, dtype=bool)
         k = int(delete_mask.sum())
+        deleted = np.zeros(result_keys.shape[0], dtype=bool)
         if k:
             emit_cond_reads(session, build_data, [join.pk_column], k)
             victims = build_data[join.pk_column][delete_mask].astype(np.int64)
-            K.ht_delete(session, table, victims)
+            # random deletions against the eager table (same footprint the
+            # hash-table path would pay)
+            sizing = HashTable(expected_keys=build_rows + 1, num_aggs=0)
+            session.tracer.emit(
+                RandomAccess(
+                    n=k,
+                    struct_bytes=sizing.nbytes,
+                    kind="ht_delete",
+                    op_cycles=session.machine.op_cost("hash"),
+                )
+            )
+            deleted = np.isin(result_keys, victims)
 
-    result_keys, aggs = table.items()
-    keep = (result_keys != NULL_KEY) & (aggs[:, num_aggs - 1] > 0)
+    keep = (
+        ~deleted
+        & (result_keys != NULL_KEY)
+        & (aggs[:, num_aggs - 1] > 0)
+    )
     return grouped_result(
         result_keys[keep], aggs[keep, : len(query.aggregates)]
     )
+
+
+def groupjoin_pipeline(
+    session: Session,
+    db: Database,
+    query: Query,
+) -> Dict[str, Any]:
+    """Groupjoin rewritten as eager aggregation + cleanup deletions."""
+    data = db.data(query.table)
+    merged = eager_partial(session, db, query, data)
+    return cleanup_merged(session, db, query, merged)

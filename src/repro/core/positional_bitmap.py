@@ -67,6 +67,48 @@ def build_bitmap(
     return bitmap
 
 
+def probe_pipeline(
+    session: Session,
+    query: Query,
+    bitmap: PositionalBitmap,
+    view: Dict[str, np.ndarray],
+    offsets: np.ndarray,
+    aggregation: str,
+) -> Dict[str, Any]:
+    """Probe (a morsel of) the probe table against a built bitmap.
+
+    ``view`` and ``offsets`` are row-aligned slices of the probe table's
+    columns and its FK index; the bitmap is read-only, so morsels probe
+    it concurrently.
+    """
+    join = query.join
+    n = int(offsets.shape[0])
+    with session.tracer.kernel(f"bitmap probe {query.table}"), \
+            session.tracer.overlap():
+        conjs = query.predicate_conjuncts()
+        if conjs:
+            mask = prepass_predicate(session, view, conjs)
+        else:
+            mask = np.ones(n, dtype=bool)
+        # The FK index offsets are a plain int64 column, scanned
+        # sequentially; the bit tests are cached random accesses.
+        K.seq_read(session, offsets, f"fkindex({join.fk_column})")
+        hits = K.bitmap_probe(session, bitmap, offsets, "bitmap")
+        session.tracer.emit(Compute(n=n, op="and", simd=True, width=1))
+        combined = mask & hits
+
+    with session.tracer.kernel("aggregate"), session.tracer.overlap():
+        if aggregation == P.VALUE_MASKING:
+            return scalar_pipeline(session, view, query, mask=combined)
+        # hybrid fallback: selection vector over the combined mask
+        idx = K.selection_vector(session, combined)
+        for col in agg_exprs_columns(query.aggregates):
+            K.gather(session, view[col], idx, col)
+        return eval_aggregates_subset(
+            session, view, query.aggregates, combined, simd=False
+        )
+
+
 def semijoin_pipeline(
     session: Session,
     db: Database,
@@ -82,31 +124,7 @@ def semijoin_pipeline(
     join = query.join
     bitmap = build_bitmap(session, db, query, build_mode)
     data = db.data(query.table)
-    n = int(next(iter(data.values())).shape[0])
     fk_index = db.fk_index(query.table, join.fk_column)
-
-    with session.tracer.kernel(f"bitmap probe {query.table}"), \
-            session.tracer.overlap():
-        conjs = query.predicate_conjuncts()
-        if conjs:
-            mask = prepass_predicate(session, data, conjs)
-        else:
-            mask = np.ones(n, dtype=bool)
-        # The FK index offsets are a plain int64 column, scanned
-        # sequentially; the bit tests are cached random accesses.
-        offsets = fk_index.offsets
-        K.seq_read(session, offsets, f"fkindex({join.fk_column})")
-        hits = K.bitmap_probe(session, bitmap, offsets, "bitmap")
-        session.tracer.emit(Compute(n=n, op="and", simd=True, width=1))
-        combined = mask & hits
-
-    with session.tracer.kernel("aggregate"), session.tracer.overlap():
-        if aggregation == P.VALUE_MASKING:
-            return scalar_pipeline(session, data, query, mask=combined)
-        # hybrid fallback: selection vector over the combined mask
-        idx = K.selection_vector(session, combined)
-        for col in agg_exprs_columns(query.aggregates):
-            K.gather(session, data[col], idx, col)
-        return eval_aggregates_subset(
-            session, data, query.aggregates, combined, simd=False
-        )
+    return probe_pipeline(
+        session, query, bitmap, data, fk_index.offsets, aggregation
+    )

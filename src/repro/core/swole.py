@@ -16,6 +16,13 @@ groupjoin                 eager aggregation | hybrid groupjoin
 The hybrid strategy is the explicit fallback whenever the cost models say
 a pullup would not pay (paper: "we can simply fall back to generating
 code using the hybrid strategy").
+
+Every SWOLE pipeline is embarrassingly parallel over the probe table —
+prepasses, masked aggregation, bitmap probes, and the eager
+aggregation's step 1 are all row-local — so each compiled shape declares
+a :class:`~repro.engine.program.ParallelPlan` (semijoins build their
+bitmap once in setup; eager groupjoins run the cleanup scan as the
+finalize step).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..codegen.base import register_strategy
+from ..codegen.common import slice_columns, table_rows
 from ..codegen.emit import (
     emit_bitmap_semijoin,
     emit_eager_aggregation,
@@ -30,15 +38,15 @@ from ..codegen.emit import (
     emit_value_masking,
 )
 from ..codegen.hybrid import compile_hybrid
-from ..engine.program import CompiledQuery
+from ..engine.program import CompiledQuery, ParallelPlan
 from ..engine.session import Session
 from ..plan.logical import Query, QueryStats
 from ..storage.database import Database
 from . import planner as P
 from .access_merging import merged_read_set
-from .eager_aggregation import groupjoin_pipeline
+from .eager_aggregation import cleanup_merged, eager_partial, groupjoin_pipeline
 from .key_masking import grouped_pipeline as km_grouped
-from .positional_bitmap import semijoin_pipeline
+from .positional_bitmap import build_bitmap, probe_pipeline, semijoin_pipeline
 from .value_masking import grouped_pipeline as vm_grouped
 from .value_masking import scalar_pipeline as vm_scalar
 
@@ -78,13 +86,18 @@ def compile_swole(
 
 
 def _wrap(
-    query: Query, plan: P.SwolePlan, source: str, fn
+    query: Query,
+    plan: P.SwolePlan,
+    source: str,
+    fn,
+    parallel: Optional[ParallelPlan] = None,
 ) -> CompiledQuery:
     return CompiledQuery(
         name=query.name,
         strategy="swole",
         source=source,
         _fn=fn,
+        parallel=parallel,
         notes={"plan": plan.describe(), "estimates": dict(plan.estimates)},
     )
 
@@ -92,7 +105,7 @@ def _wrap(
 def _fallback_hybrid(query: Query, db: Database, plan: P.SwolePlan) -> CompiledQuery:
     """Planner chose the pushdown path: emit hybrid code under SWOLE."""
     inner = compile_hybrid(query, db)
-    return _wrap(query, plan, inner.source, inner._fn)
+    return _wrap(query, plan, inner.source, inner._fn, parallel=inner.parallel)
 
 
 def _compile_scalar(
@@ -103,32 +116,43 @@ def _compile_scalar(
     merged = list(plan.merged_columns)
     source = emit_value_masking(query, merged=merged)
 
-    def run(session: Session) -> Dict[str, Any]:
+    def _body(session: Session, view) -> Dict[str, Any]:
         with session.tracer.kernel(f"value-masked scan {query.table}"):
             shared = merged_read_set(query, enabled=bool(merged))
-            return vm_scalar(session, data, query, already_read=shared)
+            return vm_scalar(session, view, query, already_read=shared)
 
-    return _wrap(query, plan, source, run)
+    def run(session: Session) -> Dict[str, Any]:
+        return _body(session, data)
+
+    def partial(session, ctx, lo, hi):
+        return _body(session, slice_columns(data, lo, hi))
+
+    parallel = ParallelPlan(
+        table=query.table, n_rows=table_rows(data), partial=partial
+    )
+    return _wrap(query, plan, source, run, parallel=parallel)
 
 
 def _compile_grouped(
     query: Query, db: Database, data, plan: P.SwolePlan
 ) -> CompiledQuery:
     if plan.aggregation == P.KEY_MASKING:
-        source = emit_key_masking(query)
+        pipeline, source = km_grouped, emit_key_masking(query)
+    elif plan.aggregation == P.VALUE_MASKING:
+        pipeline, source = vm_grouped, emit_value_masking(query)
+    else:
+        return _fallback_hybrid(query, db, plan)
 
-        def run(session: Session) -> Dict[str, Any]:
-            return km_grouped(session, data, query)
+    def run(session: Session) -> Dict[str, Any]:
+        return pipeline(session, data, query)
 
-        return _wrap(query, plan, source, run)
-    if plan.aggregation == P.VALUE_MASKING:
-        source = emit_value_masking(query)
+    def partial(session, ctx, lo, hi):
+        return pipeline(session, slice_columns(data, lo, hi), query)
 
-        def run(session: Session) -> Dict[str, Any]:
-            return vm_grouped(session, data, query)
-
-        return _wrap(query, plan, source, run)
-    return _fallback_hybrid(query, db, plan)
+    parallel = ParallelPlan(
+        table=query.table, n_rows=table_rows(data), partial=partial
+    )
+    return _wrap(query, plan, source, run, parallel=parallel)
 
 
 def _compile_semijoin(
@@ -137,13 +161,34 @@ def _compile_semijoin(
     source = emit_bitmap_semijoin(
         query, unconditional_build=plan.semijoin_build == P.BITMAP_MASK
     )
+    data = db.data(query.table)
+    fk_index = db.fk_index(query.table, query.join.fk_column)
 
     def run(session: Session) -> Dict[str, Any]:
         return semijoin_pipeline(
             session, db, query, plan.semijoin_build, plan.aggregation
         )
 
-    return _wrap(query, plan, source, run)
+    def setup(session: Session):
+        return build_bitmap(session, db, query, plan.semijoin_build)
+
+    def partial(session, bitmap, lo, hi):
+        return probe_pipeline(
+            session,
+            query,
+            bitmap,
+            slice_columns(data, lo, hi),
+            fk_index.offsets[lo:hi],
+            plan.aggregation,
+        )
+
+    parallel = ParallelPlan(
+        table=query.table,
+        n_rows=table_rows(data),
+        partial=partial,
+        setup=setup,
+    )
+    return _wrap(query, plan, source, run, parallel=parallel)
 
 
 def _compile_groupjoin(
@@ -152,11 +197,24 @@ def _compile_groupjoin(
     if plan.groupjoin_mode != P.EAGER:
         return _fallback_hybrid(query, db, plan)
     source = emit_eager_aggregation(query)
+    data = db.data(query.table)
 
     def run(session: Session) -> Dict[str, Any]:
         return groupjoin_pipeline(session, db, query)
 
-    return _wrap(query, plan, source, run)
+    def partial(session, ctx, lo, hi):
+        return eager_partial(session, db, query, slice_columns(data, lo, hi))
+
+    def finalize(session, merged, ctx):
+        return cleanup_merged(session, db, query, merged)
+
+    parallel = ParallelPlan(
+        table=query.table,
+        n_rows=table_rows(data),
+        partial=partial,
+        finalize=finalize,
+    )
+    return _wrap(query, plan, source, run, parallel=parallel)
 
 
 @register_strategy("swole")

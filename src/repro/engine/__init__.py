@@ -10,6 +10,10 @@ from .cache import (
     sequential_trace,
 )
 from .costing import CostAccountant, CostReport, Tracer
+from .executor import MorselExecutor
+from .facade import Engine
+from .metrics import RunMetrics, WorkerStats
+from .plan_cache import PlanCache, PlanCacheStats, plan_key
 from .events import (
     Branch,
     CondRead,
@@ -22,8 +26,14 @@ from .events import (
 )
 from .hashtable import EMPTY, NULL_KEY, TOMBSTONE, HashTable
 from .machine import PAPER_MACHINE, MachineModel
-from .program import CompiledQuery, QueryResult, results_equal
-from .session import Session
+from .program import (
+    CompiledQuery,
+    ParallelPlan,
+    QueryResult,
+    merge_partials,
+    results_equal,
+)
+from .session import ExecutionKnobs, Session
 
 __all__ = [
     "Branch",
@@ -35,22 +45,32 @@ __all__ = [
     "CostAccountant",
     "CostReport",
     "EMPTY",
+    "Engine",
     "Event",
+    "ExecutionKnobs",
     "HashTable",
     "MachineModel",
+    "MorselExecutor",
     "NULL_KEY",
     "PAPER_MACHINE",
+    "ParallelPlan",
+    "PlanCache",
+    "PlanCacheStats",
     "QueryResult",
     "RandomAccess",
+    "RunMetrics",
     "SeqRead",
     "SeqWrite",
     "Session",
+    "WorkerStats",
     "SetAssociativeCache",
     "TOMBSTONE",
     "Tracer",
     "TupleOverhead",
     "TwoBitPredictor",
     "conditional_trace",
+    "merge_partials",
+    "plan_key",
     "random_trace",
     "results_equal",
     "sequential_trace",

@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import CostModelError
 from .branch import steady_state_mispredict_rate
@@ -207,6 +207,9 @@ class CostReport:
     by_kernel: Dict[str, float] = field(default_factory=dict)
     by_kind: Dict[str, float] = field(default_factory=dict)
     events: List[Tuple[str, Event, float]] = field(default_factory=list)
+    #: Run-level metrics (:class:`repro.engine.metrics.RunMetrics`),
+    #: attached by the morsel executor; ``None`` for plain ``.run()``s.
+    metrics: Optional[object] = None
 
     def add(self, kernel: str, event: Event, cycles: float) -> None:
         self.total_cycles += cycles

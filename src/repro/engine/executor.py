@@ -1,0 +1,214 @@
+"""Morsel-driven parallel execution of compiled query programs.
+
+The executor partitions a program's base-table scan into row-range
+*morsels* (Leis et al., "Morsel-Driven Parallelism") and runs the
+strategy's declared partial pipeline across worker threads — the NumPy
+kernels release the GIL in the hot loops, so scan morsels genuinely
+overlap on multicore hosts. Partial aggregate / hash-table states merge
+deterministically (:func:`repro.engine.program.merge_partials`), so a
+4-worker run is bit-identical to a serial run.
+
+Costing extends to parallel time: each morsel's simulated cycles are
+measured on its own tracer, then scheduled greedily onto the simulated
+machine's cores (:func:`repro.engine.metrics.greedy_schedule`). The
+schedule — not real thread timing — defines the run's critical path, so
+simulated parallel seconds are reproducible on any host, including
+single-core CI runners.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ExecutionError
+from .costing import CostReport
+from .metrics import RunMetrics, event_counts, greedy_schedule, merge_reports
+from .program import CompiledQuery, QueryResult, merge_partials
+from .session import Session
+
+#: Morsels smaller than this lose more to per-morsel bookkeeping than
+#: they gain in balance; scans shorter than one minimum morsel run serial.
+MIN_MORSEL_ROWS = 4096
+
+#: Target morsels per worker when the session does not pin a size —
+#: enough slack for the greedy schedule to balance skewed morsels.
+MORSELS_PER_WORKER = 8
+
+
+def pick_morsel_rows(n_rows: int, workers: int, pinned: Optional[int]) -> int:
+    """Morsel size: the pinned knob, or n / (workers * slack), floored."""
+    if pinned is not None:
+        if pinned <= 0:
+            raise ExecutionError("morsel_rows must be positive")
+        return pinned
+    per_worker = max(n_rows // max(workers * MORSELS_PER_WORKER, 1), 1)
+    return max(per_worker, MIN_MORSEL_ROWS)
+
+
+def split_morsels(n_rows: int, morsel_rows: int) -> List[Tuple[int, int]]:
+    """Row ranges ``[lo, hi)`` covering ``[0, n_rows)``."""
+    return [
+        (lo, min(lo + morsel_rows, n_rows))
+        for lo in range(0, n_rows, morsel_rows)
+    ]
+
+
+class MorselExecutor:
+    """Runs compiled programs, fanning partitionable scans across threads.
+
+    Programs without a :class:`~repro.engine.program.ParallelPlan` (or
+    runs with ``workers=1``) execute serially through the program's own
+    ``run``; either way the result carries :class:`RunMetrics`.
+    """
+
+    def __init__(self, *, workers: int = 1) -> None:
+        if workers < 1:
+            raise ExecutionError("executor needs at least one worker")
+        self.workers = workers
+
+    def execute(
+        self, compiled: CompiledQuery, session: Optional[Session] = None
+    ) -> QueryResult:
+        if session is None:
+            session = Session(workers=self.workers)
+        plan = compiled.parallel
+        started = time.perf_counter()
+        if (
+            self.workers <= 1
+            or plan is None
+            or plan.n_rows <= MIN_MORSEL_ROWS
+        ):
+            result = compiled.run(session)
+            result.report.metrics = RunMetrics(
+                wall_seconds=time.perf_counter() - started,
+                workers=1,
+                morsels=1,
+                morsel_rows=plan.n_rows if plan is not None else 0,
+                parallel=False,
+                machine=session.machine,
+                total_cycles=result.report.total_cycles,
+                critical_path_cycles=result.report.total_cycles,
+                event_counts=event_counts(result.report),
+            )
+            return result
+        return self._execute_parallel(compiled, session, plan, started)
+
+    # -- parallel path ---------------------------------------------------
+
+    def _execute_parallel(
+        self,
+        compiled: CompiledQuery,
+        session: Session,
+        plan,
+        started: float,
+    ) -> QueryResult:
+        session.reset()
+        label = f"{compiled.strategy}:{compiled.name}"
+
+        serial_reports: List[CostReport] = []
+        ctx = None
+        if plan.setup is not None:
+            setup_session = session.clone()
+            with setup_session.tracer.kernel(f"{label}:setup"):
+                ctx = plan.setup(setup_session)
+            serial_reports.append(setup_session.tracer.report)
+
+        morsel_rows = pick_morsel_rows(
+            plan.n_rows, self.workers, session.knobs.morsel_rows
+        )
+        morsels = split_morsels(plan.n_rows, morsel_rows)
+        values, morsel_reports, wall_by_worker = self._run_morsels(
+            session, plan, ctx, morsels, label
+        )
+
+        merged = merge_partials(values)
+        if plan.finalize is not None:
+            final_session = session.clone()
+            with final_session.tracer.kernel(f"{label}:finalize"):
+                merged = plan.finalize(final_session, merged, ctx)
+            serial_reports.append(final_session.tracer.report)
+
+        report = merge_reports(
+            session.machine, serial_reports + morsel_reports
+        )
+        serial_cycles = sum(r.total_cycles for r in serial_reports)
+        worker_stats, assignment = greedy_schedule(
+            [r.total_cycles for r in morsel_reports], self.workers
+        )
+        for morsel_report, worker_id in zip(morsel_reports, assignment):
+            kernels = worker_stats[worker_id].by_kernel
+            for kernel, cycles in morsel_report.by_kernel.items():
+                kernels[kernel] = kernels.get(kernel, 0.0) + cycles
+        for stats in worker_stats:
+            stats.wall_seconds = wall_by_worker.get(stats.worker_id, 0.0)
+        critical = serial_cycles + max(
+            (s.sim_cycles for s in worker_stats), default=0.0
+        )
+        report.metrics = RunMetrics(
+            wall_seconds=time.perf_counter() - started,
+            workers=self.workers,
+            morsels=len(morsels),
+            morsel_rows=morsel_rows,
+            parallel=True,
+            machine=session.machine,
+            total_cycles=report.total_cycles,
+            critical_path_cycles=critical,
+            serial_cycles=serial_cycles,
+            event_counts=event_counts(report),
+            worker_stats=worker_stats,
+        )
+        return QueryResult(value=merged, report=report)
+
+    def _run_morsels(
+        self,
+        session: Session,
+        plan,
+        ctx: Any,
+        morsels: List[Tuple[int, int]],
+        label: str,
+    ) -> Tuple[List[Dict[str, Any]], List[CostReport], Dict[int, float]]:
+        """Worker threads pull morsels from a shared cursor."""
+        values: List[Optional[Dict[str, Any]]] = [None] * len(morsels)
+        reports: List[Optional[CostReport]] = [None] * len(morsels)
+        wall_by_worker: Dict[int, float] = {}
+        cursor = iter(range(len(morsels)))
+        lock = threading.Lock()
+        errors: List[BaseException] = []
+
+        def work(worker_id: int) -> None:
+            begin = time.perf_counter()
+            while True:
+                with lock:
+                    index = next(cursor, None)
+                if index is None:
+                    break
+                lo, hi = morsels[index]
+                worker_session = session.clone()
+                try:
+                    with worker_session.tracer.kernel(f"{label}:morsel"):
+                        value = plan.partial(worker_session, ctx, lo, hi)
+                except BaseException as exc:  # propagate to the caller
+                    with lock:
+                        errors.append(exc)
+                    break
+                values[index] = value
+                reports[index] = worker_session.tracer.report
+            wall_by_worker[worker_id] = time.perf_counter() - begin
+
+        threads = [
+            threading.Thread(target=work, args=(i,), name=f"morsel-{i}")
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return (
+            [v for v in values if v is not None],
+            [r for r in reports if r is not None],
+            wall_by_worker,
+        )

@@ -1,0 +1,159 @@
+"""The unified query-engine facade: compile -> cache -> execute -> metrics.
+
+:class:`Engine` is the single entry point that replaces the historical
+trio of ``compile_query`` / ``compile_swole`` / ``plan_query`` call
+sites. It owns the plan cache (keyed compilation artifacts, LRU) and the
+morsel executor (parallel scans + run metrics), and accepts either a
+logical :class:`~repro.plan.logical.Query` or a hand-coded TPC-H query
+name (``"Q1"`` .. ``"Q19"``).
+
+Usage::
+
+    from repro import Engine
+    from repro.datagen import microbench as mb
+
+    db = mb.generate(mb.MicrobenchConfig(num_rows=1_000_000))
+    engine = Engine(db, workers=4)
+    result = engine.execute(mb.q1(13))          # SWOLE by default
+    print(result.scalar(), result.report.metrics.describe())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import ReproError
+from .executor import MorselExecutor
+from .machine import PAPER_MACHINE, MachineModel
+from .plan_cache import PlanCache, plan_key
+from .program import CompiledQuery, QueryResult
+from .session import ExecutionKnobs, Session
+
+#: ``strategy="auto"`` resolves to the paper's planner-driven strategy
+#: (SWOLE itself falls back to hybrid whenever a pullup would not pay).
+AUTO_STRATEGY = "swole"
+
+
+class Engine:
+    """A database bound to a machine model, a plan cache, and workers.
+
+    Parameters (all keyword-only except the database):
+
+    db:
+        The :class:`~repro.storage.database.Database` to serve.
+    machine:
+        Simulated machine for planning *and* costing (pass the scaled
+        model when the data was shrunk relative to the paper).
+    workers:
+        Default worker-thread count for partitionable programs.
+    tile:
+        Vector/tile size threaded into sessions (part of the plan key).
+    plan_cache_size:
+        LRU capacity of the compiled-program cache.
+    knobs:
+        Default :class:`ExecutionKnobs` for sessions this engine spawns.
+    """
+
+    def __init__(
+        self,
+        db,
+        *,
+        machine: MachineModel = PAPER_MACHINE,
+        workers: int = 1,
+        tile: int = 1024,
+        plan_cache_size: int = 64,
+        knobs: Optional[ExecutionKnobs] = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError("Engine needs at least one worker")
+        self.db = db
+        self.machine = machine
+        self.workers = workers
+        self.tile = tile
+        self.knobs = knobs if knobs is not None else ExecutionKnobs()
+        self.plan_cache = PlanCache(capacity=plan_cache_size)
+
+    # -- sessions --------------------------------------------------------
+
+    def session(self, *, workers: Optional[int] = None) -> Session:
+        """A fresh session configured like this engine."""
+        from dataclasses import replace
+
+        return Session(
+            machine=self.machine,
+            tile=self.tile,
+            workers=workers if workers is not None else self.workers,
+            knobs=replace(self.knobs),
+        )
+
+    # -- compilation -----------------------------------------------------
+
+    def compile(
+        self, query, strategy: str = "auto"
+    ) -> CompiledQuery:
+        """Compile ``query`` (cache-aware) and return the program.
+
+        ``query`` is a logical :class:`~repro.plan.logical.Query` or a
+        TPC-H query name string. ``strategy`` is any registered strategy
+        name, or ``"auto"`` for the planner-driven SWOLE strategy.
+        """
+        compiled, _ = self._compile_cached(query, strategy)
+        return compiled
+
+    def _compile_cached(self, query, strategy: str):
+        resolved = AUTO_STRATEGY if strategy == "auto" else strategy
+        key = plan_key(query, resolved, self.machine, self.tile)
+        return self.plan_cache.get_or_compile(
+            key, lambda: self._compile(query, resolved)
+        )
+
+    def _compile(self, query, strategy: str) -> CompiledQuery:
+        if isinstance(query, str):
+            from ..tpch import compile_tpch
+
+            return compile_tpch(query, strategy, self.db)
+        if strategy == "swole":
+            from ..core.swole import compile_swole
+
+            return compile_swole(query, self.db, machine=self.machine)
+        from ..codegen.base import compile_query
+
+        return compile_query(query, self.db, strategy)
+
+    # -- execution -------------------------------------------------------
+
+    def execute(
+        self,
+        query: Union[str, object],
+        strategy: str = "auto",
+        *,
+        workers: Optional[int] = None,
+        session: Optional[Session] = None,
+    ) -> QueryResult:
+        """Compile (or fetch from the plan cache) and run ``query``.
+
+        Partitionable programs run morsel-parallel on ``workers``
+        threads (default: the engine's worker count); results are
+        bit-identical to a serial run. The returned result carries
+        :class:`~repro.engine.metrics.RunMetrics` on ``report.metrics``,
+        including whether the plan came from the cache.
+        """
+        compiled, was_hit = self._compile_cached(query, strategy)
+        n_workers = workers if workers is not None else self.workers
+        if session is None:
+            session = self.session(workers=n_workers)
+        executor = MorselExecutor(workers=n_workers)
+        result = executor.execute(compiled, session)
+        result.report.metrics.plan_cache = "hit" if was_hit else "miss"
+        return result
+
+    # -- cache management ------------------------------------------------
+
+    @property
+    def cache_stats(self):
+        """Hit/miss/eviction counters of the plan cache."""
+        return self.plan_cache.stats
+
+    def invalidate(self) -> None:
+        """Drop all cached plans (call after mutating the database)."""
+        self.plan_cache.invalidate()

@@ -424,7 +424,7 @@ def ht_aggregate(
             kind=kind,
             hot_fraction=hot,
             op_cycles=_ht_op_cycles(session, table),
-            prefetched=session.ht_prefetch,
+            prefetched=session.knobs.ht_prefetch,
         )
     )
 
@@ -440,7 +440,7 @@ def ht_insert_keys(
             struct_bytes=table.nbytes,
             kind="ht_insert",
             op_cycles=_ht_op_cycles(session, table),
-            prefetched=session.ht_prefetch,
+            prefetched=session.knobs.ht_prefetch,
         )
     )
 
@@ -458,7 +458,7 @@ def ht_lookup(
             kind="ht_lookup",
             hot_fraction=hot,
             op_cycles=_ht_op_cycles(session, table),
-            prefetched=session.ht_prefetch,
+            prefetched=session.knobs.ht_prefetch,
         )
     )
     return slots, found

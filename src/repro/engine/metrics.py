@@ -1,0 +1,141 @@
+"""Per-run execution metrics for the morsel executor.
+
+The simulator substrate prices *work* (event cycles); this module adds
+the run-level bookkeeping a serving engine needs: real wall time, morsel
+and worker accounting, cache-simulator event counts, and the *parallel*
+simulated time — the critical path through a deterministic greedy
+schedule of morsel costs onto the simulated machine's cores.
+
+The schedule is computed from per-morsel simulated cycles rather than
+from real thread timings, so parallel simulated seconds are bit-stable
+across runs regardless of how the host OS interleaved the worker
+threads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .costing import CostReport
+from .machine import MachineModel
+
+
+@dataclass
+class WorkerStats:
+    """What one (simulated) worker executed during a parallel run."""
+
+    worker_id: int
+    morsels: int = 0
+    sim_cycles: float = 0.0
+    wall_seconds: float = 0.0
+    by_kernel: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunMetrics:
+    """Run-level metrics attached to ``QueryResult.report.metrics``."""
+
+    wall_seconds: float
+    workers: int
+    morsels: int
+    morsel_rows: int
+    parallel: bool
+    machine: MachineModel
+    #: Total simulated work (sum over all workers/morsels), in cycles.
+    total_cycles: float = 0.0
+    #: Critical-path simulated cycles: serial setup/finalize plus the
+    #: longest simulated worker after greedy morsel scheduling.
+    critical_path_cycles: float = 0.0
+    #: The non-partitionable portion of the critical path (setup and
+    #: finalize phases); 0 for pure scans and serial runs.
+    serial_cycles: float = 0.0
+    #: Cache-simulator event counts by event kind (SeqRead, CondRead...).
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    worker_stats: List[WorkerStats] = field(default_factory=list)
+    #: "hit" / "miss" when the program came through a plan cache.
+    plan_cache: Optional[str] = None
+
+    @property
+    def parallel_seconds(self) -> float:
+        """Simulated wall time of the parallel schedule."""
+        return self.machine.cycles_to_seconds(self.critical_path_cycles)
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated time of the same work run serially."""
+        return self.machine.cycles_to_seconds(self.total_cycles)
+
+    @property
+    def speedup(self) -> float:
+        """Simulated speedup of the schedule over serial execution."""
+        if self.critical_path_cycles <= 0:
+            return 1.0
+        return self.total_cycles / self.critical_path_cycles
+
+    def describe(self) -> str:
+        shape = (
+            f"{self.workers} workers x {self.morsels} morsels "
+            f"({self.morsel_rows} rows each)"
+            if self.parallel
+            else "serial"
+        )
+        lines = [
+            f"run: {shape}, wall {self.wall_seconds * 1e3:.1f} ms",
+            f"simulated: {self.total_seconds:.4f} s total work, "
+            f"{self.parallel_seconds:.4f} s critical path "
+            f"({self.speedup:.2f}x)",
+        ]
+        if self.plan_cache is not None:
+            lines.append(f"plan cache: {self.plan_cache}")
+        if self.event_counts:
+            counts = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.event_counts.items())
+            )
+            lines.append(f"events: {counts}")
+        return "\n".join(lines)
+
+
+def event_counts(report: CostReport) -> Dict[str, int]:
+    """Count the report's cache-simulator events by kind."""
+    counts: Dict[str, int] = {}
+    for _, event, _ in report.events:
+        kind = type(event).__name__
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+def merge_reports(
+    machine: MachineModel, reports: Sequence[CostReport]
+) -> CostReport:
+    """Sum several per-worker/per-morsel reports into one."""
+    merged = CostReport(machine=machine)
+    for report in reports:
+        for kernel, event, cycles in report.events:
+            merged.add(kernel, event, cycles)
+    return merged
+
+
+def greedy_schedule(
+    morsel_cycles: Sequence[float], workers: int
+) -> Tuple[List[WorkerStats], List[int]]:
+    """Deterministically assign morsel costs to simulated workers.
+
+    Morsels are dispatched in order to the least-loaded worker — the
+    steady state a work-stealing morsel dispatcher converges to — so the
+    simulated critical path does not depend on real thread interleaving.
+    Returns the per-worker stats and the worker id chosen per morsel.
+    """
+    stats = [WorkerStats(worker_id=i) for i in range(max(workers, 1))]
+    heap = [(0.0, i) for i in range(len(stats))]
+    heapq.heapify(heap)
+    assignment: List[int] = []
+    for cycles in morsel_cycles:
+        load, i = heapq.heappop(heap)
+        stats[i].morsels += 1
+        stats[i].sim_cycles += cycles
+        assignment.append(i)
+        heapq.heappush(heap, (load + cycles, i))
+    return stats, assignment

@@ -1,0 +1,142 @@
+"""Keyed LRU cache of compiled query programs.
+
+Serving the same analytical queries repeatedly should not re-run
+planning and code generation per request (compare Wehrstein et al.,
+"Bespoke OLAP": cache workload-specialised compiled artifacts). The
+cache key captures everything compilation depends on: the query
+fingerprint, the strategy, the machine model (the SWOLE planner reasons
+about cache ratios), and the tile size.
+
+Compiled programs close over the database's column arrays, so a cache
+is only valid for one :class:`~repro.storage.database.Database`; the
+:class:`repro.Engine` facade owns one cache per database and clears it
+on :meth:`Engine.invalidate`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional, Tuple
+
+from ..errors import ReproError
+from .machine import MachineModel
+from .program import CompiledQuery
+
+
+def query_fingerprint(query) -> str:
+    """Stable fingerprint of a logical query or a hand-coded query name.
+
+    Logical queries are frozen dataclass trees, so their ``repr`` is a
+    deterministic structural serialisation; hand-coded TPC-H programs
+    are addressed by name.
+    """
+    if isinstance(query, str):
+        return f"tpch:{query}"
+    digest = hashlib.sha256(repr(query).encode()).hexdigest()[:16]
+    return f"query:{digest}"
+
+
+def machine_fingerprint(machine: MachineModel) -> str:
+    """Stable fingerprint of a machine model (frozen dataclass repr)."""
+    digest = hashlib.sha256(repr(machine).encode()).hexdigest()[:16]
+    return f"machine:{digest}"
+
+
+def plan_key(
+    query,
+    strategy: str,
+    machine: MachineModel,
+    tile: int,
+) -> Tuple[str, str, str, int]:
+    """The full cache key of one compilation."""
+    return (
+        query_fingerprint(query),
+        strategy,
+        machine_fingerprint(machine),
+        tile,
+    )
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/eviction counters of one plan cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class PlanCache:
+    """LRU cache mapping plan keys to :class:`CompiledQuery` programs."""
+
+    capacity: int = 64
+    stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+    _entries: "OrderedDict[Hashable, CompiledQuery]" = field(
+        default_factory=OrderedDict
+    )
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ReproError("plan cache capacity must be at least 1")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[CompiledQuery]:
+        """Look up a compiled program, counting the hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Hashable, compiled: CompiledQuery) -> None:
+        """Insert (or refresh) an entry, evicting the LRU past capacity."""
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compile(
+        self, key: Hashable, compile_fn: Callable[[], CompiledQuery]
+    ) -> Tuple[CompiledQuery, bool]:
+        """Return ``(program, was_hit)``, compiling on miss."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached, True
+        compiled = compile_fn()
+        self.put(key, compiled)
+        return compiled, False
+
+    def invalidate(self) -> None:
+        """Drop every entry (data changed / database swapped)."""
+        self._entries.clear()
+        self.stats.invalidations += 1
+
+    def keys(self):
+        """Current keys, LRU first (tests / introspection)."""
+        return list(self._entries)

@@ -5,17 +5,73 @@ the emitted C-like source (what the strategy *would* hand to a compiler —
 shown by the examples and compared against the paper's Figures 1/3/4/5)
 plus an executable kernel composition. Running the program produces both
 the real query answer and the simulated-cost report.
+
+Strategies whose pipelines can scan the base table in independent
+row ranges additionally declare a :class:`ParallelPlan`, which the
+morsel executor (:mod:`repro.engine.executor`) uses to fan the scan out
+across worker threads and merge the partial states back together.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from .costing import CostReport
 from .session import Session
+
+#: Runs one morsel: ``partial(session, ctx, lo, hi) -> partial value``.
+PartialFn = Callable[[Session, Any, int, int], Dict[str, Any]]
+
+
+@dataclass
+class ParallelPlan:
+    """A strategy's declaration that its pipeline is partitionable.
+
+    The executor splits ``[0, n_rows)`` of the scan table into morsels,
+    runs ``partial`` per morsel on worker threads (NumPy releases the
+    GIL in the hot kernels), and merges the partial values. ``setup``
+    runs once before the fan-out (hash-table builds, bitmap builds) and
+    its result is passed to every ``partial`` as read-only shared state;
+    ``finalize`` runs once on the merged value (e.g. eager aggregation's
+    cleanup scan).
+    """
+
+    table: str
+    n_rows: int
+    partial: PartialFn
+    setup: Optional[Callable[[Session], Any]] = None
+    finalize: Optional[
+        Callable[[Session, Dict[str, Any], Any], Dict[str, Any]]
+    ] = None
+
+
+def merge_partials(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-morsel partial values into one query answer.
+
+    Scalar aggregates (sums/counts) add; grouped results merge by key
+    with ascending-key output, which makes the merged group-by output
+    deterministic regardless of morsel boundaries or worker timing.
+    """
+    if not parts:
+        return {}
+    first = parts[0]
+    if "keys" in first and "aggs" in first:
+        keys = np.concatenate([np.asarray(p["keys"]) for p in parts])
+        aggs = np.concatenate(
+            [np.atleast_2d(np.asarray(p["aggs"])) for p in parts]
+        )
+        unique, inverse = np.unique(keys, return_inverse=True)
+        merged = np.zeros((unique.shape[0], aggs.shape[1]), dtype=aggs.dtype)
+        np.add.at(merged, inverse, aggs)
+        return {"keys": unique, "aggs": merged}
+    out: Dict[str, Any] = {}
+    for part in parts:
+        for name, value in part.items():
+            out[name] = out.get(name, 0) + value
+    return out
 
 
 @dataclass
@@ -33,15 +89,28 @@ class QueryResult:
     def seconds(self) -> float:
         return self.report.seconds
 
+    @property
+    def metrics(self):
+        """Run metrics (:class:`~repro.engine.metrics.RunMetrics`) when
+        the program ran through the executor; ``None`` otherwise."""
+        return self.report.metrics
+
     def scalar(self, name: str = "sum") -> int:
         """Convenience accessor for single-aggregate results."""
         return self.value[name]
 
     def groups(self) -> Dict[int, tuple]:
-        """Grouped results as a key -> aggregates mapping (sorted keys)."""
+        """Grouped results as a key -> aggregates mapping (sorted keys).
+
+        Aggregate dtypes are preserved (fractional aggregates stay
+        fractional; integers come back as Python ints).
+        """
         keys = np.asarray(self.value["keys"])
         aggs = np.asarray(self.value["aggs"])
-        return {int(k): tuple(int(a) for a in row) for k, row in zip(keys, aggs)}
+        return {
+            int(k): tuple(a.item() for a in row)
+            for k, row in zip(keys, aggs)
+        }
 
 
 @dataclass
@@ -53,11 +122,15 @@ class CompiledQuery:
     source: str
     _fn: Callable[[Session], Dict[str, Any]]
     notes: Dict[str, Any] = field(default_factory=dict)
+    #: Declared by strategies whose scan pipeline is partitionable.
+    parallel: Optional[ParallelPlan] = None
 
     def run(self, session: Optional[Session] = None) -> QueryResult:
-        """Execute the program; return the answer and its cost report.
+        """Execute the program serially; return the answer and report.
 
-        A fresh tracer is used per run so repeated runs do not accumulate.
+        A fresh tracer is used per run so repeated runs do not
+        accumulate. Use :class:`repro.Engine` (or the executor directly)
+        for morsel-parallel runs.
         """
         if session is None:
             session = Session()

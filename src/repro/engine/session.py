@@ -2,12 +2,34 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+
 from .costing import Tracer
 from .machine import PAPER_MACHINE, MachineModel
 
 
+@dataclass
+class ExecutionKnobs:
+    """Per-run execution switches threaded through the strategies.
+
+    ht_prefetch:
+        Hash-table kernels mark their random accesses as
+        software-prefetched (set by the ROF strategy for the duration of
+        its programs).
+    morsel_rows:
+        Row-range size of one morsel for the parallel executor. ``None``
+        lets the executor pick a size from the scan length and worker
+        count.
+    """
+
+    ht_prefetch: bool = False
+    morsel_rows: int | None = None
+
+
 class Session:
     """Everything a compiled program needs to run and be costed.
+
+    All parameters are keyword-only.
 
     Parameters
     ----------
@@ -18,21 +40,56 @@ class Session:
     tile:
         Vector/tile size for strategies that stage intermediates. The
         paper uses 1024, following Menon et al. and Kersten et al.
+    workers:
+        Worker threads the morsel executor may use for programs that
+        declare a partitionable pipeline (1 = serial execution).
+    knobs:
+        Execution switches (:class:`ExecutionKnobs`); a fresh default
+        instance when omitted.
     """
 
     def __init__(
-        self, machine: MachineModel = PAPER_MACHINE, tile: int = 1024
+        self,
+        *,
+        machine: MachineModel = PAPER_MACHINE,
+        tile: int = 1024,
+        workers: int = 1,
+        knobs: ExecutionKnobs | None = None,
     ) -> None:
         self.machine = machine
         self.tile = tile
+        self.workers = workers
+        self.knobs = knobs if knobs is not None else ExecutionKnobs()
         self.tracer = Tracer(machine)
-        #: When true, hash-table kernels mark their random accesses as
-        #: software-prefetched (set by the ROF strategy).
-        self.ht_prefetch = False
 
-    def reset(self) -> None:
-        """Discard accumulated cost state (fresh tracer)."""
+    def reset(self) -> "Session":
+        """Discard accumulated cost state (fresh tracer); returns self."""
         self.tracer = Tracer(self.machine)
+        return self
+
+    def clone(self) -> "Session":
+        """An independent session with the same configuration.
+
+        Used by the morsel executor to give each worker its own tracer;
+        knobs are copied so per-program toggles never leak across
+        workers.
+        """
+        return Session(
+            machine=self.machine,
+            tile=self.tile,
+            workers=1,
+            knobs=replace(self.knobs),
+        )
+
+    @property
+    def ht_prefetch(self) -> bool:
+        """Deprecated alias for ``knobs.ht_prefetch`` (kept for callers
+        that predate :class:`ExecutionKnobs`)."""
+        return self.knobs.ht_prefetch
+
+    @ht_prefetch.setter
+    def ht_prefetch(self, value: bool) -> None:
+        self.knobs.ht_prefetch = value
 
     def intermediate_bytes(self, width: int) -> int:
         """Footprint of a tile-sized intermediate array (cache resident)."""

@@ -141,68 +141,83 @@ def _aggregate_into(
 def datacentric(db: Database):
     cols = _columns(db)
 
-    def run(session: Session) -> Dict[str, Any]:
+    def _run(session: Session, view: Dict[str, np.ndarray]) -> Dict[str, Any]:
         with session.tracer.overlap():
-            n = int(cols["shipdate"].shape[0])
-            K.seq_read(session, cols["shipdate"], "l_shipdate")
+            n = int(view["shipdate"].shape[0])
+            K.seq_read(session, view["shipdate"], "l_shipdate")
             session.tracer.emit(Compute(n=n, op="cmp", simd=False))
-            mask = cols["shipdate"] <= CUTOFF
+            mask = view["shipdate"] <= CUTOFF
             k = int(mask.sum())
             session.tracer.emit(
-                Branch(n=n, taken_fraction=k / n, site="shipdate")
+                Branch(n=n, taken_fraction=k / n if n else 0.0, site="shipdate")
             )
             K.scalar_loop(session, n)
             for name in ("rf", "ls", "qty", "price", "disc", "tax"):
-                K.conditional_read(session, cols[name], mask, name)
-            sub = {name: values[mask] for name, values in cols.items()}
+                K.conditional_read(session, view[name], mask, name)
+            sub = {name: values[mask] for name, values in view.items()}
             keys = _group_keys(sub)
             table = HashTable(expected_keys=NUM_GROUPS, num_aggs=6)
             _aggregate_into(session, table, keys, _deltas(sub), simd=False)
             return base.grouped(*table.items())
 
-    return base.make(NAME, "datacentric", _SOURCE_DC, run)
+    def run(session: Session) -> Dict[str, Any]:
+        return _run(session, cols)
+
+    return base.make(
+        NAME, "datacentric", _SOURCE_DC, run, parallel=base.scan_plan(cols, _run)
+    )
 
 
 def hybrid(db: Database):
     cols = _columns(db)
 
-    def run(session: Session) -> Dict[str, Any]:
+    def _run(session: Session, view: Dict[str, np.ndarray]) -> Dict[str, Any]:
         with session.tracer.overlap():
-            mask = K.compare(session, cols["shipdate"], "<=", CUTOFF, "l_shipdate")
+            mask = K.compare(session, view["shipdate"], "<=", CUTOFF, "l_shipdate")
             idx = K.selection_vector(session, mask)
             for name in ("rf", "ls", "qty", "price", "disc", "tax"):
-                K.gather(session, cols[name], idx, name)
-            sub = {name: values[mask] for name, values in cols.items()}
+                K.gather(session, view[name], idx, name)
+            sub = {name: values[mask] for name, values in view.items()}
             keys = _group_keys(sub)
             table = HashTable(expected_keys=NUM_GROUPS, num_aggs=6)
             _aggregate_into(session, table, keys, _deltas(sub), simd=False)
             return base.grouped(*table.items())
 
-    return base.make(NAME, "hybrid", _SOURCE_HY, run)
+    def run(session: Session) -> Dict[str, Any]:
+        return _run(session, cols)
+
+    return base.make(
+        NAME, "hybrid", _SOURCE_HY, run, parallel=base.scan_plan(cols, _run)
+    )
 
 
 def swole(db: Database):
     cols = _columns(db)
 
-    def run(session: Session) -> Dict[str, Any]:
+    def _run(session: Session, view: Dict[str, np.ndarray]) -> Dict[str, Any]:
         with session.tracer.overlap():
-            n = int(cols["shipdate"].shape[0])
-            mask = K.compare(session, cols["shipdate"], "<=", CUTOFF, "l_shipdate")
+            n = int(view["shipdate"].shape[0])
+            mask = K.compare(session, view["shipdate"], "<=", CUTOFF, "l_shipdate")
             # key masking: read the two key columns sequentially, mask
             for name in ("rf", "ls"):
-                K.seq_read(session, cols[name], name)
+                K.seq_read(session, view[name], name)
             session.tracer.emit(Compute(n=n, op="mul", simd=True, width=8))
             session.tracer.emit(Compute(n=n, op="add", simd=True, width=8))
-            raw_keys = _group_keys(cols)
+            raw_keys = _group_keys(view)
             session.tracer.emit(Compute(n=n, op="blend", simd=True, width=8))
             keys = np.where(mask, raw_keys, NULL_KEY)
             K.seq_write(session, keys, "key", resident=True)
             for name in ("qty", "price", "disc", "tax"):
-                K.seq_read(session, cols[name], name)
+                K.seq_read(session, view[name], name)
             table = HashTable(expected_keys=NUM_GROUPS + 1, num_aggs=6)
-            _aggregate_into(session, table, keys, _deltas(cols), simd=True)
+            _aggregate_into(session, table, keys, _deltas(view), simd=True)
             result_keys, aggs = table.items()
             keep = result_keys != NULL_KEY
             return base.grouped(result_keys[keep], aggs[keep])
 
-    return base.make(NAME, "swole", _SOURCE_SW, run)
+    def run(session: Session) -> Dict[str, Any]:
+        return _run(session, cols)
+
+    return base.make(
+        NAME, "swole", _SOURCE_SW, run, parallel=base.scan_plan(cols, _run)
+    )

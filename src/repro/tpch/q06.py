@@ -104,27 +104,27 @@ _CONJUNCTS = (
 def datacentric(db: Database):
     cols = _columns(db)
 
-    def run(session: Session) -> Dict[str, Any]:
+    def _run(session: Session, view: Dict[str, np.ndarray]) -> Dict[str, Any]:
         with session.tracer.overlap():
-            n = int(cols["shipdate"].shape[0])
+            n = int(view["shipdate"].shape[0])
             remaining = np.ones(n, dtype=bool)
             survivors = n
             for i, (col, term_of, n_cmps) in enumerate(_CONJUNCTS):
                 if i == 0:
-                    K.seq_read(session, cols[col], col)
+                    K.seq_read(session, view[col], col)
                 else:
                     session.tracer.emit(
                         CondRead(
                             n_range=n,
                             n_selected=survivors,
-                            width=int(cols[col].dtype.itemsize),
+                            width=int(view[col].dtype.itemsize),
                             array=col,
                         )
                     )
                 session.tracer.emit(
                     Compute(n=survivors * n_cmps, op="cmp", simd=False)
                 )
-                passed = remaining & term_of(cols)
+                passed = remaining & term_of(view)
                 new_survivors = int(passed.sum())
                 taken = new_survivors / survivors if survivors else 0.0
                 session.tracer.emit(
@@ -132,8 +132,8 @@ def datacentric(db: Database):
                 )
                 remaining, survivors = passed, new_survivors
             K.scalar_loop(session, n)
-            price = K.conditional_read(session, cols["price"], remaining, "price")
-            disc = K.conditional_read(session, cols["disc"], remaining, "disc")
+            price = K.conditional_read(session, view["price"], remaining, "price")
+            disc = K.conditional_read(session, view["disc"], remaining, "disc")
             session.tracer.emit(Compute(n=survivors, op="mul", simd=False))
             session.tracer.emit(Compute(n=survivors, op="add", simd=False))
             revenue = int(
@@ -141,30 +141,35 @@ def datacentric(db: Database):
             )
             return {"revenue": revenue}
 
-    return base.make(NAME, "datacentric", _SOURCE_DC, run)
+    def run(session: Session) -> Dict[str, Any]:
+        return _run(session, cols)
+
+    return base.make(
+        NAME, "datacentric", _SOURCE_DC, run, parallel=base.scan_plan(cols, _run)
+    )
 
 
 def hybrid(db: Database):
     cols = _columns(db)
 
-    def run(session: Session) -> Dict[str, Any]:
+    def _run(session: Session, view: Dict[str, np.ndarray]) -> Dict[str, Any]:
         with session.tracer.overlap():
-            n = int(cols["shipdate"].shape[0])
+            n = int(view["shipdate"].shape[0])
             for col, _, n_cmps in _CONJUNCTS:
-                K.seq_read(session, cols[col], col)
+                K.seq_read(session, view[col], col)
                 session.tracer.emit(
                     Compute(
                         n=n * n_cmps,
                         op="cmp",
                         simd=True,
-                        width=int(cols[col].dtype.itemsize),
+                        width=int(view[col].dtype.itemsize),
                     )
                 )
             session.tracer.emit(Compute(n=2 * n, op="and", simd=True, width=1))
-            mask = _mask(cols)
+            mask = _mask(view)
             idx = K.selection_vector(session, mask)
-            price = K.gather(session, cols["price"], idx, "price")
-            disc = K.gather(session, cols["disc"], idx, "disc")
+            price = K.gather(session, view["price"], idx, "price")
+            disc = K.gather(session, view["disc"], idx, "disc")
             k = int(idx.shape[0])
             session.tracer.emit(Compute(n=k, op="mul", simd=False))
             session.tracer.emit(Compute(n=k, op="add", simd=False))
@@ -173,37 +178,47 @@ def hybrid(db: Database):
             )
             return {"revenue": revenue}
 
-    return base.make(NAME, "hybrid", _SOURCE_HY, run)
+    def run(session: Session) -> Dict[str, Any]:
+        return _run(session, cols)
+
+    return base.make(
+        NAME, "hybrid", _SOURCE_HY, run, parallel=base.scan_plan(cols, _run)
+    )
 
 
 def swole(db: Database):
     cols = _columns(db)
 
-    def run(session: Session) -> Dict[str, Any]:
+    def _run(session: Session, view: Dict[str, np.ndarray]) -> Dict[str, Any]:
         with session.tracer.overlap():
-            n = int(cols["shipdate"].shape[0])
+            n = int(view["shipdate"].shape[0])
             # prepass; l_discount is read here once (merged with the agg)
             for col, _, n_cmps in _CONJUNCTS:
-                K.seq_read(session, cols[col], col)
+                K.seq_read(session, view[col], col)
                 session.tracer.emit(
                     Compute(
                         n=n * n_cmps,
                         op="cmp",
                         simd=True,
-                        width=int(cols[col].dtype.itemsize),
+                        width=int(view[col].dtype.itemsize),
                     )
                 )
             session.tracer.emit(Compute(n=2 * n, op="and", simd=True, width=1))
-            mask = _mask(cols)
+            mask = _mask(view)
             # access merging: tmp = l_discount * cmp (no second read)
             session.tracer.emit(Compute(n=n, op="mul", simd=True, width=8))
-            tmp = cols["disc"].astype(np.int64) * mask
+            tmp = view["disc"].astype(np.int64) * mask
             K.seq_write(session, tmp, "tmp", resident=True)
             # value masking: sequential read of price, SIMD multiply-add
-            K.seq_read(session, cols["price"], "price")
+            K.seq_read(session, view["price"], "price")
             session.tracer.emit(Compute(n=n, op="mul", simd=True, width=8))
             session.tracer.emit(Compute(n=n, op="add", simd=True, width=8))
-            revenue = int((cols["price"].astype(np.int64) * tmp).sum())
+            revenue = int((view["price"].astype(np.int64) * tmp).sum())
             return {"revenue": revenue}
 
-    return base.make(NAME, "swole", _SOURCE_SW, run)
+    def run(session: Session) -> Dict[str, Any]:
+        return _run(session, cols)
+
+    return base.make(
+        NAME, "swole", _SOURCE_SW, run, parallel=base.scan_plan(cols, _run)
+    )

@@ -1,0 +1,129 @@
+"""The Engine facade, session knobs, and deprecated entry points."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.datagen import microbench as mb
+from repro.engine import Engine, ExecutionKnobs, Session
+from repro.engine.machine import PAPER_MACHINE
+from repro.engine.program import results_equal
+from repro.errors import ReproError
+
+
+@pytest.fixture()
+def engine(micro_db):
+    return Engine(db=micro_db, workers=4)
+
+
+class TestEngineCompile:
+    def test_auto_resolves_to_swole(self, engine):
+        compiled = engine.compile(mb.q1(30))
+        assert compiled.strategy == "swole"
+
+    def test_explicit_strategy(self, engine):
+        compiled = engine.compile(mb.q1(30), "datacentric")
+        assert compiled.strategy == "datacentric"
+
+    def test_warm_compile_skips_codegen(self, engine):
+        engine.compile(mb.q1(30))
+        misses_after_first = engine.cache_stats.misses
+        again = engine.compile(mb.q1(30))
+        assert engine.cache_stats.misses == misses_after_first
+        assert engine.cache_stats.hits >= 1
+        assert again is engine.compile(mb.q1(30))
+
+    def test_tpch_by_name(self, tpch_db):
+        engine = Engine(db=tpch_db)
+        result = engine.execute("Q6", "hybrid")
+        assert result.value
+
+    def test_invalidate_forces_recompile(self, engine):
+        first = engine.compile(mb.q2(30))
+        engine.invalidate()
+        second = engine.compile(mb.q2(30))
+        assert first is not second
+        assert engine.cache_stats.invalidations == 1
+
+
+class TestEngineExecute:
+    def test_execute_tags_cache_outcome(self, engine):
+        cold = engine.execute(mb.q1(40))
+        warm = engine.execute(mb.q1(40))
+        assert cold.metrics.plan_cache == "miss"
+        assert warm.metrics.plan_cache == "hit"
+        assert results_equal(cold, warm)
+
+    def test_worker_override_per_call(self, engine):
+        serial = engine.execute(mb.q1(40), workers=1)
+        assert serial.metrics.workers == 1
+        default = engine.execute(mb.q1(40))
+        assert default.metrics.workers == 4
+
+    def test_strategies_agree_through_engine(self, engine):
+        results = [
+            engine.execute(mb.q1(30), strategy)
+            for strategy in ("datacentric", "hybrid", "rof", "swole")
+        ]
+        for other in results[1:]:
+            assert results_equal(results[0], other)
+
+    def test_engine_rejects_zero_workers(self, micro_db):
+        with pytest.raises(ReproError):
+            Engine(db=micro_db, workers=0)
+
+
+class TestSessionApi:
+    def test_session_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            Session(PAPER_MACHINE)  # positional machine no longer allowed
+
+    def test_reset_returns_self(self):
+        session = Session()
+        assert session.reset() is session
+
+    def test_knobs_dataclass_defaults(self):
+        knobs = ExecutionKnobs()
+        assert knobs.ht_prefetch is False
+        assert knobs.morsel_rows is None
+
+    def test_ht_prefetch_property_shim(self):
+        session = Session(knobs=ExecutionKnobs(ht_prefetch=True))
+        assert session.ht_prefetch is True
+        session.ht_prefetch = False
+        assert session.knobs.ht_prefetch is False
+
+    def test_clone_isolates_knobs(self):
+        session = Session(knobs=ExecutionKnobs(ht_prefetch=False))
+        clone = session.clone()
+        clone.knobs.ht_prefetch = True
+        assert session.knobs.ht_prefetch is False
+
+    def test_rof_prefetch_does_not_leak(self, engine):
+        # ROF partials toggle ht_prefetch inside worker clones; the
+        # engine-level default knobs must come out untouched.
+        engine.execute(mb.q4(50, 50), "rof", workers=4)
+        assert engine.knobs.ht_prefetch is False
+
+
+class TestDeprecatedWrappers:
+    def test_compile_query_warns_and_works(self, micro_db):
+        with pytest.warns(DeprecationWarning, match="Engine"):
+            compiled = repro.compile_query(mb.q1(30), micro_db, "hybrid")
+        assert compiled.run().value
+
+    def test_compile_swole_warns_and_works(self, micro_db):
+        with pytest.warns(DeprecationWarning, match="Engine"):
+            compiled = repro.compile_swole(mb.q1(30), micro_db)
+        assert compiled.strategy == "swole"
+
+    def test_engine_exported_from_top_level(self):
+        assert repro.Engine is Engine
+        for name in ("Engine", "RunMetrics", "PlanCache", "MorselExecutor"):
+            assert name in repro.__all__
+
+    def test_engine_path_emits_no_deprecation(self, micro_db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Engine(db=micro_db).execute(mb.q1(30), "hybrid")

@@ -1,0 +1,137 @@
+"""Morsel executor: parallel runs are bit-identical to serial runs.
+
+The paper's simulated-cost methodology carries over to parallelism: each
+morsel's kernels do real NumPy work and emit priced events, and the
+executor's greedy schedule turns per-morsel cycles into a deterministic
+simulated critical path. These tests pin the contract that matters most:
+for every strategy and every query, ``workers=4`` produces the same bits
+as ``workers=1``.
+"""
+
+import pytest
+
+from repro.datagen import microbench as mb
+from repro.engine import Engine, MorselExecutor
+from repro.engine.executor import MIN_MORSEL_ROWS
+from repro.engine.program import results_equal
+from repro.tpch import query_names
+
+STRATEGIES = ("datacentric", "hybrid", "rof", "swole")
+
+MICRO_QUERIES = {
+    "q1-mul": lambda: mb.q1(30, "mul"),
+    "q1-div": lambda: mb.q1(30, "div"),
+    "q2": lambda: mb.q2(30),
+    "q3-rb": lambda: mb.q3(30, "r_b"),
+    "q3-rx": lambda: mb.q3(30, "r_x"),
+    "q4": lambda: mb.q4(50, 50),
+    "q5": lambda: mb.q5(30),
+    "q5-eager": lambda: mb.q5(75),
+}
+
+
+@pytest.fixture(scope="module")
+def micro_engine(micro_db):
+    return Engine(db=micro_db, workers=4)
+
+
+@pytest.fixture(scope="module")
+def tpch_engine(tpch_db):
+    return Engine(db=tpch_db, workers=4)
+
+
+class TestMicrobenchEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("query_name", sorted(MICRO_QUERIES))
+    def test_parallel_matches_serial(
+        self, micro_engine, strategy, query_name
+    ):
+        query = MICRO_QUERIES[query_name]()
+        serial = micro_engine.execute(query, strategy, workers=1)
+        parallel = micro_engine.execute(query, strategy, workers=4)
+        assert results_equal(serial, parallel)
+
+    @pytest.mark.parametrize("workers", (2, 3, 7))
+    def test_any_worker_count(self, micro_engine, workers):
+        query = mb.q2(40)
+        serial = micro_engine.execute(query, "swole", workers=1)
+        parallel = micro_engine.execute(query, "swole", workers=workers)
+        assert results_equal(serial, parallel)
+
+    def test_grouped_keys_ascending(self, micro_engine):
+        result = micro_engine.execute(mb.q2(40), "swole", workers=4)
+        keys = list(result.value["keys"])
+        assert keys == sorted(keys)
+
+
+class TestTpchEquivalence:
+    # hand-coded TPC-H programs register the Figure 6 series (no rof)
+    @pytest.mark.parametrize(
+        "strategy", ("interpreter", "datacentric", "hybrid", "swole")
+    )
+    @pytest.mark.parametrize("name", query_names())
+    def test_parallel_matches_serial(self, tpch_engine, strategy, name):
+        serial = tpch_engine.execute(name, strategy, workers=1)
+        parallel = tpch_engine.execute(name, strategy, workers=4)
+        assert results_equal(serial, parallel)
+
+
+class TestRunMetrics:
+    def test_parallel_scan_metrics(self, micro_engine):
+        result = micro_engine.execute(mb.q1(30), "swole", workers=4)
+        metrics = result.metrics
+        assert metrics.workers == 4
+        assert metrics.morsels > 1
+        assert metrics.critical_path_cycles < metrics.total_cycles
+        assert metrics.speedup > 1.0
+        assert metrics.parallel_seconds < metrics.total_seconds
+        assert "workers" in metrics.describe()
+
+    def test_serial_metrics_degenerate(self, micro_engine):
+        result = micro_engine.execute(mb.q1(30), "swole", workers=1)
+        metrics = result.metrics
+        assert metrics.workers == 1
+        assert metrics.parallel_seconds == pytest.approx(result.seconds)
+        assert metrics.speedup == pytest.approx(1.0)
+
+    def test_setup_counted_in_critical_path(self, micro_engine):
+        # semijoin: bitmap build runs serially once, before the fan-out
+        result = micro_engine.execute(mb.q4(50, 50), "swole", workers=4)
+        metrics = result.metrics
+        assert metrics.morsels > 1
+        assert metrics.serial_cycles > 0
+        assert metrics.critical_path_cycles > metrics.serial_cycles
+
+    def test_eager_groupjoin_runs_parallel(self, micro_engine):
+        compiled = micro_engine.compile(mb.q5(75))
+        assert "eager" in compiled.notes.get("plan", "")
+        assert compiled.parallel is not None
+        serial = micro_engine.execute(mb.q5(75), workers=1)
+        parallel = micro_engine.execute(mb.q5(75), workers=4)
+        assert results_equal(serial, parallel)
+        assert parallel.metrics.morsels > 1
+
+    def test_event_counts_recorded(self, micro_engine):
+        result = micro_engine.execute(mb.q1(30), "swole", workers=4)
+        counts = result.metrics.event_counts
+        assert counts and all(n > 0 for n in counts.values())
+
+
+class TestExecutorEdges:
+    def test_interpreter_never_parallel(self, micro_engine):
+        result = micro_engine.execute(mb.q1(30), "interpreter", workers=4)
+        assert result.metrics.morsels == 1
+
+    def test_tiny_table_stays_serial(self, micro_db):
+        # below MIN_MORSEL_ROWS the fan-out cannot pay for itself
+        tiny = mb.generate(
+            mb.MicrobenchConfig(num_rows=512, s_rows=64, c_cardinality=8)
+        )
+        assert 512 <= MIN_MORSEL_ROWS
+        engine = Engine(db=tiny, workers=4)
+        result = engine.execute(mb.q1(30), "swole", workers=4)
+        assert result.metrics.morsels == 1
+
+    def test_executor_rejects_bad_workers(self):
+        with pytest.raises(Exception):
+            MorselExecutor(workers=0)

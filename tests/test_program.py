@@ -48,6 +48,28 @@ class TestQueryResult:
         first_key = int(result.value["keys"][0])
         assert groups[first_key][0] == int(result.value["aggs"][0][0])
 
+    def test_groups_preserves_aggregate_dtype(self):
+        # Regression: fractional aggregates used to be truncated to int.
+        report = CostReport(machine=PAPER_MACHINE)
+        value = {
+            "keys": np.asarray([3, 7]),
+            "aggs": np.asarray([[1.25, 4.0], [2.5, 8.0]]),
+        }
+        groups = QueryResult(value=value, report=report).groups()
+        assert groups[3] == (1.25, 4.0)
+        assert groups[7] == (2.5, 8.0)
+        assert isinstance(groups[3][0], float)
+
+    def test_groups_integer_aggs_stay_int(self):
+        report = CostReport(machine=PAPER_MACHINE)
+        value = {
+            "keys": np.asarray([1]),
+            "aggs": np.asarray([[10, 2]], dtype=np.int64),
+        }
+        groups = QueryResult(value=value, report=report).groups()
+        assert groups[1] == (10, 2)
+        assert isinstance(groups[1][0], int)
+
 
 class TestResultsEqual:
     def _result(self, value):
