@@ -35,6 +35,7 @@ from .engine import (
     PlanCache,
     RunMetrics,
     Session,
+    WorkerPool,
 )
 from .errors import ReproError
 from .plan import AggSpec, Col, Const, JoinSpec, Query
@@ -88,6 +89,7 @@ __all__ = [
     "ReproError",
     "RunMetrics",
     "Session",
+    "WorkerPool",
     "__version__",
     "available_strategies",
     "compile_query",

@@ -11,6 +11,12 @@ from .microbench import (
     run_strategies,
     scaled_machine,
 )
+from .throughput import (
+    WorkloadResult,
+    pool_vs_spawn,
+    run_throughput,
+    run_workload,
+)
 from .tpch import FIG6_SERIES, PAPER_SWOLE_SPEEDUPS, TpchReport, run_fig6
 
 __all__ = [
@@ -19,12 +25,16 @@ __all__ = [
     "PAPER_SWOLE_SPEEDUPS",
     "SweepResult",
     "TpchReport",
+    "WorkloadResult",
     "fig8",
     "fig9",
     "fig10",
     "fig11",
     "fig12",
+    "pool_vs_spawn",
     "run_fig6",
     "run_strategies",
+    "run_throughput",
+    "run_workload",
     "scaled_machine",
 ]

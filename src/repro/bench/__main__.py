@@ -6,6 +6,13 @@ run partitionable scans morsel-parallel (seconds become the simulated
 critical path), and ``--plan-cache cold`` to force recompilation between
 sweep points. ``--quick`` runs a small smoke suite: one fig8 panel plus
 a parallel-scan and plan-cache demonstration.
+
+``--throughput`` runs the closed-loop wall-clock throughput suite
+instead (warm Engine, mixed Q1/Q6/microbench workloads, persistent
+worker pool vs per-query thread spawning) and writes the
+machine-readable report to ``BENCH_throughput.json`` (``--out``).
+Generated datasets are cached under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro/datasets``) by every mode, so reruns skip datagen.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import argparse
 
 from ..datagen import microbench as mb
 from ..datagen import tpch as tpchgen
+from ..datagen.cache import load_dataset
 from . import microbench as micro
 from . import tpch as tpchbench
 
@@ -93,7 +101,7 @@ def run_quick(workers: int) -> None:
         ).format_table()
     )
 
-    db = mb.generate(config)
+    db = load_dataset("microbench", config)
     machine = micro.scaled_machine(config)
     engine = Engine(db, machine=machine, workers=workers)
     query = mb.q1(50)
@@ -131,8 +139,9 @@ def main() -> None:
     parser.add_argument(
         "--rows",
         type=int,
-        default=1_000_000,
-        help="microbench R rows (paper: 100M; caches scale to match)",
+        default=None,
+        help="microbench R rows (paper: 100M; caches scale to match; "
+        "default 1M for figures, 200K for --throughput)",
     )
     parser.add_argument(
         "--sf",
@@ -157,11 +166,51 @@ def main() -> None:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small smoke suite (CI): tiny fig8 + executor/cache demos",
+        help="small smoke suite (CI): tiny fig8 + executor/cache demos; "
+        "with --throughput, shrinks the throughput suite instead",
+    )
+    parser.add_argument(
+        "--throughput",
+        action="store_true",
+        help="closed-loop wall-clock throughput suite (writes --out)",
+    )
+    parser.add_argument(
+        "--iters",
+        type=int,
+        default=30,
+        help="measured iterations per throughput workload",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_throughput.json",
+        help="output path of the throughput report",
     )
     args = parser.parse_args()
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    if args.iters < 1:
+        parser.error("--iters must be at least 1")
+    if args.throughput:
+        from .throughput import run_throughput
+
+        if args.quick:
+            run_throughput(
+                rows=50_000,
+                sf=0.002,
+                workers=max(args.workers, 4),
+                iterations=min(args.iters, 10),
+                baseline_iterations=40,
+                out_path=args.out,
+            )
+        else:
+            run_throughput(
+                rows=args.rows if args.rows is not None else 200_000,
+                sf=args.sf,
+                workers=max(args.workers, 4),
+                iterations=args.iters,
+                out_path=args.out,
+            )
+        return
     if args.quick:
         run_quick(max(args.workers, 4))
         return
@@ -170,10 +219,9 @@ def main() -> None:
         parser.error("name at least one figure, or pass --quick")
     if figures == ["all"]:
         figures = ["fig2", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12"]
+    rows = args.rows if args.rows is not None else 1_000_000
     for figure in figures:
-        run_figure(
-            figure, args.rows, args.sf, args.workers, args.plan_cache
-        )
+        run_figure(figure, rows, args.sf, args.workers, args.plan_cache)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.swole import compile_swole
 from ..datagen import microbench as mb
+from ..datagen.cache import load_dataset
 from ..engine.facade import Engine
 from ..engine.machine import PAPER_MACHINE, MachineModel
 from ..plan.logical import Query
@@ -148,7 +149,7 @@ def fig8(
 ) -> SweepResult:
     """Figure 8: µQ1 value masking, ``op`` in {'mul' (8a), 'div' (8b)}."""
     if db is None:
-        db = mb.generate(config)
+        db = load_dataset("microbench", config)
     machine = scaled_machine(config)
     return _sweep(
         f"Fig 8 ({op}): uQ1 value masking",
@@ -186,7 +187,7 @@ def fig9(
         c_cardinality=c_cardinality,
         seed=config.seed,
     )
-    db = mb.generate(config)
+    db = load_dataset("microbench", config)
     machine = scaled_machine(config)
     return _sweep(
         f"Fig 9 (|r_c|={paper_cardinality} paper-scale -> "
@@ -212,7 +213,7 @@ def fig10(
 ) -> SweepResult:
     """Figure 10: µQ3 access merging, ``col`` in {'r_b' (10a), 'r_x' (10b)}."""
     if db is None:
-        db = mb.generate(config)
+        db = load_dataset("microbench", config)
     machine = scaled_machine(config)
     return _sweep(
         f"Fig 10 (COL={col}): uQ3 access merging",
@@ -248,7 +249,7 @@ def fig11(
         c_cardinality=config.c_cardinality,
         seed=config.seed,
     )
-    db = mb.generate(config)
+    db = load_dataset("microbench", config)
     machine = scaled_machine(config)
     if fixed_side == "probe":
         query_for = lambda sel: mb.q4(fixed_sel, sel)  # noqa: E731
@@ -292,7 +293,7 @@ def fig12(
         c_cardinality=config.c_cardinality,
         seed=config.seed,
     )
-    db = mb.generate(config)
+    db = load_dataset("microbench", config)
     machine = scaled_machine(config)
     return _sweep(
         f"Fig 12 (|S|={s_rows_paper} paper-scale): uQ5 eager aggregation",

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..datagen import tpch as tpchgen
+from ..datagen.cache import load_dataset
 from ..engine.facade import Engine
 from ..engine.machine import PAPER_MACHINE
 from ..storage.database import Database
@@ -108,7 +109,7 @@ def run_fig6(
     ``plan_cache="cold"`` drops compiled plans between queries.
     """
     if db is None:
-        db = tpchgen.generate(config)
+        db = load_dataset("tpch", config)
     machine = PAPER_MACHINE.scaled(config.machine_scale)
     engine = Engine(db, machine=machine, workers=workers)
     report = TpchReport(scale_factor=config.scale_factor, workers=workers)

@@ -1,5 +1,30 @@
-"""Workload generators: microbenchmark (Fig. 7) and TPC-H."""
+"""Workload generators: microbenchmark (Fig. 7) and TPC-H.
 
+Generated datasets are deterministic functions of their config, so
+:mod:`repro.datagen.cache` can fingerprint and reuse them across runs
+(in-process LRU + on-disk ``.npy``/memmap store).
+"""
+
+from .cache import (
+    DatasetCache,
+    DatasetCacheStats,
+    dataset_cache,
+    dataset_fingerprint,
+    load_dataset,
+)
 from .microbench import MicrobenchConfig, generate, q1, q2, q3, q4, q5
 
-__all__ = ["MicrobenchConfig", "generate", "q1", "q2", "q3", "q4", "q5"]
+__all__ = [
+    "DatasetCache",
+    "DatasetCacheStats",
+    "MicrobenchConfig",
+    "dataset_cache",
+    "dataset_fingerprint",
+    "generate",
+    "load_dataset",
+    "q1",
+    "q2",
+    "q3",
+    "q4",
+    "q5",
+]

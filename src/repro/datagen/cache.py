@@ -1,0 +1,335 @@
+"""Fingerprinted dataset cache: in-process LRU + on-disk column store.
+
+Every bench or test invocation used to regenerate its TPC-H and
+microbenchmark databases from scratch — by far the largest fixed cost of
+a run once plans are cached and workers are pooled. Generation is fully
+deterministic (generator + frozen config dataclass + seed), so the
+result is cacheable by construction.
+
+The cache has two layers, both keyed by a *fingerprint* of
+``(format version, generator name, config repr)``:
+
+* an in-process LRU of live :class:`~repro.storage.database.Database`
+  objects (bounded entry count; repeated loads within one process are
+  pointer-returns), and
+* an on-disk layer under a cache directory: one subdirectory per
+  fingerprint holding ``meta.json`` (schema: logical types,
+  dictionaries, decimal scales, foreign keys, and the originating
+  config) plus one ``.npy`` file per column, loaded back with
+  ``np.load(..., mmap_mode="r")`` so a cold process maps the columns
+  instead of re-randomizing them.
+
+The cache directory resolves, in order: the explicit ``cache_dir``
+argument, the ``REPRO_CACHE_DIR`` environment variable, then
+``~/.cache/repro/datasets``. Clear it with :meth:`DatasetCache.clear`
+(or simply delete the directory).
+
+Foreign-key offset indexes are *not* stored — they are pure arithmetic
+over the loaded columns and are rebuilt eagerly on load, exactly as
+:meth:`Database.add_foreign_key` does at generation time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DataGenError
+from ..storage.column import Column, LogicalType
+from ..storage.database import Database
+from ..storage.table import Table
+from . import microbench, tpch
+
+#: Bump when the on-disk layout changes; old entries simply miss.
+FORMAT_VERSION = 1
+
+#: Registered generators addressable by name: name -> (generate, config
+#: type). The config type is what :func:`load_dataset` validates against.
+GENERATORS: Dict[str, Tuple[Callable, type]] = {
+    "microbench": (microbench.generate, microbench.MicrobenchConfig),
+    "tpch": (tpch.generate, tpch.TpchConfig),
+}
+
+_META_FILE = "meta.json"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/datasets``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "datasets"
+
+
+def dataset_fingerprint(generator: str, config) -> str:
+    """Stable fingerprint of one generated dataset.
+
+    Configs are frozen dataclasses whose ``repr`` is a deterministic
+    structural serialisation (it includes the seed), mirroring
+    :func:`repro.engine.plan_cache.query_fingerprint`.
+    """
+    payload = f"v{FORMAT_VERSION}:{generator}:{config!r}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+@dataclass
+class DatasetCacheStats:
+    """Hit/miss counters of one dataset cache."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.memory_hits + self.disk_hits + self.misses
+        return (self.memory_hits + self.disk_hits) / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class DatasetCache:
+    """Two-layer (memory LRU + disk) cache of generated databases.
+
+    Parameters
+    ----------
+    cache_dir:
+        On-disk location; ``None`` resolves via :func:`default_cache_dir`.
+    memory_entries:
+        Max live databases kept in the in-process LRU.
+    mmap:
+        Memory-map column files on disk load instead of reading them
+        into fresh arrays (saves RSS and load time for large datasets).
+    """
+
+    cache_dir: Optional[Path] = None
+    memory_entries: int = 4
+    mmap: bool = True
+    stats: DatasetCacheStats = field(default_factory=DatasetCacheStats)
+    #: Where the most recent :meth:`load` was served from:
+    #: ``"memory"`` / ``"disk"`` / ``"generated"``.
+    last_source: Optional[str] = None
+    _entries: "OrderedDict[str, Database]" = field(
+        default_factory=OrderedDict
+    )
+
+    def __post_init__(self) -> None:
+        if self.memory_entries < 1:
+            raise DataGenError("dataset cache needs at least one entry")
+        self.cache_dir = (
+            Path(self.cache_dir)
+            if self.cache_dir is not None
+            else default_cache_dir()
+        )
+
+    # -- loading ---------------------------------------------------------
+
+    def load(self, generator: str, config=None) -> Database:
+        """Return the database for ``(generator, config)``, generating
+        it only when neither cache layer has it."""
+        generate, config_type = self._resolve(generator)
+        if config is None:
+            config = config_type()
+        if not isinstance(config, config_type):
+            raise DataGenError(
+                f"generator {generator!r} expects a "
+                f"{config_type.__name__}, got {type(config).__name__}"
+            )
+        key = dataset_fingerprint(generator, config)
+
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.memory_hits += 1
+            self.last_source = "memory"
+            return cached
+
+        db = self._load_disk(key)
+        if db is not None:
+            self.stats.disk_hits += 1
+            self.last_source = "disk"
+        else:
+            self.stats.misses += 1
+            self.last_source = "generated"
+            db = generate(config)
+            self._store_disk(key, generator, config, db)
+        self._remember(key, db)
+        return db
+
+    def _resolve(self, generator: str) -> Tuple[Callable, type]:
+        try:
+            return GENERATORS[generator]
+        except KeyError as exc:
+            raise DataGenError(
+                f"unknown dataset generator {generator!r}; "
+                f"known: {sorted(GENERATORS)}"
+            ) from exc
+
+    def _remember(self, key: str, db: Database) -> None:
+        self._entries[key] = db
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.memory_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- disk layer ------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> Path:
+        return self.cache_dir / key
+
+    def _store_disk(self, key: str, generator: str, config, db) -> None:
+        """Persist ``db`` atomically (write to a temp dir, then rename)."""
+        entry = self._entry_dir(key)
+        if entry.exists():
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tables = []
+        tmp = Path(
+            tempfile.mkdtemp(prefix=f".{key}-", dir=self.cache_dir)
+        )
+        try:
+            for name in db.catalog.table_names:
+                table = db.table(name)
+                columns = []
+                for col in table.iter_columns():
+                    filename = f"{name}__{col.name}.npy"
+                    np.save(tmp / filename, col.values, allow_pickle=False)
+                    columns.append(
+                        {
+                            "name": col.name,
+                            "logical_type": col.logical_type.value,
+                            "file": filename,
+                            "dictionary": (
+                                list(col.dictionary)
+                                if col.dictionary is not None
+                                else None
+                            ),
+                            "scale": col.scale,
+                        }
+                    )
+                tables.append({"name": name, "columns": columns})
+            meta = {
+                "format_version": FORMAT_VERSION,
+                "generator": generator,
+                "config": repr(config),
+                "tables": tables,
+                "foreign_keys": [
+                    {
+                        "table": fk.table,
+                        "column": fk.column,
+                        "ref_table": fk.ref_table,
+                        "ref_column": fk.ref_column,
+                    }
+                    for fk in db.catalog.foreign_keys()
+                ],
+            }
+            (tmp / _META_FILE).write_text(json.dumps(meta, indent=1))
+            try:
+                tmp.rename(entry)
+            except OSError:
+                # A concurrent process stored the same entry first.
+                shutil.rmtree(tmp, ignore_errors=True)
+            self.stats.stores += 1
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+
+    def _load_disk(self, key: str) -> Optional[Database]:
+        entry = self._entry_dir(key)
+        meta_path = entry / _META_FILE
+        if not meta_path.is_file():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            if meta.get("format_version") != FORMAT_VERSION:
+                return None
+            db = Database()
+            for table_meta in meta["tables"]:
+                columns = []
+                for col_meta in table_meta["columns"]:
+                    values = np.load(
+                        entry / col_meta["file"],
+                        mmap_mode="r" if self.mmap else None,
+                        allow_pickle=False,
+                    )
+                    columns.append(
+                        Column(
+                            name=col_meta["name"],
+                            logical_type=LogicalType(
+                                col_meta["logical_type"]
+                            ),
+                            values=values,
+                            dictionary=(
+                                tuple(col_meta["dictionary"])
+                                if col_meta["dictionary"] is not None
+                                else None
+                            ),
+                            scale=col_meta["scale"],
+                        )
+                    )
+                db.add_table(
+                    Table(name=table_meta["name"], columns=tuple(columns))
+                )
+            for fk in meta["foreign_keys"]:
+                db.add_foreign_key(
+                    fk["table"], fk["column"], fk["ref_table"],
+                    fk["ref_column"],
+                )
+            return db
+        except (OSError, ValueError, KeyError):
+            # Corrupt or truncated entry: treat as a miss (it will be
+            # regenerated and re-stored under a temp dir + rename).
+            return None
+
+    # -- management ------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        self._entries.clear()
+
+    def clear_disk(self) -> None:
+        if self.cache_dir.is_dir():
+            shutil.rmtree(self.cache_dir, ignore_errors=True)
+
+    def clear(self) -> None:
+        """Drop both layers."""
+        self.clear_memory()
+        self.clear_disk()
+
+
+_default_cache: Optional[DatasetCache] = None
+
+
+def dataset_cache() -> DatasetCache:
+    """The process-wide default cache (created on first use)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = DatasetCache()
+    return _default_cache
+
+
+def load_dataset(
+    generator: str, config=None, cache: Optional[DatasetCache] = None
+) -> Database:
+    """Convenience wrapper: load through ``cache`` (default: the
+    process-wide cache)."""
+    return (cache or dataset_cache()).load(generator, config)

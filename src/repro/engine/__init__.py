@@ -14,6 +14,7 @@ from .executor import MorselExecutor
 from .facade import Engine
 from .metrics import RunMetrics, WorkerStats
 from .plan_cache import PlanCache, PlanCacheStats, plan_key
+from .pool import MorselBatch, WorkerPool
 from .events import (
     Branch,
     CondRead,
@@ -50,6 +51,7 @@ __all__ = [
     "ExecutionKnobs",
     "HashTable",
     "MachineModel",
+    "MorselBatch",
     "MorselExecutor",
     "NULL_KEY",
     "PAPER_MACHINE",
@@ -62,6 +64,7 @@ __all__ = [
     "SeqRead",
     "SeqWrite",
     "Session",
+    "WorkerPool",
     "WorkerStats",
     "SetAssociativeCache",
     "TOMBSTONE",

@@ -262,6 +262,19 @@ class Tracer:
         self._overlap_buffer: List[Tuple[str, Event, float]] = []
         self._overlap_depth = 0
 
+    def reset(self) -> "Tracer":
+        """Detach the current report and start a fresh one in place.
+
+        The pooled morsel executor harvests ``report`` after every
+        morsel; resetting reuses this tracer (and its accountant)
+        instead of reallocating them per morsel. Returns self.
+        """
+        self.report = CostReport(machine=self.machine)
+        self._kernel_stack.clear()
+        self._overlap_buffer.clear()
+        self._overlap_depth = 0
+        return self
+
     @property
     def current_kernel(self) -> str:
         return self._kernel_stack[-1] if self._kernel_stack else "<toplevel>"

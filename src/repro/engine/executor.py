@@ -18,13 +18,13 @@ single-core CI runners.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ExecutionError
 from .costing import CostReport
 from .metrics import RunMetrics, event_counts, greedy_schedule, merge_reports
+from .pool import MorselBatch, WorkerPool, drain_with_ephemeral_threads
 from .program import CompiledQuery, QueryResult, merge_partials
 from .session import Session
 
@@ -61,12 +61,21 @@ class MorselExecutor:
     Programs without a :class:`~repro.engine.program.ParallelPlan` (or
     runs with ``workers=1``) execute serially through the program's own
     ``run``; either way the result carries :class:`RunMetrics`.
+
+    Pass a :class:`~repro.engine.pool.WorkerPool` to run morsels on
+    persistent workers (the :class:`repro.Engine` facade does); without
+    one, fresh threads are spawned per query — the legacy baseline the
+    throughput benchmark measures pooling against. Results and
+    simulated cycles are bit-identical in both modes.
     """
 
-    def __init__(self, *, workers: int = 1) -> None:
+    def __init__(
+        self, *, workers: int = 1, pool: Optional[WorkerPool] = None
+    ) -> None:
         if workers < 1:
             raise ExecutionError("executor needs at least one worker")
         self.workers = workers
+        self.pool = pool
 
     def execute(
         self, compiled: CompiledQuery, session: Optional[Session] = None
@@ -80,12 +89,17 @@ class MorselExecutor:
             or plan is None
             or plan.n_rows <= MIN_MORSEL_ROWS
         ):
+            # A serial run is a single morsel spanning the whole scan:
+            # morsel_rows is that morsel's size and scan_rows the scan
+            # length (both 0 when the program declares no parallel plan
+            # and the scan length is therefore unknown to the executor).
             result = compiled.run(session)
             result.report.metrics = RunMetrics(
                 wall_seconds=time.perf_counter() - started,
                 workers=1,
                 morsels=1,
                 morsel_rows=plan.n_rows if plan is not None else 0,
+                scan_rows=plan.n_rows if plan is not None else 0,
                 parallel=False,
                 machine=session.machine,
                 total_cycles=result.report.total_cycles,
@@ -151,7 +165,9 @@ class MorselExecutor:
             workers=self.workers,
             morsels=len(morsels),
             morsel_rows=morsel_rows,
+            scan_rows=plan.n_rows,
             parallel=True,
+            pooled=self.pool is not None,
             machine=session.machine,
             total_cycles=report.total_cycles,
             critical_path_cycles=critical,
@@ -169,46 +185,13 @@ class MorselExecutor:
         morsels: List[Tuple[int, int]],
         label: str,
     ) -> Tuple[List[Dict[str, Any]], List[CostReport], Dict[int, float]]:
-        """Worker threads pull morsels from a shared cursor."""
-        values: List[Optional[Dict[str, Any]]] = [None] * len(morsels)
-        reports: List[Optional[CostReport]] = [None] * len(morsels)
-        wall_by_worker: Dict[int, float] = {}
-        cursor = iter(range(len(morsels)))
-        lock = threading.Lock()
-        errors: List[BaseException] = []
-
-        def work(worker_id: int) -> None:
-            begin = time.perf_counter()
-            while True:
-                with lock:
-                    index = next(cursor, None)
-                if index is None:
-                    break
-                lo, hi = morsels[index]
-                worker_session = session.clone()
-                try:
-                    with worker_session.tracer.kernel(f"{label}:morsel"):
-                        value = plan.partial(worker_session, ctx, lo, hi)
-                except BaseException as exc:  # propagate to the caller
-                    with lock:
-                        errors.append(exc)
-                    break
-                values[index] = value
-                reports[index] = worker_session.tracer.report
-            wall_by_worker[worker_id] = time.perf_counter() - begin
-
-        threads = [
-            threading.Thread(target=work, args=(i,), name=f"morsel-{i}")
-            for i in range(self.workers)
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        if errors:
-            raise errors[0]
-        return (
-            [v for v in values if v is not None],
-            [r for r in reports if r is not None],
-            wall_by_worker,
-        )
+        """Run the morsels on the persistent pool, or — without one —
+        on freshly spawned threads. Either way the shared
+        :class:`MorselBatch` provides the cursor, cooperative
+        cancellation on first failure, and index-ordered results."""
+        if self.pool is not None:
+            return self.pool.run(
+                session, plan, ctx, morsels, label, self.workers
+            )
+        batch = MorselBatch(session, plan, ctx, morsels, label, self.workers)
+        return drain_with_ephemeral_threads(batch)

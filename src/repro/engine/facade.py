@@ -20,12 +20,14 @@ Usage::
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Union
 
 from ..errors import ReproError
 from .executor import MorselExecutor
 from .machine import PAPER_MACHINE, MachineModel
 from .plan_cache import PlanCache, plan_key
+from .pool import WorkerPool
 from .program import CompiledQuery, QueryResult
 from .session import ExecutionKnobs, Session
 
@@ -52,6 +54,17 @@ class Engine:
         LRU capacity of the compiled-program cache.
     knobs:
         Default :class:`ExecutionKnobs` for sessions this engine spawns.
+    use_pool:
+        When True (default), parallel morsels run on a persistent
+        :class:`~repro.engine.pool.WorkerPool` owned by the engine —
+        threads start lazily on the first parallel query and are reused
+        across queries. When False, every query spawns fresh threads
+        (the pre-pool baseline; kept for the throughput benchmark).
+        Results and simulated cycles are identical either way.
+
+    The engine is a context manager; ``with Engine(db) as engine:``
+    shuts the pool down on exit, and an ``atexit`` hook covers engines
+    that are never explicitly closed. :meth:`shutdown` is idempotent.
     """
 
     def __init__(
@@ -63,6 +76,7 @@ class Engine:
         tile: int = 1024,
         plan_cache_size: int = 64,
         knobs: Optional[ExecutionKnobs] = None,
+        use_pool: bool = True,
     ) -> None:
         if workers < 1:
             raise ReproError("Engine needs at least one worker")
@@ -72,13 +86,29 @@ class Engine:
         self.tile = tile
         self.knobs = knobs if knobs is not None else ExecutionKnobs()
         self.plan_cache = PlanCache(capacity=plan_cache_size)
+        self.pool: Optional[WorkerPool] = (
+            WorkerPool(workers) if use_pool else None
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the worker pool's threads (idempotent). The engine
+        remains usable — the pool restarts lazily on the next parallel
+        query."""
+        if self.pool is not None:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     # -- sessions --------------------------------------------------------
 
     def session(self, *, workers: Optional[int] = None) -> Session:
         """A fresh session configured like this engine."""
-        from dataclasses import replace
-
         return Session(
             machine=self.machine,
             tile=self.tile,
@@ -142,7 +172,7 @@ class Engine:
         n_workers = workers if workers is not None else self.workers
         if session is None:
             session = self.session(workers=n_workers)
-        executor = MorselExecutor(workers=n_workers)
+        executor = MorselExecutor(workers=n_workers, pool=self.pool)
         result = executor.execute(compiled, session)
         result.report.metrics.plan_cache = "hit" if was_hit else "miss"
         return result

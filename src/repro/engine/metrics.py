@@ -40,9 +40,22 @@ class RunMetrics:
     wall_seconds: float
     workers: int
     morsels: int
+    #: Rows per morsel — the split size used to partition the scan. A
+    #: serial run is one morsel spanning the whole scan, so its
+    #: ``morsel_rows`` equals ``scan_rows``; both are 0 when the program
+    #: declares no :class:`~repro.engine.program.ParallelPlan` (the
+    #: executor then cannot see the scan length). The final morsel of a
+    #: parallel run may be shorter (``scan_rows`` is not necessarily a
+    #: multiple of ``morsel_rows``).
     morsel_rows: int
     parallel: bool
     machine: MachineModel
+    #: Total rows of the partitioned base-table scan (0 when unknown —
+    #: i.e. the program declared no parallel plan).
+    scan_rows: int = 0
+    #: True when the morsels ran on a persistent worker pool rather
+    #: than per-query spawned threads.
+    pooled: bool = False
     #: Total simulated work (sum over all workers/morsels), in cycles.
     total_cycles: float = 0.0
     #: Critical-path simulated cycles: serial setup/finalize plus the
@@ -77,7 +90,10 @@ class RunMetrics:
     def describe(self) -> str:
         shape = (
             f"{self.workers} workers x {self.morsels} morsels "
-            f"({self.morsel_rows} rows each)"
+            f"({self.morsel_rows} rows each"
+            + (f", {self.scan_rows} scanned" if self.scan_rows else "")
+            + (", pooled" if self.pooled else "")
+            + ")"
             if self.parallel
             else "serial"
         )
@@ -110,11 +126,25 @@ def event_counts(report: CostReport) -> Dict[str, int]:
 def merge_reports(
     machine: MachineModel, reports: Sequence[CostReport]
 ) -> CostReport:
-    """Sum several per-worker/per-morsel reports into one."""
+    """Sum several per-worker/per-morsel reports into one.
+
+    Merges the per-report aggregates (already summed once, at emit
+    time) instead of re-adding every event — this runs once per query
+    on the serving path, and per-event re-aggregation dominated short
+    queries.
+    """
     merged = CostReport(machine=machine)
+    by_kernel = merged.by_kernel
+    by_kind = merged.by_kind
+    total = 0.0
     for report in reports:
-        for kernel, event, cycles in report.events:
-            merged.add(kernel, event, cycles)
+        total += report.total_cycles
+        for kernel, cycles in report.by_kernel.items():
+            by_kernel[kernel] = by_kernel.get(kernel, 0.0) + cycles
+        for kind, cycles in report.by_kind.items():
+            by_kind[kind] = by_kind.get(kind, 0.0) + cycles
+        merged.events.extend(report.events)
+    merged.total_cycles = total
     return merged
 
 

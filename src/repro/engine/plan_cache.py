@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Hashable, Optional, Tuple
 
 from ..errors import ReproError
@@ -38,8 +39,14 @@ def query_fingerprint(query) -> str:
     return f"query:{digest}"
 
 
+@lru_cache(maxsize=64)
 def machine_fingerprint(machine: MachineModel) -> str:
-    """Stable fingerprint of a machine model (frozen dataclass repr)."""
+    """Stable fingerprint of a machine model (frozen dataclass repr).
+
+    Memoized: the fingerprint is recomputed on every ``Engine.execute``
+    for the plan key, and hashing the model's repr is a measurable
+    per-query cost for sub-millisecond queries.
+    """
     digest = hashlib.sha256(repr(machine).encode()).hexdigest()[:16]
     return f"machine:{digest}"
 

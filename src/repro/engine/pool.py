@@ -1,0 +1,325 @@
+"""Persistent worker pool for the morsel executor.
+
+Spawning and joining fresh ``threading.Thread``s on every ``execute()``
+call is exactly the kind of per-query setup cost that dominates short
+OLAP queries (Sirin & Ailamaki's micro-architectural OLAP analysis puts
+the blame for poor utilization on per-query overheads, not kernel
+work). The :class:`WorkerPool` amortizes that cost across queries the
+way the plan cache amortizes compilation:
+
+* worker threads start lazily on the first parallel batch and then
+  block on a condition variable until the next batch arrives;
+* each worker keeps one reusable :class:`~repro.engine.session.Session`
+  clone across batches — between morsels only its tracer is *reset in
+  place* (fresh report, same tracer/accountant objects) and its knobs
+  are re-synced from the submitting session so per-program toggles
+  (e.g. ROF's ``ht_prefetch``) never leak;
+* a batch carries a cooperative cancel flag: the first morsel failure
+  stops the remaining workers from pulling further morsels instead of
+  letting them drain the cursor;
+* ``shutdown()`` is idempotent, the pool is a context manager, and a
+  lazily-registered ``atexit`` hook tears the threads down at
+  interpreter exit.
+
+Determinism is unaffected by pooling: partial values and per-morsel
+cost reports are stored by morsel *index*, and the simulated schedule
+is computed from those reports — never from real thread timing — so a
+pooled run is bit-identical to a spawn-per-query or serial run.
+
+The module also exposes :class:`MorselBatch` itself: the executor's
+legacy spawn path drains the very same batch object with ephemeral
+threads, so cancellation and error semantics are identical in both
+modes and benchmarks comparing them measure *only* thread lifecycle.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ExecutionError
+from .costing import CostReport
+from .session import Session
+
+
+class MorselBatch:
+    """One parallel run: a shared morsel cursor plus its result slots.
+
+    Workers call :meth:`drain` with their own session; morsel indices
+    are claimed under the batch lock, values and cost reports land in
+    index-addressed slots (order never depends on thread timing), and
+    the first failure flips :attr:`cancelled` so other workers stop
+    claiming work.
+    """
+
+    def __init__(
+        self,
+        template: Session,
+        plan,
+        ctx: Any,
+        morsels: List[Tuple[int, int]],
+        label: str,
+        workers: int,
+    ) -> None:
+        if not morsels:
+            raise ExecutionError("a morsel batch needs at least one morsel")
+        self.template = template
+        self.plan = plan
+        self.ctx = ctx
+        self.morsels = morsels
+        self.label = label
+        #: Worker ids >= this do not participate (lets one pool serve
+        #: requests for fewer workers than it has threads).
+        self.workers = workers
+        self.values: List[Optional[Dict[str, Any]]] = [None] * len(morsels)
+        self.reports: List[Optional[CostReport]] = [None] * len(morsels)
+        self.wall_by_worker: Dict[int, float] = {}
+        self.errors: List[Tuple[int, BaseException]] = []
+        self.cancelled = False
+        self._next = 0
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    # -- claiming --------------------------------------------------------
+
+    def claimable(self) -> bool:
+        """Whether a worker could still pull a morsel (racy, advisory)."""
+        return not self.cancelled and self._next < len(self.morsels)
+
+    def _claim(self) -> Optional[int]:
+        with self._lock:
+            if self.cancelled or self._next >= len(self.morsels):
+                return None
+            index = self._next
+            self._next += 1
+            self._in_flight += 1
+            return index
+
+    def _finish(self, failed: Optional[Tuple[int, BaseException]]) -> None:
+        with self._lock:
+            if failed is not None:
+                self.errors.append(failed)
+                self.cancelled = True
+            self._in_flight -= 1
+            exhausted = self.cancelled or self._next >= len(self.morsels)
+            if exhausted and self._in_flight == 0:
+                self._done.set()
+
+    # -- running ---------------------------------------------------------
+
+    def drain(self, session: Session, worker_id: int) -> None:
+        """Run morsels on ``session`` until the cursor is exhausted or
+        the batch is cancelled. Records per-worker busy seconds."""
+        busy = 0.0
+        while True:
+            index = self._claim()
+            if index is None:
+                break
+            begin = time.perf_counter()
+            lo, hi = self.morsels[index]
+            # Re-sync knobs from the template so toggles a program made
+            # on this worker's session during the previous morsel (e.g.
+            # ROF's ht_prefetch) never leak into the next one; reset the
+            # tracer in place rather than reallocating it.
+            session.knobs = replace(self.template.knobs)
+            session.reset()
+            failed = None
+            try:
+                with session.tracer.kernel(f"{self.label}:morsel"):
+                    value = self.plan.partial(session, self.ctx, lo, hi)
+            except BaseException as exc:  # re-raised by raise_failure()
+                failed = (index, exc)
+            else:
+                self.values[index] = value
+                self.reports[index] = session.tracer.report
+            busy += time.perf_counter() - begin
+            self._finish(failed)
+            if failed is not None:
+                break
+        if busy > 0.0:
+            with self._lock:
+                self.wall_by_worker[worker_id] = (
+                    self.wall_by_worker.get(worker_id, 0.0) + busy
+                )
+
+    def wait(self) -> None:
+        self._done.wait()
+
+    def raise_failure(self) -> None:
+        """Re-raise the first morsel failure, naming the morsel."""
+        if not self.errors:
+            return
+        index, exc = min(self.errors, key=lambda pair: pair[0])
+        lo, hi = self.morsels[index]
+        raise ExecutionError(
+            f"morsel {index} (rows [{lo}, {hi})) of {self.label} failed: "
+            f"{exc!r}"
+        ) from exc
+
+    def result(
+        self,
+    ) -> Tuple[List[Dict[str, Any]], List[CostReport], Dict[int, float]]:
+        """Completed values/reports in morsel order, plus wall times."""
+        self.raise_failure()
+        return (
+            [v for v in self.values if v is not None],
+            [r for r in self.reports if r is not None],
+            dict(self.wall_by_worker),
+        )
+
+
+class WorkerPool:
+    """Lazily-started persistent threads draining morsel batches.
+
+    One batch runs at a time (the executor submits whole queries);
+    worker threads park on a condition variable between batches. The
+    pool grows on demand when a batch requests more workers than it has
+    threads, so one engine-owned pool serves any ``workers=`` override.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ExecutionError("worker pool needs at least one worker")
+        self.workers = workers
+        self._cond = threading.Condition()
+        self._submit_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._batch: Optional[MorselBatch] = None
+        self._closed = False
+        self._atexit_registered = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._threads)
+
+    def ensure_started(self, workers: Optional[int] = None) -> None:
+        """Start (or grow) the worker threads; safe to call repeatedly."""
+        with self._cond:
+            self._closed = False
+            if workers is not None and workers > self.workers:
+                self.workers = workers
+            while len(self._threads) < self.workers:
+                worker_id = len(self._threads)
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(worker_id,),
+                    name=f"repro-pool-{worker_id}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+            if self._threads and not self._atexit_registered:
+                atexit.register(self.shutdown)
+                self._atexit_registered = True
+
+    def shutdown(self) -> None:
+        """Stop and join all workers. Idempotent; the pool restarts
+        lazily if used again afterwards."""
+        with self._cond:
+            self._closed = True
+            threads = list(self._threads)
+            self._cond.notify_all()
+        for thread in threads:
+            thread.join()
+        with self._cond:
+            self._threads = [t for t in self._threads if t.is_alive()]
+            if self._atexit_registered and not self._threads:
+                self._atexit_registered = False
+                try:
+                    atexit.unregister(self.shutdown)
+                except Exception:  # pragma: no cover - interpreter exit
+                    pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- batches ---------------------------------------------------------
+
+    def run(
+        self,
+        template: Session,
+        plan,
+        ctx: Any,
+        morsels: List[Tuple[int, int]],
+        label: str,
+        workers: int,
+    ) -> Tuple[List[Dict[str, Any]], List[CostReport], Dict[int, float]]:
+        """Run one batch on the pool and return morsel-ordered results."""
+        self.ensure_started(workers)
+        batch = MorselBatch(template, plan, ctx, morsels, label, workers)
+        with self._submit_lock:
+            with self._cond:
+                self._batch = batch
+                self._cond.notify_all()
+            batch.wait()
+            with self._cond:
+                self._batch = None
+        return batch.result()
+
+    # -- workers ---------------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        session: Optional[Session] = None
+        while True:
+            with self._cond:
+                while not self._closed and not self._has_work(worker_id):
+                    self._cond.wait()
+                if self._closed:
+                    return
+                batch = self._batch
+            session = self._session_for(session, batch.template)
+            batch.drain(session, worker_id)
+
+    def _has_work(self, worker_id: int) -> bool:
+        batch = self._batch
+        return (
+            batch is not None
+            and worker_id < batch.workers
+            and batch.claimable()
+        )
+
+    @staticmethod
+    def _session_for(cached: Optional[Session], template: Session) -> Session:
+        """Reuse the worker's session when its configuration still
+        matches; knobs are re-synced per morsel by the batch."""
+        if (
+            cached is not None
+            and cached.machine == template.machine
+            and cached.tile == template.tile
+        ):
+            return cached
+        return template.clone()
+
+
+def drain_with_ephemeral_threads(
+    batch: MorselBatch,
+) -> Tuple[List[Dict[str, Any]], List[CostReport], Dict[int, float]]:
+    """The legacy spawn-per-query path: fresh threads drain ``batch``.
+
+    Kept as the baseline the throughput benchmark compares the pool
+    against, and as the fallback for executors constructed without a
+    pool. Semantics (cancellation, errors, determinism) are identical
+    by construction — both modes drain the same batch object.
+    """
+    threads = [
+        threading.Thread(
+            target=batch.drain,
+            args=(batch.template.clone(), worker_id),
+            name=f"morsel-{worker_id}",
+        )
+        for worker_id in range(batch.workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return batch.result()

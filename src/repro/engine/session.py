@@ -63,8 +63,13 @@ class Session:
         self.tracer = Tracer(machine)
 
     def reset(self) -> "Session":
-        """Discard accumulated cost state (fresh tracer); returns self."""
-        self.tracer = Tracer(self.machine)
+        """Discard accumulated cost state; returns self.
+
+        The tracer is reset *in place* (fresh report, same tracer and
+        accountant objects) so pooled workers can reuse one session
+        across many morsels without per-morsel allocation.
+        """
+        self.tracer.reset()
         return self
 
     def clone(self) -> "Session":

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,24 @@ from repro.datagen import microbench as mb
 from repro.datagen import tpch
 from repro.engine.machine import PAPER_MACHINE
 from repro.engine.session import Session
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_dataset_cache_dir(tmp_path_factory):
+    """Point the process-wide dataset cache at a per-run temp dir so
+    tests never read or pollute the user's ``~/.cache``."""
+    import repro.datagen.cache as cache_mod
+
+    cache_dir = tmp_path_factory.mktemp("dataset-cache")
+    old_env = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    cache_mod._default_cache = None
+    yield
+    if old_env is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old_env
+    cache_mod._default_cache = None
 
 
 @pytest.fixture(scope="session")

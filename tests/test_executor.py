@@ -116,6 +116,23 @@ class TestRunMetrics:
         counts = result.metrics.event_counts
         assert counts and all(n > 0 for n in counts.values())
 
+    def test_scan_rows_consistent_across_paths(self, micro_engine):
+        # parallel: morsels cover the scan; serial: one morsel spanning
+        # it, so morsel_rows == scan_rows in both metric conventions
+        parallel = micro_engine.execute(mb.q1(30), "swole", workers=4)
+        serial = micro_engine.execute(mb.q1(30), "swole", workers=1)
+        p, s = parallel.metrics, serial.metrics
+        assert p.scan_rows == s.scan_rows == 50_000
+        assert s.morsel_rows == s.scan_rows
+        assert p.morsel_rows * (p.morsels - 1) < p.scan_rows
+        assert p.morsel_rows * p.morsels >= p.scan_rows
+        assert p.pooled and not s.pooled
+
+    def test_scan_rows_zero_without_parallel_plan(self, micro_engine):
+        result = micro_engine.execute(mb.q1(30), "interpreter", workers=4)
+        assert result.metrics.scan_rows == 0
+        assert result.metrics.morsel_rows == 0
+
 
 class TestExecutorEdges:
     def test_interpreter_never_parallel(self, micro_engine):

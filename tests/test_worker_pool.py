@@ -1,0 +1,197 @@
+"""Worker pool lifecycle, cancellation, and determinism.
+
+The pool's contract: threads start lazily and are reused across
+queries (no per-query spawn), ``shutdown()`` is idempotent and the
+context manager tears threads down, a batch's first morsel failure
+cancels the remaining morsels and re-raises naming the morsel, and
+pooled results/simulated cycles are bit-identical to the spawn path.
+"""
+
+import threading
+
+import pytest
+
+from repro.datagen import microbench as mb
+from repro.engine import Engine, MorselBatch, WorkerPool
+from repro.engine.pool import drain_with_ephemeral_threads
+from repro.engine.program import results_equal
+from repro.engine.session import ExecutionKnobs, Session
+from repro.errors import ExecutionError
+
+
+def pool_thread_ids():
+    """Idents of live repro worker-pool threads.
+
+    Comparisons below are delta-based: other tests (e.g. module-scoped
+    engines in test_executor) may legitimately leave pool threads
+    running until interpreter exit.
+    """
+    return {
+        t.ident
+        for t in threading.enumerate()
+        if t.name.startswith("repro-pool-")
+    }
+
+
+class RecordingPlan:
+    """A fake parallel plan: records per-morsel knob state, can fail."""
+
+    def __init__(self, fail_at=()):
+        self.fail_at = set(fail_at)
+        self.seen_prefetch = {}
+        self.lock = threading.Lock()
+
+    def partial(self, session, ctx, lo, hi):
+        with self.lock:
+            self.seen_prefetch[(lo, hi)] = session.knobs.ht_prefetch
+        if lo in self.fail_at:
+            raise ValueError(f"injected failure at {lo}")
+        # Flip a knob mid-morsel, as ROF does with ht_prefetch; the
+        # batch must re-sync from the template before the next morsel.
+        session.knobs.ht_prefetch = True
+        return {"rows": hi - lo}
+
+
+def make_batch(n_morsels=8, workers=2, fail_at=(), knobs=None):
+    template = Session(knobs=knobs)
+    plan = RecordingPlan(fail_at=fail_at)
+    morsels = [(i * 100, (i + 1) * 100) for i in range(n_morsels)]
+    return MorselBatch(template, plan, None, morsels, "test", workers), plan
+
+
+class TestPoolLifecycle:
+    def test_threads_start_lazily_and_are_reused(self, micro_db):
+        before = pool_thread_ids()
+        with Engine(db=micro_db, workers=4) as engine:
+            assert not engine.pool.started
+            assert pool_thread_ids() == before
+            engine.execute(mb.q1(30), "swole", workers=4)
+            first = pool_thread_ids() - before
+            assert len(first) >= 4
+            engine.execute(mb.q2(30), "swole", workers=4)
+            second = pool_thread_ids() - before
+            assert second == first  # reused, not respawned
+
+    def test_shutdown_idempotent_and_joins_threads(self, micro_db):
+        before = pool_thread_ids()
+        engine = Engine(db=micro_db, workers=2)
+        engine.execute(mb.q1(30), "swole", workers=2)
+        assert pool_thread_ids() - before
+        engine.shutdown()
+        assert pool_thread_ids() == before
+        engine.shutdown()  # second call is a no-op
+        # the pool restarts lazily if the engine is used again
+        result = engine.execute(mb.q1(30), "swole", workers=2)
+        assert result.metrics.pooled
+        engine.shutdown()
+        assert pool_thread_ids() == before
+
+    def test_context_manager_exit_stops_threads(self, micro_db):
+        before = pool_thread_ids()
+        with Engine(db=micro_db, workers=2) as engine:
+            engine.execute(mb.q1(30), "swole", workers=2)
+            assert pool_thread_ids() - before
+        assert pool_thread_ids() == before
+
+    def test_no_thread_leak_across_queries(self, micro_db):
+        with Engine(db=micro_db, workers=4) as engine:
+            engine.execute(mb.q1(30), "swole", workers=4)
+            baseline = threading.active_count()
+            for _ in range(10):
+                engine.execute(mb.q1(30), "swole", workers=4)
+            assert threading.active_count() == baseline
+
+    def test_pool_grows_for_larger_worker_requests(self, micro_db):
+        before = pool_thread_ids()
+        with Engine(db=micro_db, workers=2) as engine:
+            serial = engine.execute(mb.q2(40), "swole", workers=1)
+            wide = engine.execute(mb.q2(40), "swole", workers=6)
+            assert len(pool_thread_ids() - before) >= 6
+            assert results_equal(serial, wide)
+
+    def test_pool_rejects_bad_worker_count(self):
+        with pytest.raises(ExecutionError):
+            WorkerPool(workers=0)
+
+
+class TestCancellation:
+    def test_failure_cancels_and_names_morsel(self):
+        batch, _ = make_batch(n_morsels=16, workers=1, fail_at={300})
+        with pytest.raises(ExecutionError, match=r"morsel 3 .*test"):
+            drain_with_ephemeral_threads(batch)
+        assert batch.cancelled
+        # cancelled before draining the cursor: later morsels never ran
+        assert batch.values[-1] is None
+
+    def test_failure_preserves_cause(self):
+        batch, _ = make_batch(n_morsels=4, workers=2, fail_at={0})
+        with pytest.raises(ExecutionError) as info:
+            drain_with_ephemeral_threads(batch)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_pool_survives_a_failed_batch(self):
+        with WorkerPool(workers=2) as pool:
+            batch, _ = make_batch(n_morsels=8, workers=2, fail_at={400})
+            with pytest.raises(ExecutionError):
+                pool.run(
+                    batch.template, batch.plan, None, batch.morsels,
+                    "test", 2,
+                )
+            ok, _ = make_batch(n_morsels=8, workers=2)
+            values, reports, _ = pool.run(
+                ok.template, ok.plan, None, ok.morsels, "test", 2
+            )
+            assert len(values) == len(reports) == 8
+
+
+class TestKnobIsolation:
+    def test_knobs_resync_between_morsels(self):
+        # the plan flips ht_prefetch every morsel; each morsel must
+        # still observe the template's value
+        with WorkerPool(workers=2) as pool:
+            batch, plan = make_batch(n_morsels=8, workers=2)
+            pool.run(
+                batch.template, batch.plan, None, batch.morsels, "test", 2
+            )
+            assert plan.seen_prefetch
+            assert not any(plan.seen_prefetch.values())
+
+    def test_template_knobs_propagate(self):
+        knobs = ExecutionKnobs(ht_prefetch=True)
+        batch, plan = make_batch(n_morsels=4, workers=2, knobs=knobs)
+        drain_with_ephemeral_threads(batch)
+        assert all(plan.seen_prefetch.values())
+
+
+class TestDeterminism:
+    def test_pooled_matches_spawned_bit_for_bit(self, micro_db):
+        pooled_engine = Engine(db=micro_db, workers=4)
+        spawn_engine = Engine(db=micro_db, workers=4, use_pool=False)
+        try:
+            for query in (mb.q1(30, "div"), mb.q2(40), mb.q4(50, 50)):
+                pooled = pooled_engine.execute(query, "swole", workers=4)
+                spawned = spawn_engine.execute(query, "swole", workers=4)
+                assert results_equal(pooled, spawned)
+                assert pooled.metrics.pooled
+                assert not spawned.metrics.pooled
+                assert (
+                    pooled.metrics.total_cycles
+                    == spawned.metrics.total_cycles
+                )
+                assert (
+                    pooled.metrics.critical_path_cycles
+                    == spawned.metrics.critical_path_cycles
+                )
+        finally:
+            pooled_engine.shutdown()
+
+    def test_repeated_pooled_runs_stable(self, micro_db):
+        with Engine(db=micro_db, workers=4) as engine:
+            first = engine.execute(mb.q1(30), "swole", workers=4)
+            for _ in range(3):
+                again = engine.execute(mb.q1(30), "swole", workers=4)
+                assert results_equal(first, again)
+                assert (
+                    again.metrics.total_cycles
+                    == first.metrics.total_cycles
+                )
