@@ -11,8 +11,14 @@ a parallel-scan and plan-cache demonstration.
 instead (warm Engine, mixed Q1/Q6/microbench workloads, persistent
 worker pool vs per-query thread spawning) and writes the
 machine-readable report to ``BENCH_throughput.json`` (``--out``).
-Generated datasets are cached under ``$REPRO_CACHE_DIR`` (default
-``~/.cache/repro/datasets``) by every mode, so reruns skip datagen.
+``--serve-bench`` runs the query-service load generator instead
+(closed-loop client fleet against an admission-controlled
+:class:`~repro.server.service.QueryService`; pass ``--connect
+host:port`` to drive a running ``python -m repro.server``) and writes
+``BENCH_serving.json``. ``--seed`` pins every dataset generator's seed
+so either report reproduces byte-for-byte. Generated datasets are
+cached under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro/datasets``)
+by every mode, so reruns skip datagen.
 """
 
 from __future__ import annotations
@@ -175,24 +181,130 @@ def main() -> None:
         help="closed-loop wall-clock throughput suite (writes --out)",
     )
     parser.add_argument(
+        "--serve-bench",
+        action="store_true",
+        help="query-service load generator: qps, tail latency, shed and "
+        "deadline-miss rates (writes --out, default BENCH_serving.json)",
+    )
+    parser.add_argument(
         "--iters",
         type=int,
         default=30,
         help="measured iterations per throughput workload",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="dataset generator seed for --throughput/--serve-bench "
+        "(default: each generator's own; pin for byte-reproducible runs)",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --serve-bench: drive a running `python -m "
+        "repro.server` over TCP instead of an in-process service",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="closed-loop load-generator client threads (--serve-bench)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="service threads of the in-process served scenarios",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admission-queue bound of the in-process served scenarios",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=2.0,
+        help="per-request deadline in seconds (--serve-bench)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=40,
+        help="requests per load-generator client (--serve-bench)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="interleaved serial/served rounds per scenario; the report "
+        "keeps the best of each (--serve-bench; default 3, 1 with "
+        "--quick)",
+    )
+    parser.add_argument(
+        "--serve-workload",
+        default="tpch-q1q6",
+        choices=("tpch-q1q6", "micro-q1q2"),
+        help="workload mix for --serve-bench --connect (must match the "
+        "remote server's dataset)",
+    )
+    parser.add_argument(
         "--out",
-        default="BENCH_throughput.json",
-        help="output path of the throughput report",
+        default=None,
+        help="output path of the throughput/serving report (defaults to "
+        "BENCH_throughput.json / BENCH_serving.json)",
     )
     args = parser.parse_args()
     if args.workers < 1:
         parser.error("--workers must be at least 1")
     if args.iters < 1:
         parser.error("--iters must be at least 1")
+    if args.rounds is not None and args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+    if args.throughput and args.serve_bench:
+        parser.error("pick one of --throughput / --serve-bench")
+    if args.serve_bench:
+        from .serving import run_serving_bench
+
+        if args.quick:
+            # CI smoke: small datasets, a short fleet, same scenarios.
+            run_serving_bench(
+                rows=args.rows if args.rows is not None else 50_000,
+                sf=0.002 if args.sf == 0.01 else args.sf,
+                seed=args.seed,
+                concurrency=min(args.concurrency, 2),
+                queue_depth=args.queue_depth,
+                clients=min(args.clients, 4),
+                requests_per_client=min(args.requests, 10),
+                deadline=args.deadline,
+                rounds=args.rounds if args.rounds is not None else 1,
+                connect=args.connect,
+                connect_workload=args.serve_workload,
+                out_path=args.out or "BENCH_serving.json",
+            )
+        else:
+            run_serving_bench(
+                rows=args.rows if args.rows is not None else 200_000,
+                sf=args.sf,
+                seed=args.seed,
+                concurrency=args.concurrency,
+                queue_depth=args.queue_depth,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                deadline=args.deadline,
+                rounds=args.rounds if args.rounds is not None else 3,
+                connect=args.connect,
+                connect_workload=args.serve_workload,
+                out_path=args.out or "BENCH_serving.json",
+            )
+        return
     if args.throughput:
         from .throughput import run_throughput
 
+        out = args.out or "BENCH_throughput.json"
         if args.quick:
             run_throughput(
                 rows=50_000,
@@ -200,7 +312,8 @@ def main() -> None:
                 workers=max(args.workers, 4),
                 iterations=min(args.iters, 10),
                 baseline_iterations=40,
-                out_path=args.out,
+                seed=args.seed,
+                out_path=out,
             )
         else:
             run_throughput(
@@ -208,7 +321,8 @@ def main() -> None:
                 sf=args.sf,
                 workers=max(args.workers, 4),
                 iterations=args.iters,
-                out_path=args.out,
+                seed=args.seed,
+                out_path=out,
             )
         return
     if args.quick:

@@ -221,16 +221,30 @@ def run_throughput(
     cache: Optional[DatasetCache] = None,
     baseline_sf: float = SHORT_QUERY_SF,
     baseline_iterations: Optional[int] = None,
+    seed: Optional[int] = None,
     verbose: bool = True,
 ) -> dict:
     """Run the full throughput suite; return (and optionally write) the
-    machine-readable report."""
+    machine-readable report.
+
+    ``seed`` overrides every dataset generator's seed (``None`` keeps
+    each generator's own default), making a run byte-for-byte
+    reproducible: the same seed yields the same fingerprints, datasets,
+    and query answers.
+    """
     cache = cache or dataset_cache()
     say = print if verbose else (lambda *_args, **_kw: None)
 
-    micro_config = mb.MicrobenchConfig(num_rows=rows)
-    tpch_config = tpchgen.TpchConfig(scale_factor=sf)
-    short_config = tpchgen.TpchConfig(scale_factor=baseline_sf)
+    if seed is None:
+        micro_config = mb.MicrobenchConfig(num_rows=rows)
+        tpch_config = tpchgen.TpchConfig(scale_factor=sf)
+        short_config = tpchgen.TpchConfig(scale_factor=baseline_sf)
+    else:
+        micro_config = mb.MicrobenchConfig(num_rows=rows, seed=seed)
+        tpch_config = tpchgen.TpchConfig(scale_factor=sf, seed=seed)
+        short_config = tpchgen.TpchConfig(
+            scale_factor=baseline_sf, seed=seed
+        )
 
     sources: Dict[str, str] = {}
     micro_db = cache.load("microbench", micro_config)
@@ -304,6 +318,7 @@ def run_throughput(
             "workers": workers,
             "iterations": iterations,
             "warmup": warmup,
+            "seed": seed,
             "strategies": list(strategies),
         },
         "dataset_cache": {

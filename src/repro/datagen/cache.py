@@ -27,6 +27,18 @@ argument, the ``REPRO_CACHE_DIR`` environment variable, then
 Foreign-key offset indexes are *not* stored — they are pure arithmetic
 over the loaded columns and are rebuilt eagerly on load, exactly as
 :meth:`Database.add_foreign_key` does at generation time.
+
+Cross-process safety: two processes missing on the same fingerprint
+(CI matrix jobs, a server starting while a bench runs) coordinate
+through a per-entry lock file taken with ``O_CREAT | O_EXCL`` — the
+loser waits and then finds the winner's entry on disk instead of
+generating the dataset a second time. The lock guards *work
+duplication*; *correctness* never depends on it, because an entry only
+ever appears via an atomic rename of a fully-written temp directory
+(readers see a complete entry or none). Stale locks (a crashed holder)
+are broken after a timeout, and a process that cannot acquire the lock
+at all falls back to generating privately — worst case duplicated
+work, never corruption.
 """
 
 from __future__ import annotations
@@ -36,7 +48,9 @@ import json
 import os
 import shutil
 import tempfile
+import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
@@ -60,6 +74,16 @@ GENERATORS: Dict[str, Tuple[Callable, type]] = {
 }
 
 _META_FILE = "meta.json"
+
+#: A lock older than this is presumed to belong to a crashed process
+#: and is broken (dataset generation takes seconds, not minutes).
+_LOCK_STALE_SECONDS = 300.0
+
+#: How long a process waits for another's in-progress store before
+#: giving up and generating privately.
+_LOCK_WAIT_SECONDS = 120.0
+
+_LOCK_POLL_SECONDS = 0.05
 
 
 def default_cache_dir() -> Path:
@@ -169,10 +193,19 @@ class DatasetCache:
             self.stats.disk_hits += 1
             self.last_source = "disk"
         else:
-            self.stats.misses += 1
-            self.last_source = "generated"
-            db = generate(config)
-            self._store_disk(key, generator, config, db)
+            # Serialise concurrent first-loads of the same fingerprint
+            # across processes: whoever wins the lock generates and
+            # stores; waiters re-check the disk and find the entry.
+            with self._entry_lock(key):
+                db = self._load_disk(key)
+                if db is not None:
+                    self.stats.disk_hits += 1
+                    self.last_source = "disk"
+                else:
+                    self.stats.misses += 1
+                    self.last_source = "generated"
+                    db = generate(config)
+                    self._store_disk(key, generator, config, db)
         self._remember(key, db)
         return db
 
@@ -196,6 +229,57 @@ class DatasetCache:
 
     def _entry_dir(self, key: str) -> Path:
         return self.cache_dir / key
+
+    def _lock_path(self, key: str) -> Path:
+        return self.cache_dir / f".{key}.lock"
+
+    @contextmanager
+    def _entry_lock(self, key: str):
+        """Best-effort cross-process lock around one entry's generation.
+
+        Acquired with ``O_CREAT | O_EXCL`` (atomic on every platform and
+        on NFS since v3). Locks whose mtime exceeds
+        ``_LOCK_STALE_SECONDS`` are presumed orphaned by a crashed
+        holder and broken; if the lock cannot be acquired within
+        ``_LOCK_WAIT_SECONDS`` the caller proceeds *unlocked* —
+        duplicated generation work at worst, since entries only ever
+        appear via an atomic rename.
+        """
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._lock_path(key)
+        flags = os.O_CREAT | os.O_EXCL | os.O_WRONLY
+        acquired = False
+        deadline = time.monotonic() + _LOCK_WAIT_SECONDS
+        while time.monotonic() < deadline:
+            try:
+                fd = os.open(path, flags)
+            except FileExistsError:
+                try:
+                    age = time.time() - path.stat().st_mtime
+                except OSError:
+                    continue  # holder just released; retry immediately
+                if age > _LOCK_STALE_SECONDS:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(_LOCK_POLL_SECONDS)
+            except OSError:
+                break  # unwritable cache dir: fall through unlocked
+            else:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(str(os.getpid()))
+                acquired = True
+                break
+        try:
+            yield
+        finally:
+            if acquired:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     def _store_disk(self, key: str, generator: str, config, db) -> None:
         """Persist ``db`` atomically (write to a temp dir, then rename)."""

@@ -9,6 +9,7 @@ from .cache import (
     random_trace,
     sequential_trace,
 )
+from .cancellation import CancelToken
 from .costing import CostAccountant, CostReport, Tracer
 from .executor import MorselExecutor
 from .facade import Engine
@@ -39,6 +40,7 @@ from .session import ExecutionKnobs, Session
 __all__ = [
     "Branch",
     "CacheHierarchy",
+    "CancelToken",
     "CacheStats",
     "CompiledQuery",
     "CondRead",

@@ -22,6 +22,7 @@ import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ExecutionError
+from .cancellation import CancelToken
 from .costing import CostReport
 from .metrics import RunMetrics, event_counts, greedy_schedule, merge_reports
 from .pool import MorselBatch, WorkerPool, drain_with_ephemeral_threads
@@ -78,11 +79,22 @@ class MorselExecutor:
         self.pool = pool
 
     def execute(
-        self, compiled: CompiledQuery, session: Optional[Session] = None
+        self,
+        compiled: CompiledQuery,
+        session: Optional[Session] = None,
+        *,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryResult:
         if session is None:
             session = Session(workers=self.workers)
         plan = compiled.parallel
+        label = f"{compiled.strategy}:{compiled.name}"
+        if cancel is not None:
+            # Cooperative: an already-expired/cancelled token stops the
+            # query before any work. The serial path cannot be
+            # interrupted mid-kernel; the parallel path re-checks the
+            # token at every morsel claim.
+            cancel.check(label)
         started = time.perf_counter()
         if (
             self.workers <= 1
@@ -107,7 +119,7 @@ class MorselExecutor:
                 event_counts=event_counts(result.report),
             )
             return result
-        return self._execute_parallel(compiled, session, plan, started)
+        return self._execute_parallel(compiled, session, plan, started, cancel)
 
     # -- parallel path ---------------------------------------------------
 
@@ -117,6 +129,7 @@ class MorselExecutor:
         session: Session,
         plan,
         started: float,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryResult:
         session.reset()
         label = f"{compiled.strategy}:{compiled.name}"
@@ -134,7 +147,7 @@ class MorselExecutor:
         )
         morsels = split_morsels(plan.n_rows, morsel_rows)
         values, morsel_reports, wall_by_worker = self._run_morsels(
-            session, plan, ctx, morsels, label
+            session, plan, ctx, morsels, label, cancel
         )
 
         merged = merge_partials(values)
@@ -184,14 +197,18 @@ class MorselExecutor:
         ctx: Any,
         morsels: List[Tuple[int, int]],
         label: str,
+        cancel: Optional[CancelToken] = None,
     ) -> Tuple[List[Dict[str, Any]], List[CostReport], Dict[int, float]]:
         """Run the morsels on the persistent pool, or — without one —
         on freshly spawned threads. Either way the shared
         :class:`MorselBatch` provides the cursor, cooperative
-        cancellation on first failure, and index-ordered results."""
+        cancellation on first failure or deadline expiry, and
+        index-ordered results."""
         if self.pool is not None:
             return self.pool.run(
-                session, plan, ctx, morsels, label, self.workers
+                session, plan, ctx, morsels, label, self.workers, cancel
             )
-        batch = MorselBatch(session, plan, ctx, morsels, label, self.workers)
+        batch = MorselBatch(
+            session, plan, ctx, morsels, label, self.workers, cancel=cancel
+        )
         return drain_with_ephemeral_threads(batch)

@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import Optional, Union
 
 from ..errors import ReproError
+from .cancellation import CancelToken
 from .executor import MorselExecutor
 from .machine import PAPER_MACHINE, MachineModel
 from .plan_cache import PlanCache, plan_key
@@ -159,6 +160,8 @@ class Engine:
         *,
         workers: Optional[int] = None,
         session: Optional[Session] = None,
+        deadline: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryResult:
         """Compile (or fetch from the plan cache) and run ``query``.
 
@@ -167,13 +170,29 @@ class Engine:
         bit-identical to a serial run. The returned result carries
         :class:`~repro.engine.metrics.RunMetrics` on ``report.metrics``,
         including whether the plan came from the cache.
+
+        ``deadline`` gives the run a relative budget in seconds;
+        ``cancel`` threads an existing
+        :class:`~repro.engine.cancellation.CancelToken` through instead
+        (the serving layer mints its token at admission so queue wait
+        counts against the budget). Either way, a parallel run checks
+        the token at every morsel claim and raises
+        :class:`~repro.errors.QueryTimeout` naming the elapsed time;
+        serial runs check only before starting (a running kernel cannot
+        be interrupted).
         """
+        if deadline is not None:
+            if cancel is not None:
+                raise ReproError(
+                    "pass either deadline= or cancel=, not both"
+                )
+            cancel = CancelToken.after(deadline)
         compiled, was_hit = self._compile_cached(query, strategy)
         n_workers = workers if workers is not None else self.workers
         if session is None:
             session = self.session(workers=n_workers)
         executor = MorselExecutor(workers=n_workers, pool=self.pool)
-        result = executor.execute(compiled, session)
+        result = executor.execute(compiled, session, cancel=cancel)
         result.report.metrics.plan_cache = "hit" if was_hit else "miss"
         return result
 

@@ -69,6 +69,14 @@ class RunMetrics:
     worker_stats: List[WorkerStats] = field(default_factory=list)
     #: "hit" / "miss" when the program came through a plan cache.
     plan_cache: Optional[str] = None
+    #: Seconds the request waited in the service's admission queue
+    #: before a service worker picked it up (0 outside the serving
+    #: layer — library calls are never queued).
+    queue_wait_seconds: float = 0.0
+    #: Seconds of actual service time (dequeue to response) when the
+    #: run came through the query service; 0 for direct library calls
+    #: (``wall_seconds`` covers those).
+    service_seconds: float = 0.0
 
     @property
     def parallel_seconds(self) -> float:
@@ -105,6 +113,11 @@ class RunMetrics:
         ]
         if self.plan_cache is not None:
             lines.append(f"plan cache: {self.plan_cache}")
+        if self.queue_wait_seconds or self.service_seconds:
+            lines.append(
+                f"service: queued {self.queue_wait_seconds * 1e3:.1f} ms, "
+                f"served in {self.service_seconds * 1e3:.1f} ms"
+            )
         if self.event_counts:
             counts = ", ".join(
                 f"{kind}={count}"

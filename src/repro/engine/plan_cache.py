@@ -16,6 +16,7 @@ on :meth:`Engine.invalidate`.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -92,12 +93,21 @@ class PlanCacheStats:
 
 @dataclass
 class PlanCache:
-    """LRU cache mapping plan keys to :class:`CompiledQuery` programs."""
+    """LRU cache mapping plan keys to :class:`CompiledQuery` programs.
+
+    Thread-safe: the query service executes requests on several threads
+    against one engine, so lookups, inserts, and the compile-on-miss
+    path are serialised by an internal re-entrant lock (a plan compiles
+    at most once per key even under concurrent first requests).
+    """
 
     capacity: int = 64
     stats: PlanCacheStats = field(default_factory=PlanCacheStats)
     _entries: "OrderedDict[Hashable, CompiledQuery]" = field(
         default_factory=OrderedDict
+    )
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -105,45 +115,58 @@ class PlanCache:
             raise ReproError("plan cache capacity must be at least 1")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> Optional[CompiledQuery]:
         """Look up a compiled program, counting the hit or miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(self, key: Hashable, compiled: CompiledQuery) -> None:
         """Insert (or refresh) an entry, evicting the LRU past capacity."""
-        self._entries[key] = compiled
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def get_or_compile(
         self, key: Hashable, compile_fn: Callable[[], CompiledQuery]
     ) -> Tuple[CompiledQuery, bool]:
-        """Return ``(program, was_hit)``, compiling on miss."""
-        cached = self.get(key)
-        if cached is not None:
-            return cached, True
-        compiled = compile_fn()
-        self.put(key, compiled)
-        return compiled, False
+        """Return ``(program, was_hit)``, compiling on miss.
+
+        The miss path compiles while holding the lock: concurrent first
+        requests for the same plan wait for one compilation instead of
+        duplicating it (compilation never re-enters the cache, and the
+        lock is re-entrant in case a future strategy does).
+        """
+        with self._lock:
+            cached = self.get(key)
+            if cached is not None:
+                return cached, True
+            compiled = compile_fn()
+            self.put(key, compiled)
+            return compiled, False
 
     def invalidate(self) -> None:
         """Drop every entry (data changed / database swapped)."""
-        self._entries.clear()
-        self.stats.invalidations += 1
+        with self._lock:
+            self._entries.clear()
+            self.stats.invalidations += 1
 
     def keys(self):
         """Current keys, LRU first (tests / introspection)."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)

@@ -40,7 +40,8 @@ import time
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, QueryCancelled, QueryTimeout
+from .cancellation import CancelToken
 from .costing import CostReport
 from .session import Session
 
@@ -53,6 +54,14 @@ class MorselBatch:
     index-addressed slots (order never depends on thread timing), and
     the first failure flips :attr:`cancelled` so other workers stop
     claiming work.
+
+    An optional :class:`~repro.engine.cancellation.CancelToken` adds a
+    second stop condition at the same cursor: when the token's deadline
+    passes (or it is cancelled explicitly), no further morsels are
+    handed out and :meth:`raise_failure` raises
+    :class:`~repro.errors.QueryTimeout` / ``QueryCancelled`` naming the
+    elapsed time — a timed-out batch stops within one morsel's worth of
+    work instead of draining the cursor.
     """
 
     def __init__(
@@ -63,6 +72,7 @@ class MorselBatch:
         morsels: List[Tuple[int, int]],
         label: str,
         workers: int,
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         if not morsels:
             raise ExecutionError("a morsel batch needs at least one morsel")
@@ -74,11 +84,15 @@ class MorselBatch:
         #: Worker ids >= this do not participate (lets one pool serve
         #: requests for fewer workers than it has threads).
         self.workers = workers
+        self.cancel = cancel
         self.values: List[Optional[Dict[str, Any]]] = [None] * len(morsels)
         self.reports: List[Optional[CostReport]] = [None] * len(morsels)
         self.wall_by_worker: Dict[int, float] = {}
         self.errors: List[Tuple[int, BaseException]] = []
         self.cancelled = False
+        #: Set when the cancel token stopped the cursor (the error to
+        #: re-raise from :meth:`raise_failure`).
+        self.stop_error: Optional[ExecutionError] = None
         self._next = 0
         self._in_flight = 0
         self._lock = threading.Lock()
@@ -90,9 +104,36 @@ class MorselBatch:
         """Whether a worker could still pull a morsel (racy, advisory)."""
         return not self.cancelled and self._next < len(self.morsels)
 
+    def _token_stop(self) -> Optional[ExecutionError]:
+        """The error to record when the cancel token asks for a stop at
+        this cursor position; ``None`` to keep going."""
+        token = self.cancel
+        if token is None or not token.stop_requested():
+            return None
+        done = sum(1 for v in self.values if v is not None)
+        progress = f"after {done}/{len(self.morsels)} morsels"
+        if token.cancelled:
+            return QueryCancelled(
+                f"{self.label} cancelled {progress} "
+                f"({token.elapsed():.3f}s elapsed)"
+            )
+        return QueryTimeout(
+            f"{self.label} exceeded its {token.budget():.3f}s deadline "
+            f"{progress} ({token.elapsed():.3f}s elapsed)",
+            elapsed=token.elapsed(),
+            deadline=token.budget(),
+        )
+
     def _claim(self) -> Optional[int]:
         with self._lock:
             if self.cancelled or self._next >= len(self.morsels):
+                return None
+            stop = self._token_stop()
+            if stop is not None:
+                self.cancelled = True
+                self.stop_error = stop
+                if self._in_flight == 0:
+                    self._done.set()
                 return None
             index = self._next
             self._next += 1
@@ -150,8 +191,11 @@ class MorselBatch:
         self._done.wait()
 
     def raise_failure(self) -> None:
-        """Re-raise the first morsel failure, naming the morsel."""
+        """Re-raise the first morsel failure (naming the morsel), or the
+        deadline/cancellation stop recorded at the cursor."""
         if not self.errors:
+            if self.stop_error is not None:
+                raise self.stop_error
             return
         index, exc = min(self.errors, key=lambda pair: pair[0])
         lo, hi = self.morsels[index]
@@ -252,10 +296,13 @@ class WorkerPool:
         morsels: List[Tuple[int, int]],
         label: str,
         workers: int,
+        cancel: Optional[CancelToken] = None,
     ) -> Tuple[List[Dict[str, Any]], List[CostReport], Dict[int, float]]:
         """Run one batch on the pool and return morsel-ordered results."""
         self.ensure_started(workers)
-        batch = MorselBatch(template, plan, ctx, morsels, label, workers)
+        batch = MorselBatch(
+            template, plan, ctx, morsels, label, workers, cancel=cancel
+        )
         with self._submit_lock:
             with self._cond:
                 self._batch = batch

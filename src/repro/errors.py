@@ -32,6 +32,29 @@ class ExecutionError(ReproError):
     """A compiled program failed while executing."""
 
 
+class QueryTimeout(ExecutionError):
+    """A query exceeded its deadline and was cooperatively cancelled.
+
+    ``elapsed`` is the seconds the query had been running when the
+    cancellation was observed; ``deadline`` the budget it was given.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        elapsed: float = 0.0,
+        deadline: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class QueryCancelled(ExecutionError):
+    """A query was cancelled explicitly (not by a deadline)."""
+
+
 class CostModelError(ReproError):
     """A cost model was queried with invalid statistics."""
 

@@ -1,0 +1,56 @@
+"""The query service layer: serve an Engine under concurrent load.
+
+``python -m repro.server`` starts a TCP server; in-process, wrap an
+engine in a :class:`QueryService`::
+
+    from repro import Engine
+    from repro.server import QueryService
+
+    with QueryService(Engine(db), concurrency=4, queue_depth=64) as svc:
+        response = svc.execute("Q6")
+        assert response.ok, response.error
+
+See :mod:`repro.server.service` for the serving policies (admission
+control, deadlines, load shedding, graceful drain) and
+:mod:`repro.server.protocol` for the wire format.
+"""
+
+from .client import ServiceClient
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_CANCELLED,
+    ERR_DEADLINE,
+    ERR_EXECUTION,
+    ERR_QUEUE_FULL,
+    ERR_SHUTTING_DOWN,
+    ErrorInfo,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    STATUS_ERROR,
+    STATUS_OK,
+    parse_query_spec,
+)
+from .service import PendingQuery, QueryService, ServiceStats
+from .tcp import TcpQueryServer
+
+__all__ = [
+    "ERR_BAD_REQUEST",
+    "ERR_CANCELLED",
+    "ERR_DEADLINE",
+    "ERR_EXECUTION",
+    "ERR_QUEUE_FULL",
+    "ERR_SHUTTING_DOWN",
+    "ErrorInfo",
+    "PendingQuery",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "ServiceClient",
+    "ServiceStats",
+    "TcpQueryServer",
+    "parse_query_spec",
+]

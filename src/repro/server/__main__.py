@@ -1,0 +1,148 @@
+"""Run a query server: ``python -m repro.server``.
+
+Loads a dataset through the fingerprinted dataset cache, wraps it in a
+warm :class:`~repro.engine.facade.Engine` (persistent worker pool, plan
+cache), and serves it over TCP with admission control, per-request
+deadlines, and load shedding::
+
+    python -m repro.server --dataset tpch --sf 0.01 --port 7653 \\
+        --concurrency 4 --queue-depth 64 --deadline 2.0
+
+SIGINT/SIGTERM trigger a graceful drain: in-flight queries finish,
+queued ones are rejected with a structured ``shutting_down`` error, and
+the engine's worker pool stops.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+
+from ..datagen import microbench as mb
+from ..datagen import tpch as tpchgen
+from ..datagen.cache import load_dataset
+from ..engine import Engine
+from ..engine.machine import PAPER_MACHINE
+from .service import QueryService
+from .tcp import TcpQueryServer
+
+
+def build_engine(args) -> Engine:
+    """Dataset + scaled machine + engine, per the CLI arguments."""
+    if args.dataset == "tpch":
+        config = tpchgen.TpchConfig(scale_factor=args.sf, seed=args.seed)
+        machine = PAPER_MACHINE.scaled(config.machine_scale)
+    else:
+        config = mb.MicrobenchConfig(num_rows=args.rows, seed=args.seed)
+        machine = PAPER_MACHINE.scaled(config.scale_factor)
+    db = load_dataset(args.dataset, config)
+    return Engine(db, machine=machine, workers=args.workers)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server", description=__doc__
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=("tpch", "microbench"),
+        default="tpch",
+        help="which generated database to serve",
+    )
+    parser.add_argument(
+        "--sf", type=float, default=0.01, help="TPC-H scale factor"
+    )
+    parser.add_argument(
+        "--rows", type=int, default=200_000, help="microbench R rows"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="dataset generator seed (default: the generator's own)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7653, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker threads per query (morsel parallelism)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="requests executing at once (service threads)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admitted-but-waiting requests before shedding",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (none by default)",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="execute every admitted request individually instead of "
+        "answering queued duplicates from one execution",
+    )
+    args = parser.parse_args(argv)
+    if args.seed is None:
+        # Each generator's default seed, so the served dataset matches
+        # library runs with default configs.
+        args.seed = 42 if args.dataset == "tpch" else 7
+
+    engine = build_engine(args)
+    service = QueryService(
+        engine,
+        concurrency=args.concurrency,
+        queue_depth=args.queue_depth,
+        default_deadline=args.deadline,
+        coalesce=not args.no_coalesce,
+        own_engine=True,
+    )
+    server = TcpQueryServer(service, host=args.host, port=args.port)
+
+    stop = threading.Event()
+
+    def _signal_handler(_signum, _frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _signal_handler)
+    signal.signal(signal.SIGTERM, _signal_handler)
+
+    print(
+        f"serving {args.dataset} on {server.host}:{server.port} "
+        f"(engine workers={args.workers}, concurrency={args.concurrency}, "
+        f"queue depth={args.queue_depth}, "
+        f"deadline={args.deadline if args.deadline is not None else 'none'})",
+        flush=True,
+    )
+    server.start()
+    try:
+        stop.wait()
+    finally:
+        print("draining...", flush=True)
+        server.stop(timeout=30.0)
+        snapshot = service.stats.snapshot()
+        print(
+            f"served {snapshot['completed']} ok, "
+            f"{snapshot['shed']} shed, "
+            f"{snapshot['timed_out']} timed out, "
+            f"{snapshot['rejected_draining']} rejected while draining",
+            flush=True,
+        )
+
+
+if __name__ == "__main__":
+    main()

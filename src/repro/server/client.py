@@ -1,0 +1,116 @@
+"""Minimal blocking client for the TCP query server.
+
+Speaks the newline-delimited JSON protocol of
+:class:`~repro.server.tcp.TcpQueryServer`: one request per line, one
+response per line, in order. One client holds one connection and is
+*not* thread-safe — the serving benchmark's load generator opens one
+client per simulated user, which is also how the server sees real
+concurrency.
+
+``connect_retry_window`` makes startup races benign: CI starts
+``python -m repro.server`` in the background and the first client call
+simply retries until the listener is up (or the window closes).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Optional
+
+from ..errors import ReproError
+from .protocol import (
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    dump_line,
+    load_line,
+)
+
+
+class ServiceClient:
+    """A blocking connection to one query server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7653,
+        *,
+        timeout: Optional[float] = 30.0,
+        connect_retry_window: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        deadline = time.monotonic() + max(connect_retry_window, 0.0)
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                break
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"cannot connect to query server at "
+                        f"{host}:{port}: {exc}"
+                    ) from exc
+                time.sleep(0.1)
+        self._reader = self._sock.makefile("rb")
+        self._writer = self._sock.makefile("wb")
+
+    def request(
+        self,
+        query: Any,
+        *,
+        strategy: str = "auto",
+        workers: Optional[int] = None,
+        deadline: Optional[float] = None,
+        id: Optional[str] = None,
+    ) -> QueryResponse:
+        """Send one request and block for its response.
+
+        ``query`` is a TPC-H name or a microbench spec dict (the wire
+        protocol cannot carry logical ``Query`` objects).
+        """
+        kwargs = {} if id is None else {"id": id}
+        req = QueryRequest(
+            query=query,
+            strategy=strategy,
+            workers=workers,
+            deadline=deadline,
+            **kwargs,
+        )
+        return self.call(req)
+
+    def call(self, request: QueryRequest) -> QueryResponse:
+        """Send a prepared :class:`QueryRequest`; return its response."""
+        try:
+            self._writer.write(dump_line(request.to_wire()))
+            self._writer.flush()
+            line = self._reader.readline()
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"connection to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        if not line:
+            raise ReproError(
+                f"server at {self.host}:{self.port} closed the connection"
+            )
+        try:
+            return QueryResponse.from_wire(load_line(line))
+        except ProtocolError as exc:
+            raise ReproError(f"bad response from server: {exc}") from exc
+
+    def close(self) -> None:
+        for closeable in (self._writer, self._reader, self._sock):
+            try:
+                closeable.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

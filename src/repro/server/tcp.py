@@ -1,0 +1,193 @@
+"""TCP transport: newline-delimited JSON over a socket.
+
+:class:`TcpQueryServer` fronts a :class:`~repro.server.service.QueryService`
+with a plain socket protocol: one JSON request object per line, one JSON
+response per line, in order (see :mod:`repro.server.protocol` for the
+wire schema). Each accepted connection is served by its own thread;
+requests on one connection are handled sequentially, so clients wanting
+concurrency open several connections (the serving benchmark's load
+generator opens one per simulated client).
+
+The transport adds nothing to the serving policy — admission control,
+deadlines, and shedding all live in the service; a malformed line is the
+only error the transport answers itself (``bad_request``). ``stop()``
+drains the service (in-flight queries finish, queued ones are rejected)
+and then closes the listener and all client connections.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Set
+
+from ..errors import ReproError
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    STATUS_ERROR,
+    ErrorInfo,
+    dump_line,
+    load_line,
+)
+from .service import QueryService
+
+
+class TcpQueryServer:
+    """A threaded socket front end for one query service.
+
+    Binds immediately (``port=0`` picks a free port — :attr:`address`
+    has the real one); :meth:`start` launches the accept loop in a
+    background thread, :meth:`serve_forever` runs it in the caller's
+    thread (the ``python -m repro.server`` entry point does, until a
+    signal asks it to stop).
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backlog: int = 64,
+    ) -> None:
+        self.service = service
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+        except OSError as exc:
+            self._listener.close()
+            raise ReproError(
+                f"cannot bind query server to {host}:{port}: {exc}"
+            ) from exc
+        self._listener.listen(backlog)
+        self.address = self._listener.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: Set[threading.Thread] = set()
+        self._conns: Set[socket.socket] = set()
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> "TcpQueryServer":
+        """Run the accept loop in a background thread."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self.serve_forever, name="repro-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop` closes the listener."""
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    break
+                self._conns.add(conn)
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="repro-conn",
+                    daemon=True,
+                )
+                self._conn_threads.add(thread)
+            thread.start()
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: drain the service (queued requests get
+        structured ``shutting_down`` rejections, in-flight ones finish),
+        then close the listener and every connection. Idempotent."""
+        self._stopping.set()
+        self.service.shutdown(timeout)
+        # Closing a listening socket does not wake a thread blocked in
+        # accept() on Linux; shutdown() does there, and the dummy
+        # connection covers platforms where shutdown() on a listener
+        # raises instead (e.g. ENOTCONN on macOS).
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            socket.create_connection(self.address, timeout=0.5).close()
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        with self._lock:
+            conns = list(self._conns)
+            threads = list(self._conn_threads)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        for thread in threads:
+            thread.join(timeout=timeout)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+
+    def __enter__(self) -> "TcpQueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connections -----------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            reader = conn.makefile("rb")
+            writer = conn.makefile("wb")
+            for line in reader:
+                if not line.strip():
+                    continue
+                response = self._handle_line(line)
+                try:
+                    writer.write(dump_line(response.to_wire()))
+                    writer.flush()
+                except (OSError, ValueError):
+                    break  # client went away mid-response
+        except (OSError, ValueError):
+            pass  # connection reset; nothing to answer
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+                self._conn_threads.discard(threading.current_thread())
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_line(self, line: bytes) -> QueryResponse:
+        try:
+            request = QueryRequest.from_wire(load_line(line))
+        except ProtocolError as exc:
+            return QueryResponse(
+                id="",
+                status=STATUS_ERROR,
+                error=ErrorInfo(code=ERR_BAD_REQUEST, message=str(exc)),
+            )
+        # Blocking in the connection thread keeps per-connection order;
+        # cross-connection concurrency comes from the service's queue.
+        return self.service.execute(request)

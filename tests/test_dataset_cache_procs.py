@@ -1,0 +1,202 @@
+"""Cross-process dataset-cache safety.
+
+Two processes missing on the same fingerprint must coordinate through
+the per-entry lock file: one generates, the other waits and loads the
+winner's entry from disk — and either way the entry only ever appears
+via an atomic rename, so a reader never sees a partial entry. Stale
+locks (a crashed holder) are broken; an unobtainable lock degrades to
+duplicated generation work, never corruption.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.datagen.cache as cache_mod
+from repro.datagen import microbench as mb
+from repro.datagen.cache import DatasetCache, dataset_fingerprint
+
+CONFIG = "MicrobenchConfig(num_rows=4_000, s_rows=100, c_cardinality=8)"
+
+LOADER = f"""
+import sys
+from repro.datagen import microbench as mb
+from repro.datagen.cache import DatasetCache
+
+cache = DatasetCache(cache_dir=sys.argv[1])
+db = cache.load("microbench", mb.{CONFIG})
+checksum = int(db.table("R").column("r_a").values.sum())
+print(cache.last_source, checksum)
+"""
+
+
+def run_loaders(cache_dir: Path, count: int) -> list:
+    """Launch ``count`` loader processes at once; return (source,
+    checksum) pairs."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        Path(__file__).resolve().parent.parent / "src"
+    )
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", LOADER, str(cache_dir)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        for _ in range(count)
+    ]
+    results = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err
+        source, checksum = out.split()
+        results.append((source, int(checksum)))
+    return results
+
+
+class TestTwoProcessRace:
+    def test_concurrent_first_loads_share_one_entry(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        results = run_loaders(cache_dir, 2)
+
+        # Identical answers regardless of who generated.
+        checksums = {checksum for _, checksum in results}
+        assert len(checksums) == 1
+        sources = sorted(source for source, _ in results)
+        assert "generated" in sources
+        assert set(sources) <= {"generated", "disk"}
+
+        # Exactly one complete entry; no leftover locks or temp dirs.
+        key = dataset_fingerprint("microbench", eval(f"mb.{CONFIG}"))
+        entries = [p.name for p in cache_dir.iterdir()]
+        assert entries == [key]
+        assert (cache_dir / key / "meta.json").is_file()
+
+        # A third, fresh process maps the stored entry.
+        (source, checksum), = run_loaders(cache_dir, 1)
+        assert source == "disk"
+        assert checksum == checksums.pop()
+
+
+class TestLockFile:
+    def test_lock_released_after_generation(self, tmp_path):
+        cache = DatasetCache(cache_dir=tmp_path)
+        cache.load("microbench", eval(f"mb.{CONFIG}"))
+        assert not list(tmp_path.glob("*.lock"))
+        assert not list(tmp_path.glob(".*.lock"))
+
+    def test_stale_lock_is_broken(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(cache_mod, "_LOCK_STALE_SECONDS", 0.1)
+        cache = DatasetCache(cache_dir=tmp_path)
+        config = eval(f"mb.{CONFIG}")
+        key = dataset_fingerprint("microbench", config)
+        lock = cache._lock_path(key)
+        tmp_path.mkdir(exist_ok=True)
+        lock.write_text("99999999")  # a holder that no longer exists
+        stale = time.time() - 10.0
+        os.utime(lock, (stale, stale))
+        db = cache.load("microbench", config)
+        assert cache.last_source == "generated"
+        assert db.table("R").num_rows == 4_000
+        assert not lock.exists()
+
+    def test_unobtainable_lock_degrades_to_private_generation(
+        self, tmp_path, monkeypatch
+    ):
+        # A fresh (non-stale) lock that is never released: the loader
+        # gives up after the wait window and generates anyway.
+        monkeypatch.setattr(cache_mod, "_LOCK_WAIT_SECONDS", 0.2)
+        cache = DatasetCache(cache_dir=tmp_path)
+        config = eval(f"mb.{CONFIG}")
+        key = dataset_fingerprint("microbench", config)
+        tmp_path.mkdir(exist_ok=True)
+        cache._lock_path(key).write_text(str(os.getpid()))
+        begin = time.monotonic()
+        db = cache.load("microbench", config)
+        assert time.monotonic() - begin >= 0.2
+        assert cache.last_source == "generated"
+        assert db.table("R").num_rows == 4_000
+        # the foreign lock is left alone (its holder may still be alive)
+        assert cache._lock_path(key).exists()
+
+    def test_waiter_finds_entry_stored_by_lock_holder(
+        self, tmp_path, monkeypatch
+    ):
+        # Simulate the loser's path deterministically: the lock exists
+        # when load() starts, and the entry appears before it is
+        # released — the waiter must come back with a disk hit, not a
+        # second generation.
+        cache = DatasetCache(cache_dir=tmp_path)
+        config = eval(f"mb.{CONFIG}")
+        key = dataset_fingerprint("microbench", config)
+        tmp_path.mkdir(exist_ok=True)
+        lock = cache._lock_path(key)
+        lock.write_text(str(os.getpid()))
+
+        winner = DatasetCache(cache_dir=tmp_path)
+        db = mb.generate(config)
+        real_sleep = time.sleep
+
+        def store_release_and_sleep(seconds):
+            # The first poll tick: the "winner" finishes its store and
+            # releases the lock while we wait.
+            if lock.exists():
+                winner._store_disk(key, "microbench", config, db)
+                lock.unlink(missing_ok=True)
+            real_sleep(seconds)
+
+        monkeypatch.setattr(
+            cache_mod.time, "sleep", store_release_and_sleep
+        )
+        loaded = cache.load("microbench", config)
+        assert cache.last_source == "disk"
+        assert (
+            int(loaded.table("R").column("r_a").values.sum())
+            == int(db.table("R").column("r_a").values.sum())
+        )
+
+
+class TestAtomicStore:
+    def test_interrupted_store_leaves_no_entry(self, tmp_path):
+        cache = DatasetCache(cache_dir=tmp_path)
+        config = eval(f"mb.{CONFIG}")
+        key = dataset_fingerprint("microbench", config)
+        db = mb.generate(config)
+
+        import numpy as np
+
+        original = np.save
+        calls = {"n": 0}
+
+        def failing_save(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise OSError("disk full")
+            return original(*args, **kwargs)
+
+        np.save = failing_save
+        try:
+            with pytest.raises(OSError):
+                cache._store_disk(key, "microbench", config, db)
+        finally:
+            np.save = original
+        # the temp dir was cleaned up and no half-entry is visible
+        assert not (tmp_path / key).exists()
+        assert cache._load_disk(key) is None
+
+    def test_concurrent_store_of_same_key_is_harmless(self, tmp_path):
+        cache = DatasetCache(cache_dir=tmp_path)
+        config = eval(f"mb.{CONFIG}")
+        key = dataset_fingerprint("microbench", config)
+        db = mb.generate(config)
+        cache._store_disk(key, "microbench", config, db)
+        cache._store_disk(key, "microbench", config, db)  # loser's rename
+        assert cache._load_disk(key) is not None
+        # only the entry itself remains, no orphaned temp dirs
+        assert [p.name for p in tmp_path.iterdir()] == [key]

@@ -1,0 +1,134 @@
+"""TCP transport: round trips, malformed input, graceful stop."""
+
+import socket
+
+import pytest
+
+from repro.datagen import microbench as mb
+from repro.engine import Engine
+from repro.errors import ReproError
+from repro.server import QueryService, ServiceClient, TcpQueryServer
+from repro.server.protocol import encode_value
+
+
+@pytest.fixture()
+def served_engine(micro_db):
+    engine = Engine(db=micro_db, workers=2)
+    service = QueryService(engine, concurrency=2, queue_depth=8)
+    server = TcpQueryServer(service, port=0).start()
+    yield engine, server
+    server.stop(timeout=10.0)
+    engine.shutdown()
+
+
+class TestRoundTrip:
+    def test_wire_answer_matches_library_answer(self, served_engine):
+        engine, server = served_engine
+        direct = engine.execute(mb.q1(30, "mul"), "swole", workers=1)
+        with ServiceClient(server.host, server.port) as client:
+            response = client.request(
+                {"micro": "q1", "args": {"sel": 30, "op": "mul"}},
+                strategy="swole",
+            )
+        assert response.ok
+        assert response.value == encode_value(direct.value)
+        assert response.metrics["service_seconds"] > 0.0
+
+    def test_requests_on_one_connection_answer_in_order(self, served_engine):
+        _, server = served_engine
+        with ServiceClient(server.host, server.port) as client:
+            ids = []
+            for sel in (10, 30, 50):
+                response = client.request(
+                    {"micro": "q2", "args": {"sel": sel}},
+                    strategy="swole",
+                    id=f"sel-{sel}",
+                )
+                assert response.ok
+                ids.append(response.id)
+            assert ids == ["sel-10", "sel-30", "sel-50"]
+
+    def test_concurrent_connections(self, served_engine):
+        _, server = served_engine
+        clients = [
+            ServiceClient(server.host, server.port) for _ in range(4)
+        ]
+        try:
+            responses = [
+                client.request(
+                    {"micro": "q1", "args": {"sel": 30}}, strategy="swole"
+                )
+                for client in clients
+            ]
+            assert all(r.ok for r in responses)
+            assert all(r.value == responses[0].value for r in responses)
+        finally:
+            for client in clients:
+                client.close()
+
+
+class TestBadInput:
+    def test_malformed_json_line_gets_bad_request(self, served_engine):
+        _, server = served_engine
+        with socket.create_connection(server.address, timeout=5.0) as conn:
+            conn.sendall(b"{this is not json\n")
+            reply = conn.makefile("rb").readline()
+        assert b'"bad_request"' in reply
+
+    def test_request_missing_query_gets_bad_request(self, served_engine):
+        _, server = served_engine
+        with socket.create_connection(server.address, timeout=5.0) as conn:
+            conn.sendall(b'{"id": "x"}\n')
+            reply = conn.makefile("rb").readline()
+        assert b'"bad_request"' in reply
+
+    def test_connection_survives_a_bad_line(self, served_engine):
+        _, server = served_engine
+        with socket.create_connection(server.address, timeout=5.0) as conn:
+            reader = conn.makefile("rb")
+            conn.sendall(b"garbage\n")
+            assert b'"bad_request"' in reader.readline()
+            conn.sendall(
+                b'{"id": "ok1", "query": '
+                b'{"micro": "q1", "args": {"sel": 30}}, '
+                b'"strategy": "swole"}\n'
+            )
+            assert b'"status":"ok"' in reader.readline()
+
+
+class TestLifecycle:
+    def test_stop_is_graceful_and_idempotent(self, micro_db):
+        engine = Engine(db=micro_db, workers=1)
+        service = QueryService(engine, concurrency=1, own_engine=True)
+        server = TcpQueryServer(service, port=0).start()
+        with ServiceClient(server.host, server.port) as client:
+            assert client.request(
+                {"micro": "q1", "args": {"sel": 30}}, strategy="swole"
+            ).ok
+        server.stop(timeout=10.0)
+        server.stop(timeout=10.0)  # second stop is a no-op
+        assert service.state == "stopped"
+        with pytest.raises((ReproError, OSError)):
+            ServiceClient(server.host, server.port).request(
+                {"micro": "q1", "args": {"sel": 30}}
+            )
+
+    def test_port_zero_picks_a_free_port(self, micro_db):
+        engine = Engine(db=micro_db, workers=1)
+        service = QueryService(engine, concurrency=1, own_engine=True)
+        server = TcpQueryServer(service, port=0)
+        try:
+            assert server.port > 0
+        finally:
+            server.stop(timeout=10.0)
+
+    def test_bind_conflict_raises_repro_error(self, micro_db):
+        engine = Engine(db=micro_db, workers=1)
+        service = QueryService(engine, concurrency=1)
+        server = TcpQueryServer(service, port=0)
+        try:
+            with pytest.raises(ReproError, match=r"cannot bind"):
+                TcpQueryServer(service, port=server.port)
+        finally:
+            server.stop(timeout=10.0)
+            engine.shutdown()
