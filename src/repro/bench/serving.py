@@ -720,6 +720,16 @@ def _run_connect(
             }
         )
 
+    # Scrape the server's telemetry into the report: plan-cache and
+    # dataset-cache hit rates, pool utilization, span timings, shed
+    # counts. Older servers without the stats op just omit the section.
+    server_stats = None
+    try:
+        with ServiceClient(host, port) as scraper:
+            server_stats = scraper.stats()
+    except ReproError as exc:
+        say(f"stats scrape unavailable: {exc}")
+
     return {
         "config": {
             "connect": address,
@@ -735,4 +745,5 @@ def _run_connect(
         "speedups": speedups,
         "shedding": None,
         "failures": round_failures,
+        "server_stats": server_stats,
     }

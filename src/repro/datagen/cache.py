@@ -404,10 +404,21 @@ _default_cache: Optional[DatasetCache] = None
 
 
 def dataset_cache() -> DatasetCache:
-    """The process-wide default cache (created on first use)."""
+    """The process-wide default cache (created on first use).
+
+    The default cache's counters are registered as the
+    ``dataset_cache`` stat source of the process-wide metrics registry,
+    so its hit rates show up in ``stats`` snapshots alongside the plan
+    cache and the service counters.
+    """
     global _default_cache
     if _default_cache is None:
         _default_cache = DatasetCache()
+        from ..obs import metrics_registry
+
+        metrics_registry().register_source(
+            "dataset_cache", _default_cache.stats.snapshot
+        )
     return _default_cache
 
 

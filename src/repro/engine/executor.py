@@ -19,9 +19,11 @@ single-core CI runners.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ExecutionError
+from ..obs import MetricsRegistry, span
 from .cancellation import CancelToken
 from .costing import CostReport
 from .metrics import RunMetrics, event_counts, greedy_schedule, merge_reports
@@ -71,12 +73,20 @@ class MorselExecutor:
     """
 
     def __init__(
-        self, *, workers: int = 1, pool: Optional[WorkerPool] = None
+        self,
+        *,
+        workers: int = 1,
+        pool: Optional[WorkerPool] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ExecutionError("executor needs at least one worker")
         self.workers = workers
         self.pool = pool
+        #: Where the morsel-execute / merge spans land; ``None`` keeps
+        #: the executor span-free (direct library use stays untouched —
+        #: the :class:`repro.Engine` facade always passes its registry).
+        self.registry = registry
 
     def execute(
         self,
@@ -121,6 +131,13 @@ class MorselExecutor:
             return result
         return self._execute_parallel(compiled, session, plan, started, cancel)
 
+    def _span(self, stage: str):
+        """A tracing span on the executor's registry (inert without
+        one)."""
+        if self.registry is None:
+            return nullcontext()
+        return span(stage, self.registry)
+
     # -- parallel path ---------------------------------------------------
 
     def _execute_parallel(
@@ -146,16 +163,18 @@ class MorselExecutor:
             plan.n_rows, self.workers, session.knobs.morsel_rows
         )
         morsels = split_morsels(plan.n_rows, morsel_rows)
-        values, morsel_reports, wall_by_worker = self._run_morsels(
-            session, plan, ctx, morsels, label, cancel
-        )
+        with self._span("morsel_execute"):
+            values, morsel_reports, wall_by_worker = self._run_morsels(
+                session, plan, ctx, morsels, label, cancel
+            )
 
-        merged = merge_partials(values)
-        if plan.finalize is not None:
-            final_session = session.clone()
-            with final_session.tracer.kernel(f"{label}:finalize"):
-                merged = plan.finalize(final_session, merged, ctx)
-            serial_reports.append(final_session.tracer.report)
+        with self._span("merge"):
+            merged = merge_partials(values)
+            if plan.finalize is not None:
+                final_session = session.clone()
+                with final_session.tracer.kernel(f"{label}:finalize"):
+                    merged = plan.finalize(final_session, merged, ctx)
+                serial_reports.append(final_session.tracer.report)
 
         report = merge_reports(
             session.machine, serial_reports + morsel_reports

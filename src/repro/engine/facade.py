@@ -24,6 +24,7 @@ from dataclasses import replace
 from typing import Optional, Union
 
 from ..errors import ReproError
+from ..obs import MetricsRegistry, metrics_registry, span
 from .cancellation import CancelToken
 from .executor import MorselExecutor
 from .machine import PAPER_MACHINE, MachineModel
@@ -62,6 +63,12 @@ class Engine:
         across queries. When False, every query spawns fresh threads
         (the pre-pool baseline; kept for the throughput benchmark).
         Results and simulated cycles are identical either way.
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` this engine reports
+        into (default: the process-wide registry). The engine registers
+        its plan cache and worker pool as stat sources, times
+        compile/execute spans, bumps per-strategy access-pattern and
+        branch event counters, and feeds the registry's slow-query log.
 
     The engine is a context manager; ``with Engine(db) as engine:``
     shuts the pool down on exit, and an ``atexit`` hook covers engines
@@ -78,6 +85,7 @@ class Engine:
         plan_cache_size: int = 64,
         knobs: Optional[ExecutionKnobs] = None,
         use_pool: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise ReproError("Engine needs at least one worker")
@@ -90,6 +98,16 @@ class Engine:
         self.pool: Optional[WorkerPool] = (
             WorkerPool(workers) if use_pool else None
         )
+        self.registry = (
+            registry if registry is not None else metrics_registry()
+        )
+        # The sources close over the stats/pool objects only — never
+        # the database — so registering does not pin column data.
+        self.registry.register_source(
+            "plan_cache", self.plan_cache.stats.snapshot
+        )
+        if self.pool is not None:
+            self.registry.register_source("pool", self.pool.snapshot)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -128,15 +146,21 @@ class Engine:
         TPC-H query name string. ``strategy`` is any registered strategy
         name, or ``"auto"`` for the planner-driven SWOLE strategy.
         """
-        compiled, _ = self._compile_cached(query, strategy)
+        compiled, _, _, _ = self._compile_cached(query, strategy)
         return compiled
 
     def _compile_cached(self, query, strategy: str):
         resolved = AUTO_STRATEGY if strategy == "auto" else strategy
         key = plan_key(query, resolved, self.machine, self.tile)
-        return self.plan_cache.get_or_compile(
-            key, lambda: self._compile(query, resolved)
+
+        def timed_compile() -> CompiledQuery:
+            with span("compile", self.registry, strategy=resolved):
+                return self._compile(query, resolved)
+
+        compiled, was_hit = self.plan_cache.get_or_compile(
+            key, timed_compile
         )
+        return compiled, was_hit, resolved, key
 
     def _compile(self, query, strategy: str) -> CompiledQuery:
         if isinstance(query, str):
@@ -187,14 +211,51 @@ class Engine:
                     "pass either deadline= or cancel=, not both"
                 )
             cancel = CancelToken.after(deadline)
-        compiled, was_hit = self._compile_cached(query, strategy)
+        compiled, was_hit, resolved, key = self._compile_cached(
+            query, strategy
+        )
         n_workers = workers if workers is not None else self.workers
         if session is None:
             session = self.session(workers=n_workers)
-        executor = MorselExecutor(workers=n_workers, pool=self.pool)
+        executor = MorselExecutor(
+            workers=n_workers, pool=self.pool, registry=self.registry
+        )
         result = executor.execute(compiled, session, cancel=cancel)
-        result.report.metrics.plan_cache = "hit" if was_hit else "miss"
+        metrics = result.report.metrics
+        metrics.plan_cache = "hit" if was_hit else "miss"
+        self._record_run(key[0], resolved, metrics)
         return result
+
+    def _record_run(self, fingerprint: str, strategy: str, metrics) -> None:
+        """Telemetry for one completed execution: the execute span, the
+        per-strategy branch / access-pattern event counters the SWOLE
+        heuristics reason about, and — past the threshold — a
+        slow-query log entry keyed by the plan fingerprint."""
+        reg = self.registry
+        reg.histogram(
+            "span_seconds", stage="execute", strategy=strategy
+        ).observe(metrics.wall_seconds)
+        reg.counter("queries_total", strategy=strategy).inc()
+        reg.counter(
+            "plan_cache_lookups_total",
+            strategy=strategy,
+            outcome=metrics.plan_cache,
+        ).inc()
+        for kind, count in metrics.event_counts.items():
+            reg.counter(
+                "engine_events_total", strategy=strategy, kind=kind
+            ).inc(count)
+        reg.slow_log.record(
+            fingerprint=fingerprint,
+            strategy=strategy,
+            wall_seconds=metrics.wall_seconds,
+            plan_cache=metrics.plan_cache,
+            workers=metrics.workers,
+            morsels=metrics.morsels,
+            parallel=metrics.parallel,
+            total_cycles=metrics.total_cycles,
+            event_counts=dict(metrics.event_counts),
+        )
 
     # -- cache management ------------------------------------------------
 

@@ -20,7 +20,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from ..errors import ReproError
 from .machine import MachineModel
@@ -91,14 +91,30 @@ class PlanCacheStats:
         }
 
 
+class _InFlightCompile:
+    """One key's compilation in progress: waiters block on the event,
+    then read either the compiled value (also in the cache by then) or
+    the leader's error."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Optional[CompiledQuery] = None
+        self.error: Optional[BaseException] = None
+
+
 @dataclass
 class PlanCache:
     """LRU cache mapping plan keys to :class:`CompiledQuery` programs.
 
     Thread-safe: the query service executes requests on several threads
-    against one engine, so lookups, inserts, and the compile-on-miss
-    path are serialised by an internal re-entrant lock (a plan compiles
-    at most once per key even under concurrent first requests).
+    against one engine. Lookups and inserts are serialised by an
+    internal lock; the compile-on-miss path runs *outside* it under a
+    per-key in-flight guard (singleflight), so a slow compilation of
+    one plan never blocks hits — or misses — on any other key, while a
+    plan still compiles at most once per key under concurrent first
+    requests.
     """
 
     capacity: int = 64
@@ -108,6 +124,9 @@ class PlanCache:
     )
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
+    )
+    _in_flight: "Dict[Hashable, _InFlightCompile]" = field(
+        default_factory=dict, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -147,18 +166,50 @@ class PlanCache:
     ) -> Tuple[CompiledQuery, bool]:
         """Return ``(program, was_hit)``, compiling on miss.
 
-        The miss path compiles while holding the lock: concurrent first
-        requests for the same plan wait for one compilation instead of
-        duplicating it (compilation never re-enters the cache, and the
-        lock is re-entrant in case a future strategy does).
+        The miss path compiles **outside** the cache lock: the first
+        thread to miss on a key becomes its *leader* and registers an
+        in-flight guard, later arrivals for the **same** key wait on
+        that guard and are then answered as hits from the leader's
+        insert, and requests for **other** keys proceed entirely
+        unblocked. (The previous implementation compiled while holding
+        the global lock, so one cache miss stalled every strategy's hot
+        path.) If the leader's compilation raises, waiters re-raise the
+        same error; the guard is removed either way, so a later request
+        simply retries the compile.
         """
-        with self._lock:
-            cached = self.get(key)
-            if cached is not None:
-                return cached, True
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return entry, True
+                flight = self._in_flight.get(key)
+                if flight is None:
+                    flight = _InFlightCompile()
+                    self._in_flight[key] = flight
+                    self.stats.misses += 1
+                    break  # this thread leads the compilation
+            # Another thread is compiling this key: wait outside the
+            # lock, then re-check (the leader inserts into the cache
+            # before resolving the guard, so the retry normally hits).
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+        try:
             compiled = compile_fn()
-            self.put(key, compiled)
-            return compiled, False
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._in_flight.pop(key, None)
+            flight.event.set()
+            raise
+        self.put(key, compiled)
+        with self._lock:
+            self._in_flight.pop(key, None)
+        flight.value = compiled
+        flight.event.set()
+        return compiled, False
 
     def invalidate(self) -> None:
         """Drop every entry (data changed / database swapped)."""

@@ -235,6 +235,11 @@ class WorkerPool:
         self._batch: Optional[MorselBatch] = None
         self._closed = False
         self._atexit_registered = False
+        # Lifetime telemetry (read by snapshot(), updated under _cond).
+        self._batches = 0
+        self._batch_morsels = 0
+        self._busy_seconds = 0.0
+        self._capacity_seconds = 0.0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -304,13 +309,44 @@ class WorkerPool:
             template, plan, ctx, morsels, label, workers, cancel=cancel
         )
         with self._submit_lock:
+            begin = time.perf_counter()
             with self._cond:
                 self._batch = batch
                 self._cond.notify_all()
             batch.wait()
+            elapsed = time.perf_counter() - begin
             with self._cond:
                 self._batch = None
+                self._batches += 1
+                self._batch_morsels += sum(
+                    1 for v in batch.values if v is not None
+                )
+                self._busy_seconds += sum(batch.wall_by_worker.values())
+                self._capacity_seconds += elapsed * batch.workers
         return batch.result()
+
+    def snapshot(self) -> dict:
+        """Lifetime utilization counters (a registry stat source).
+
+        ``utilization`` is busy worker-seconds over offered capacity
+        (batch wall time times participating workers): 1.0 means every
+        participating worker was draining morsels for the whole of
+        every batch; the gap is morsel-claim contention plus cursor
+        exhaustion tail.
+        """
+        with self._cond:
+            capacity = self._capacity_seconds
+            return {
+                "workers": self.workers,
+                "threads": len(self._threads),
+                "batches": self._batches,
+                "morsels": self._batch_morsels,
+                "busy_seconds": self._busy_seconds,
+                "capacity_seconds": capacity,
+                "utilization": (
+                    self._busy_seconds / capacity if capacity else 0.0
+                ),
+            }
 
     # -- workers ---------------------------------------------------------
 

@@ -1,0 +1,51 @@
+"""Observability: one registry for metrics, spans, and slow queries.
+
+The serving stack's stats used to live in per-component islands
+(``PlanCacheStats``, ``DatasetCacheStats``, ``ServiceStats``, ad-hoc
+pool numbers). This package is the single substrate they all report
+into:
+
+* :class:`MetricsRegistry` — counters / gauges / lock-striped
+  histograms plus *stat sources* (legacy ``snapshot()`` callables
+  folded into every snapshot); a process-wide default via
+  :func:`metrics_registry`;
+* :func:`span` — stage-labelled duration histograms covering
+  compile -> morsel execute -> merge in the engine and
+  admit -> dequeue -> serve in the query service;
+* :class:`SlowQueryLog` / :class:`ErrorLog` — bounded ring buffers for
+  stragglers (keyed by plan fingerprint, carrying the branch and
+  access-pattern counters) and for errors shutdown paths used to
+  swallow.
+
+Everything a snapshot returns is JSON-safe; the ``stats`` request of
+:mod:`repro.server` and the ``/metrics`` exposition of
+``python -m repro.server`` are thin views over it.
+"""
+
+from .registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_registry,
+    set_metrics_registry,
+)
+from .slowlog import DEFAULT_SLOW_SECONDS, ErrorLog, SlowQueryLog
+from .spans import SPAN_METRIC, observe_span, span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SLOW_SECONDS",
+    "ErrorLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SPAN_METRIC",
+    "SlowQueryLog",
+    "metrics_registry",
+    "observe_span",
+    "set_metrics_registry",
+    "span",
+]

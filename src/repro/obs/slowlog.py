@@ -1,0 +1,120 @@
+"""Bounded in-memory logs: slow queries and swallowed errors.
+
+Both are ring buffers — a serving process must be able to run for days
+without its telemetry growing, so the newest ``capacity`` entries win.
+
+:class:`SlowQueryLog` keeps one entry per slow execution, keyed by the
+plan fingerprint (the same key the plan cache uses), carrying the
+run-level numbers the SWOLE heuristics reason about: wall time, the
+plan-cache outcome, and the branch / access-pattern event counts
+(``SeqRead`` / ``CondRead`` / ``RandomAccess`` / ``Branch`` ...) whose
+balance is the paper's whole argument.
+
+:class:`ErrorLog` is the home for errors that used to be silently
+swallowed (``except OSError: pass``) on shutdown paths: recording them
+costs nothing and turns "the server stopped weirdly once" into an
+inspectable trail.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from ..errors import ReproError
+
+#: Default slow-query threshold in seconds; tuned for the repo's
+#: sub-millisecond microbench queries, so only genuine stragglers log.
+DEFAULT_SLOW_SECONDS = 0.25
+
+
+class SlowQueryLog:
+    """Ring buffer of executions slower than a threshold."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        threshold_seconds: float = DEFAULT_SLOW_SECONDS,
+    ) -> None:
+        if capacity < 1:
+            raise ReproError("slow-query log capacity must be >= 1")
+        if threshold_seconds < 0:
+            raise ReproError("slow-query threshold must be >= 0 seconds")
+        self.threshold_seconds = threshold_seconds
+        self._lock = threading.Lock()
+        self._entries: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(
+        self,
+        *,
+        fingerprint: str,
+        strategy: str,
+        wall_seconds: float,
+        threshold: Optional[float] = None,
+        **fields: Any,
+    ) -> bool:
+        """Log the run if it crossed the threshold; return whether it
+        was recorded. ``fields`` must be JSON-safe (the stats request
+        returns entries verbatim)."""
+        limit = self.threshold_seconds if threshold is None else threshold
+        if wall_seconds < limit:
+            return False
+        entry = {
+            "unix_time": time.time(),
+            "fingerprint": fingerprint,
+            "strategy": strategy,
+            "wall_seconds": wall_seconds,
+            **fields,
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+        return True
+
+    def entries(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(e) for e in self._entries]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "threshold_seconds": self.threshold_seconds,
+                "recorded": self._recorded,
+                "entries": [dict(e) for e in self._entries],
+            }
+
+
+class ErrorLog:
+    """Ring buffer of errors that would otherwise vanish."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ReproError("error log capacity must be >= 1")
+        self._lock = threading.Lock()
+        self._entries: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(self, source: str, message: str, **fields: Any) -> None:
+        entry = {
+            "unix_time": time.time(),
+            "source": source,
+            "message": message,
+            **fields,
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+
+    def entries(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [dict(e) for e in self._entries]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "recorded": self._recorded,
+                "entries": [dict(e) for e in self._entries],
+            }

@@ -1,0 +1,65 @@
+"""Lightweight tracing spans over the metrics registry.
+
+A span is a named stage whose duration lands in the shared
+``span_seconds`` histogram, labelled by stage (plus any extra labels).
+The serving pipeline is covered end to end with a fixed, low-cardinality
+stage vocabulary:
+
+========================= ==============================================
+stage                     measures
+========================= ==============================================
+``compile``               planning + code generation on a plan-cache miss
+``execute``               one engine execution, wall time
+``morsel_execute``        the parallel morsel drain inside an execution
+``merge``                 partial-state merge + finalize
+``admit``                 admission decision inside ``submit``
+``queue_wait``            admission -> dequeue by a service worker
+``serve``                 dequeue -> response resolved
+========================= ==============================================
+
+Spans deliberately carry no per-query identity — that is the slow-query
+log's job; spans answer "where does a request's time go *in aggregate*".
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .registry import MetricsRegistry, metrics_registry
+
+#: The one histogram every span reports into.
+SPAN_METRIC = "span_seconds"
+
+
+def observe_span(
+    stage: str,
+    seconds: float,
+    registry: Optional[MetricsRegistry] = None,
+    **labels: Any,
+) -> None:
+    """Record an externally-measured duration as a span (used when the
+    start and end live on different threads, e.g. queue wait)."""
+    reg = registry if registry is not None else metrics_registry()
+    reg.histogram(SPAN_METRIC, stage=stage, **labels).observe(seconds)
+
+
+@contextmanager
+def span(
+    stage: str,
+    registry: Optional[MetricsRegistry] = None,
+    **labels: Any,
+) -> Iterator[None]:
+    """Time the enclosed block into ``span_seconds{stage=...}``.
+
+    The duration is recorded even when the block raises — a failing
+    compile or execute still spent the time.
+    """
+    begin = time.perf_counter()
+    try:
+        yield
+    finally:
+        observe_span(
+            stage, time.perf_counter() - begin, registry, **labels
+        )

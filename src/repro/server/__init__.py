@@ -23,16 +23,20 @@ from .protocol import (
     ERR_EXECUTION,
     ERR_QUEUE_FULL,
     ERR_SHUTTING_DOWN,
+    OP_QUERY,
+    OP_STATS,
     ErrorInfo,
     ProtocolError,
     QueryRequest,
     QueryResponse,
     STATUS_ERROR,
     STATUS_OK,
+    StatsRequest,
     parse_query_spec,
+    parse_request,
 )
 from .service import PendingQuery, QueryService, ServiceStats
-from .tcp import TcpQueryServer
+from .tcp import StopReport, TcpQueryServer
 
 __all__ = [
     "ERR_BAD_REQUEST",
@@ -42,6 +46,8 @@ __all__ = [
     "ERR_QUEUE_FULL",
     "ERR_SHUTTING_DOWN",
     "ErrorInfo",
+    "OP_QUERY",
+    "OP_STATS",
     "PendingQuery",
     "ProtocolError",
     "QueryRequest",
@@ -51,6 +57,9 @@ __all__ = [
     "STATUS_OK",
     "ServiceClient",
     "ServiceStats",
+    "StatsRequest",
+    "StopReport",
     "TcpQueryServer",
     "parse_query_spec",
+    "parse_request",
 ]

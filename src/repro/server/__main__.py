@@ -8,24 +8,72 @@ deadlines, and load shedding::
     python -m repro.server --dataset tpch --sf 0.01 --port 7653 \\
         --concurrency 4 --queue-depth 64 --deadline 2.0
 
+``--metrics-port`` additionally starts a plain HTTP endpoint (stdlib
+``http.server``) exposing the telemetry registry: ``/metrics`` in
+Prometheus text format and ``/stats.json`` as the raw snapshot. The
+same snapshot is available over the query socket itself via a
+``{"op": "stats"}`` request (:meth:`repro.server.ServiceClient.stats`).
+
 SIGINT/SIGTERM trigger a graceful drain: in-flight queries finish,
 queued ones are rejected with a structured ``shutting_down`` error, and
-the engine's worker pool stops.
+the engine's worker pool stops. The stop report (teardown errors,
+unjoined threads) is printed so an unclean shutdown is visible in logs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
 
 from ..datagen import microbench as mb
 from ..datagen import tpch as tpchgen
 from ..datagen.cache import load_dataset
 from ..engine import Engine
 from ..engine.machine import PAPER_MACHINE
+from ..obs import MetricsRegistry
 from .service import QueryService
 from .tcp import TcpQueryServer
+
+
+def start_metrics_http(
+    registry: MetricsRegistry, host: str, port: int
+) -> ThreadingHTTPServer:
+    """Serve ``/metrics`` (Prometheus text) and ``/stats.json`` from
+    ``registry`` on a daemon thread; returns the HTTP server so the
+    caller can ``shutdown()`` it."""
+
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 (http.server API)
+            if self.path.split("?", 1)[0] == "/metrics":
+                body = registry.render_prometheus().encode("utf-8")
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif self.path.split("?", 1)[0] == "/stats.json":
+                body = json.dumps(registry.snapshot(), indent=2).encode(
+                    "utf-8"
+                )
+                ctype = "application/json"
+            else:
+                self.send_error(404, "try /metrics or /stats.json")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # scrapes are not log-worthy
+            pass
+
+    httpd = ThreadingHTTPServer((host, port), MetricsHandler)
+    thread = threading.Thread(
+        target=httpd.serve_forever, name="repro-metrics-http", daemon=True
+    )
+    thread.start()
+    return httpd
 
 
 def build_engine(args) -> Engine:
@@ -96,6 +144,13 @@ def main(argv=None) -> None:
         help="execute every admitted request individually instead of "
         "answering queued duplicates from one execution",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="also serve /metrics (Prometheus text) and /stats.json "
+        "over HTTP on this port (0 picks a free port)",
+    )
     args = parser.parse_args(argv)
     if args.seed is None:
         # Each generator's default seed, so the served dataset matches
@@ -112,6 +167,11 @@ def main(argv=None) -> None:
         own_engine=True,
     )
     server = TcpQueryServer(service, host=args.host, port=args.port)
+    metrics_http: Optional[ThreadingHTTPServer] = None
+    if args.metrics_port is not None:
+        metrics_http = start_metrics_http(
+            service.registry, args.host, args.metrics_port
+        )
 
     stop = threading.Event()
 
@@ -121,11 +181,18 @@ def main(argv=None) -> None:
     signal.signal(signal.SIGINT, _signal_handler)
     signal.signal(signal.SIGTERM, _signal_handler)
 
+    metrics_note = ""
+    if metrics_http is not None:
+        metrics_note = (
+            f", metrics on http://{args.host}:"
+            f"{metrics_http.server_address[1]}/metrics"
+        )
     print(
         f"serving {args.dataset} on {server.host}:{server.port} "
         f"(engine workers={args.workers}, concurrency={args.concurrency}, "
         f"queue depth={args.queue_depth}, "
-        f"deadline={args.deadline if args.deadline is not None else 'none'})",
+        f"deadline={args.deadline if args.deadline is not None else 'none'}"
+        f"{metrics_note})",
         flush=True,
     )
     server.start()
@@ -133,7 +200,10 @@ def main(argv=None) -> None:
         stop.wait()
     finally:
         print("draining...", flush=True)
-        server.stop(timeout=30.0)
+        report = server.stop(timeout=30.0)
+        if metrics_http is not None:
+            metrics_http.shutdown()
+            metrics_http.server_close()
         snapshot = service.stats.snapshot()
         print(
             f"served {snapshot['completed']} ok, "
@@ -142,6 +212,15 @@ def main(argv=None) -> None:
             f"{snapshot['rejected_draining']} rejected while draining",
             flush=True,
         )
+        if report.clean:
+            print("shutdown clean", flush=True)
+        else:
+            print(
+                f"shutdown NOT clean: drained={report.drained}, "
+                f"errors={report.errors}, "
+                f"unjoined threads={report.unjoined_threads}",
+                flush=True,
+            )
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from .protocol import (
     ProtocolError,
     QueryRequest,
     QueryResponse,
+    StatsRequest,
     dump_line,
     load_line,
 )
@@ -83,8 +84,29 @@ class ServiceClient:
         )
         return self.call(req)
 
-    def call(self, request: QueryRequest) -> QueryResponse:
-        """Send a prepared :class:`QueryRequest`; return its response."""
+    def stats(self) -> dict:
+        """Scrape the server's telemetry snapshot (a ``stats`` request).
+
+        Returns the snapshot dict: counters, gauges, histograms, stat
+        sources (plan cache, dataset cache, pool, service), the
+        slow-query log, and the error log. Stats requests bypass the
+        server's admission queue, so this works even under overload.
+        """
+        response = self.call(StatsRequest())
+        if not response.ok:
+            error = response.error
+            detail = f"{error.code}: {error.message}" if error else "unknown"
+            raise ReproError(f"stats request failed: {detail}")
+        if not isinstance(response.value, dict):
+            raise ReproError(
+                "stats response carried no snapshot (is the server "
+                "older than the stats protocol?)"
+            )
+        return response.value
+
+    def call(self, request) -> QueryResponse:
+        """Send a prepared :class:`QueryRequest` or
+        :class:`StatsRequest`; return its response."""
         try:
             self._writer.write(dump_line(request.to_wire()))
             self._writer.flush()

@@ -13,6 +13,14 @@ A request names its query either as a hand-coded TPC-H program
 constructors in :mod:`repro.datagen.microbench`), or — in-process
 only — as a logical :class:`~repro.plan.logical.Query` object.
 
+Besides queries, the wire carries one control operation: a **stats
+request** (``{"op": "stats"}``), answered with the server's full
+telemetry snapshot (plan-cache and dataset-cache hit rates, pool
+utilization, queue depth, shed counts, span timings, per-strategy
+event counters, slow-query and error logs). Stats requests bypass the
+admission queue — observability must keep working exactly when the
+queue is full.
+
 Responses are structured, never exceptions: ``status`` is ``"ok"`` or
 ``"error"``, and errors carry a machine-readable ``code`` plus, for
 load shedding, a ``retry_after`` hint in seconds (the
@@ -42,6 +50,11 @@ ERR_DEADLINE = "deadline_exceeded"  #: the request's deadline passed
 ERR_CANCELLED = "cancelled"  #: the caller withdrew the request
 ERR_BAD_REQUEST = "bad_request"  #: unparseable request or query spec
 ERR_EXECUTION = "execution_failed"  #: the engine raised while running
+
+#: Request operations. Requests without an ``op`` field are queries
+#: (the pre-stats wire format stays valid byte for byte).
+OP_QUERY = "query"
+OP_STATS = "stats"
 
 #: Microbench query constructors addressable over the wire.
 _MICRO_QUERIES: Dict[str, Callable] = {}
@@ -179,6 +192,43 @@ class QueryRequest:
             deadline=deadline,
             **kwargs,
         )
+
+
+@dataclass
+class StatsRequest:
+    """A telemetry scrape: answered with the registry snapshot.
+
+    Served directly by the transport — never queued, never shed — so a
+    saturated server still answers ``stats`` promptly.
+    """
+
+    id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+
+    def to_wire(self) -> dict:
+        return {"op": OP_STATS, "id": self.id}
+
+    @classmethod
+    def from_wire(cls, wire: Any) -> "StatsRequest":
+        if not isinstance(wire, dict):
+            raise ProtocolError("a request must be a JSON object")
+        req_id = wire.get("id")
+        return cls() if req_id is None else cls(id=str(req_id))
+
+
+def parse_request(wire: Any):
+    """One wire object into a :class:`QueryRequest` or
+    :class:`StatsRequest`, dispatched on the optional ``op`` field."""
+    if not isinstance(wire, dict):
+        raise ProtocolError("a request must be a JSON object")
+    op = wire.get("op", OP_QUERY)
+    if op == OP_STATS:
+        return StatsRequest.from_wire(wire)
+    if op != OP_QUERY:
+        raise ProtocolError(
+            f"unknown request op {op!r}; known: "
+            f"{sorted((OP_QUERY, OP_STATS))}"
+        )
+    return QueryRequest.from_wire(wire)
 
 
 @dataclass

@@ -58,6 +58,7 @@ from ..errors import (
     QueryTimeout,
     ReproError,
 )
+from ..obs import MetricsRegistry, metrics_registry, observe_span
 from .protocol import (
     ERR_BAD_REQUEST,
     ERR_CANCELLED,
@@ -185,6 +186,12 @@ class QueryService:
     own_engine:
         When True, :meth:`shutdown` also shuts the engine's worker pool
         down (the ``python -m repro.server`` entry point sets this).
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` the service reports
+        into (default: the process-wide registry). The service
+        registers its counters plus live queue depth as the
+        ``service`` stat source and times the admit / queue-wait /
+        serve spans.
 
     The service is a context manager; threads start lazily on the first
     submission.
@@ -199,6 +206,7 @@ class QueryService:
         default_deadline: Optional[float] = None,
         coalesce: bool = True,
         own_engine: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if concurrency < 1:
             raise ReproError("service concurrency must be at least 1")
@@ -219,6 +227,26 @@ class QueryService:
         self._state = _RUNNING
         self._in_flight = 0
         self._ewma_service = _EWMA_SEED_SECONDS
+        self.registry = (
+            registry if registry is not None else metrics_registry()
+        )
+        self.registry.register_source("service", self._source_snapshot)
+
+    def _source_snapshot(self) -> dict:
+        """The service's counters plus its live backlog (registered as
+        the ``service`` stat source)."""
+        snap = self.stats.snapshot()
+        snap["queue_depth"] = len(self._queue)
+        snap["in_flight"] = self._in_flight
+        snap["state"] = self._state
+        snap["concurrency"] = self.concurrency
+        snap["queue_capacity"] = self.queue_depth
+        return snap
+
+    def stats_snapshot(self) -> dict:
+        """The full telemetry snapshot of this service's registry —
+        what a wire ``stats`` request is answered with."""
+        return self.registry.snapshot()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -320,6 +348,7 @@ class QueryService:
         Always returns a :class:`PendingQuery`; rejections resolve
         before this method returns.
         """
+        begin = time.perf_counter()
         if not isinstance(request, QueryRequest):
             request = QueryRequest(query=request)
         pending = PendingQuery(request)
@@ -358,8 +387,12 @@ class QueryService:
                 self._queue.append(pending)
                 self.stats.admitted += 1
                 self._cond.notify()
+                observe_span(
+                    "admit", time.perf_counter() - begin, self.registry
+                )
                 return pending
         pending.resolve(rejection)
+        observe_span("admit", time.perf_counter() - begin, self.registry)
         return pending
 
     def execute(self, request, timeout: Optional[float] = None) -> QueryResponse:
@@ -497,6 +530,7 @@ class QueryService:
         token = pending.token
         dequeued = time.monotonic()
         queue_wait = dequeued - pending.enqueued_at
+        observe_span("queue_wait", queue_wait, self.registry)
         metrics: Dict[str, Any] = {
             "queue_wait_seconds": queue_wait,
             "service_seconds": 0.0,
@@ -528,6 +562,7 @@ class QueryService:
         response = self._run(request, token, metrics, dequeued)
         service_seconds = time.monotonic() - dequeued
         metrics["service_seconds"] = service_seconds
+        observe_span("serve", service_seconds, self.registry)
         with self._cond:
             self.stats.queue_wait_seconds += queue_wait
             self.stats.service_seconds += service_seconds

@@ -8,31 +8,75 @@ requests on one connection are handled sequentially, so clients wanting
 concurrency open several connections (the serving benchmark's load
 generator opens one per simulated client).
 
-The transport adds nothing to the serving policy — admission control,
-deadlines, and shedding all live in the service; a malformed line is the
-only error the transport answers itself (``bad_request``). ``stop()``
-drains the service (in-flight queries finish, queued ones are rejected)
-and then closes the listener and all client connections.
+The transport adds little to the serving policy — admission control,
+deadlines, and shedding all live in the service. The transport itself
+answers two things: a malformed line (``bad_request``) and a ``stats``
+request, which returns the service registry's telemetry snapshot
+*without* entering the admission queue (a saturated server must still
+be observable). ``stop()`` drains the service (in-flight queries
+finish, queued ones are rejected), closes the listener and all client
+connections, and returns a :class:`StopReport`: socket errors on the
+teardown path and connection threads that outlive the join timeout are
+counted, logged to the registry's error log, and reported — not
+silently dropped.
 """
 
 from __future__ import annotations
 
+import errno
 import socket
 import threading
-from typing import Optional, Set
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
 
 from ..errors import ReproError
 from .protocol import (
     ERR_BAD_REQUEST,
     ProtocolError,
-    QueryRequest,
     QueryResponse,
     STATUS_ERROR,
+    STATUS_OK,
+    StatsRequest,
     ErrorInfo,
     dump_line,
     load_line,
+    parse_request,
 )
 from .service import QueryService
+
+#: Errnos meaning "this socket is already gone" — expected races on the
+#: teardown path, not failures (a handler thread closes its own socket;
+#: a second ``stop()`` finds the listener closed).
+_ALREADY_GONE = (errno.EBADF, errno.ENOTCONN, errno.EPIPE)
+
+
+@dataclass
+class StopReport:
+    """What :meth:`TcpQueryServer.stop` actually accomplished.
+
+    ``errors`` lists teardown socket failures (also counted in the
+    registry under ``tcp_stop_errors_total`` and logged to the error
+    log); ``unjoined_threads`` names connection or accept threads still
+    alive after the join timeout — a non-empty list means the timeout
+    was too short or a handler is wedged, and the caller should know
+    rather than exit believing the shutdown was clean.
+    """
+
+    drained: bool = True
+    errors: List[str] = field(default_factory=list)
+    unjoined_threads: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.drained and not self.errors and not self.unjoined_threads
+
+    def to_dict(self) -> dict:
+        return {
+            "drained": self.drained,
+            "clean": self.clean,
+            "errors": list(self.errors),
+            "unjoined_threads": list(self.unjoined_threads),
+        }
 
 
 class TcpQueryServer:
@@ -111,41 +155,95 @@ class TcpQueryServer:
                 self._conn_threads.add(thread)
             thread.start()
 
-    def stop(self, timeout: Optional[float] = None) -> None:
+    def stop(self, timeout: Optional[float] = None) -> StopReport:
         """Graceful shutdown: drain the service (queued requests get
         structured ``shutting_down`` rejections, in-flight ones finish),
-        then close the listener and every connection. Idempotent."""
+        then close the listener and every connection. Idempotent.
+
+        Returns a :class:`StopReport`. Teardown socket errors are
+        counted (``tcp_stop_errors_total``), logged to the registry's
+        error log, and listed on the report; threads that outlive the
+        join timeout are reported as ``unjoined_threads`` instead of
+        being silently leaked.
+        """
+        report = StopReport()
         self._stopping.set()
-        self.service.shutdown(timeout)
+        report.drained = self.service.shutdown(timeout)
         # Closing a listening socket does not wake a thread blocked in
         # accept() on Linux; shutdown() does there, and the dummy
         # connection covers platforms where shutdown() on a listener
         # raises instead (e.g. ENOTCONN on macOS).
-        try:
-            self._listener.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            socket.create_connection(self.address, timeout=0.5).close()
-        except OSError:
-            pass
-        try:
-            self._listener.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
+        self._teardown(
+            report, "listener_shutdown",
+            lambda: self._listener.shutdown(socket.SHUT_RDWR),
+            benign_errnos=_ALREADY_GONE,  # second stop(): already closed
+        )
+        # The wake-up connection is *expected* to fail once the
+        # listener stops accepting — count it, but it is not an error.
+        self._teardown(
+            report, "wake_accept",
+            lambda: socket.create_connection(
+                self.address, timeout=0.5
+            ).close(),
+            expected=True,
+        )
+        self._teardown(report, "listener_close", self._listener.close)
         with self._lock:
             conns = list(self._conns)
             threads = list(self._conn_threads)
         for conn in conns:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            conn.close()
+            # A handler thread may close its own socket between the
+            # snapshot above and this shutdown — that race is benign.
+            self._teardown(
+                report, "conn_shutdown",
+                lambda c=conn: c.shutdown(socket.SHUT_RDWR),
+                benign_errnos=_ALREADY_GONE,
+            )
+            self._teardown(report, "conn_close", conn.close)
+        if self._accept_thread is not None:
+            threads.append(self._accept_thread)
         for thread in threads:
             thread.join(timeout=timeout)
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=timeout)
+            if thread.is_alive():
+                report.unjoined_threads.append(thread.name)
+        if report.unjoined_threads:
+            registry = self.service.registry
+            registry.counter("tcp_unjoined_threads_total").inc(
+                len(report.unjoined_threads)
+            )
+            registry.error_log.record(
+                "tcp.stop",
+                f"{len(report.unjoined_threads)} connection thread(s) "
+                f"outlived the {timeout}s join timeout",
+                threads=list(report.unjoined_threads),
+            )
+        return report
+
+    def _teardown(
+        self,
+        report: StopReport,
+        site: str,
+        action,
+        *,
+        expected: bool = False,
+        benign_errnos: tuple = (),
+    ) -> None:
+        """Run one teardown step, routing an ``OSError`` through the
+        telemetry (counter + error log) instead of dropping it. Steps
+        marked ``expected`` (the accept-loop wake-up, whose refusal
+        means the listener is already down) and errnos in
+        ``benign_errnos`` (socket already closed by its own handler, or
+        by a previous ``stop``) are counted but neither logged nor
+        listed as errors."""
+        try:
+            action()
+        except OSError as exc:
+            registry = self.service.registry
+            registry.counter("tcp_stop_errors_total", site=site).inc()
+            if not expected and exc.errno not in benign_errnos:
+                message = f"{site}: {exc}"
+                registry.error_log.record("tcp.stop", message)
+                report.errors.append(message)
 
     def __enter__(self) -> "TcpQueryServer":
         return self
@@ -181,12 +279,21 @@ class TcpQueryServer:
 
     def _handle_line(self, line: bytes) -> QueryResponse:
         try:
-            request = QueryRequest.from_wire(load_line(line))
+            request = parse_request(load_line(line))
         except ProtocolError as exc:
             return QueryResponse(
                 id="",
                 status=STATUS_ERROR,
                 error=ErrorInfo(code=ERR_BAD_REQUEST, message=str(exc)),
+            )
+        if isinstance(request, StatsRequest):
+            # Answered by the transport, bypassing admission: stats
+            # must stay available when the queue is full or draining.
+            self.service.registry.counter("stats_requests_total").inc()
+            return QueryResponse(
+                id=request.id,
+                status=STATUS_OK,
+                value=self.service.stats_snapshot(),
             )
         # Blocking in the connection thread keeps per-connection order;
         # cross-connection concurrency comes from the service's queue.

@@ -1,0 +1,170 @@
+"""Regression tests: compilation must not happen under the cache lock.
+
+The bug: ``get_or_compile`` used to run ``compile_fn`` while holding the
+cache's global lock, so one slow compilation (key A) blocked every other
+thread's cache access — including hits and misses on unrelated keys.
+The fix is a per-key singleflight guard: the first thread to miss leads
+the compile outside the lock; concurrent requests for the *same* key
+wait and share the result (one compilation), while requests for *other*
+keys proceed untouched.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine.plan_cache import PlanCache
+
+#: Generous bound for "did not deadlock / serialise"; each waiting
+#: thread gets this long before the test declares it blocked.
+WAIT = 5.0
+
+
+class TestCrossKeyIndependence:
+    def test_slow_compile_does_not_block_other_keys(self):
+        cache = PlanCache()
+        release_a = threading.Event()
+        a_compiling = threading.Event()
+        b_done = threading.Event()
+
+        def compile_a():
+            a_compiling.set()
+            assert release_a.wait(WAIT), "slow compile never released"
+            return "program-a"
+
+        leader = threading.Thread(
+            target=lambda: cache.get_or_compile("key-a", compile_a),
+            daemon=True,
+        )
+        leader.start()
+        assert a_compiling.wait(WAIT)
+
+        # While key A is mid-compile, key B must miss, compile, and
+        # return without waiting for A.
+        def run_b():
+            compiled, was_hit = cache.get_or_compile(
+                "key-b", lambda: "program-b"
+            )
+            assert compiled == "program-b"
+            assert not was_hit
+            b_done.set()
+
+        follower = threading.Thread(target=run_b, daemon=True)
+        follower.start()
+        assert b_done.wait(WAIT), (
+            "a miss on key-b blocked behind key-a's compilation — "
+            "compile_fn is running under the global cache lock again"
+        )
+        # And a *hit* on key B must also go through immediately.
+        hit_done = threading.Event()
+
+        def run_b_hit():
+            compiled, was_hit = cache.get_or_compile(
+                "key-b", lambda: pytest.fail("should not recompile")
+            )
+            assert compiled == "program-b" and was_hit
+            hit_done.set()
+
+        threading.Thread(target=run_b_hit, daemon=True).start()
+        assert hit_done.wait(WAIT)
+
+        release_a.set()
+        leader.join(WAIT)
+        follower.join(WAIT)
+        assert cache.get_or_compile("key-a", lambda: "x") == (
+            "program-a", True,
+        )
+
+    def test_stats_count_both_keys_as_misses(self):
+        cache = PlanCache()
+        cache.get_or_compile("a", lambda: "pa")
+        cache.get_or_compile("b", lambda: "pb")
+        cache.get_or_compile("a", lambda: "pa2")
+        snap = cache.stats.snapshot()
+        assert snap["misses"] == 2
+        assert snap["hits"] == 1
+
+
+class TestSameKeySingleflight:
+    def test_concurrent_misses_compile_once(self):
+        cache = PlanCache()
+        compile_calls = []
+        compile_started = threading.Event()
+        release = threading.Event()
+
+        def slow_compile():
+            compile_calls.append(threading.current_thread().name)
+            compile_started.set()
+            assert release.wait(WAIT)
+            return object()  # identity-checked below
+
+        results = {}
+
+        def request(name):
+            results[name] = cache.get_or_compile("shared", slow_compile)
+
+        t1 = threading.Thread(
+            target=request, args=("t1",), name="t1", daemon=True
+        )
+        t1.start()
+        assert compile_started.wait(WAIT)
+        t2 = threading.Thread(
+            target=request, args=("t2",), name="t2", daemon=True
+        )
+        t2.start()
+        release.set()
+        t1.join(WAIT)
+        t2.join(WAIT)
+        assert not t1.is_alive() and not t2.is_alive()
+
+        assert compile_calls == ["t1"], "the plan compiled more than once"
+        value1, hit1 = results["t1"]
+        value2, hit2 = results["t2"]
+        assert value1 is value2, "waiter got a different program object"
+        assert not hit1, "the leader saw a miss"
+        assert hit2, "the waiter is answered as a hit"
+        snap = cache.stats.snapshot()
+        assert snap["misses"] == 1
+        assert snap["hits"] == 1
+
+    def test_leader_failure_propagates_and_does_not_poison_the_key(self):
+        cache = PlanCache()
+        compile_started = threading.Event()
+        release = threading.Event()
+
+        class CompileBoom(RuntimeError):
+            pass
+
+        def failing_compile():
+            compile_started.set()
+            assert release.wait(WAIT)
+            raise CompileBoom("codegen fell over")
+
+        errors = []
+
+        def request():
+            try:
+                cache.get_or_compile("doomed", failing_compile)
+            except CompileBoom as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=request, daemon=True)
+        t1.start()
+        assert compile_started.wait(WAIT)
+        t2 = threading.Thread(target=request, daemon=True)
+        t2.start()
+        release.set()
+        t1.join(WAIT)
+        t2.join(WAIT)
+
+        # Both callers see the failure — the waiter re-raises the
+        # leader's error instead of hanging on the guard forever (or,
+        # if it arrived after the guard was cleared, its own retry's).
+        assert len(errors) == 2, "the waiter did not see the leader's error"
+        assert all(isinstance(e, CompileBoom) for e in errors)
+        # The guard is gone: the next request simply retries the compile.
+        compiled, was_hit = cache.get_or_compile(
+            "doomed", lambda: "recovered"
+        )
+        assert compiled == "recovered"
+        assert not was_hit

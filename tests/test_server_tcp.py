@@ -1,5 +1,7 @@
-"""TCP transport: round trips, malformed input, graceful stop."""
+"""TCP transport: round trips, stats scrapes, malformed input,
+graceful stop."""
 
+import json
 import socket
 
 import pytest
@@ -7,6 +9,7 @@ import pytest
 from repro.datagen import microbench as mb
 from repro.engine import Engine
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry
 from repro.server import QueryService, ServiceClient, TcpQueryServer
 from repro.server.protocol import encode_value
 
@@ -67,6 +70,73 @@ class TestRoundTrip:
                 client.close()
 
 
+class TestStats:
+    @pytest.fixture()
+    def observed_server(self, micro_db):
+        registry = MetricsRegistry()
+        engine = Engine(db=micro_db, workers=2, registry=registry)
+        service = QueryService(
+            engine, concurrency=2, queue_depth=8, registry=registry
+        )
+        server = TcpQueryServer(service, port=0).start()
+        yield server
+        server.stop(timeout=10.0)
+        engine.shutdown()
+
+    def test_stats_round_trip(self, observed_server):
+        server = observed_server
+        with ServiceClient(server.host, server.port) as client:
+            assert client.request(
+                {"micro": "q1", "args": {"sel": 30}}, strategy="swole"
+            ).ok
+            snapshot = client.stats()
+        assert isinstance(snapshot, dict)
+        sources = snapshot["sources"]
+        # The engine and service wired their stats islands in.
+        assert "hit_rate" in sources["plan_cache"]
+        assert "utilization" in sources["pool"]
+        assert "queue_depth" in sources["service"]
+        assert sources["service"]["completed"] >= 1
+        # The query left per-strategy counters and span timings behind.
+        counters = snapshot["counters"]
+        assert counters["queries_total{strategy=swole}"] >= 1
+        hist_keys = list(snapshot["histograms"])
+        assert any("stage=serve" in k for k in hist_keys)
+        assert any("stage=compile" in k for k in hist_keys)
+
+    def test_stats_raw_wire_op(self, observed_server):
+        server = observed_server
+        with socket.create_connection(server.address, timeout=5.0) as conn:
+            conn.sendall(b'{"op": "stats", "id": "scrape-1"}\n')
+            reply = json.loads(conn.makefile("rb").readline())
+        assert reply["id"] == "scrape-1"
+        assert reply["status"] == "ok"
+        assert "counters" in reply["value"]
+        assert reply["value"]["counters"]["stats_requests_total"] == 1
+
+    def test_stats_counters_monotonic(self, observed_server):
+        server = observed_server
+        with ServiceClient(server.host, server.port) as client:
+            first = client.stats()
+            assert client.request(
+                {"micro": "q2", "args": {"sel": 50}}, strategy="swole"
+            ).ok
+            second = client.stats()
+        for name, value in first["counters"].items():
+            assert second["counters"][name] >= value, name
+        assert (
+            second["counters"]["stats_requests_total"]
+            > first["counters"]["stats_requests_total"]
+        )
+
+    def test_unknown_op_gets_bad_request(self, observed_server):
+        server = observed_server
+        with socket.create_connection(server.address, timeout=5.0) as conn:
+            conn.sendall(b'{"op": "selfdestruct"}\n')
+            reply = conn.makefile("rb").readline()
+        assert b'"bad_request"' in reply
+
+
 class TestBadInput:
     def test_malformed_json_line_gets_bad_request(self, served_engine):
         _, server = served_engine
@@ -105,7 +175,11 @@ class TestLifecycle:
             assert client.request(
                 {"micro": "q1", "args": {"sel": 30}}, strategy="swole"
             ).ok
-        server.stop(timeout=10.0)
+        report = server.stop(timeout=10.0)
+        assert report.drained
+        assert report.errors == []
+        assert report.unjoined_threads == []
+        assert report.clean
         server.stop(timeout=10.0)  # second stop is a no-op
         assert service.state == "stopped"
         with pytest.raises((ReproError, OSError)):
