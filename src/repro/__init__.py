@@ -14,17 +14,17 @@ execute (morsel-parallel), inspect run metrics::
     result = engine.execute(mb.q1(13))
     print(result.scalar(), result.metrics.describe())
 
-The historical free functions ``compile_query`` / ``compile_swole``
-remain as deprecated wrappers; prefer ``Engine.compile``.
+``Engine.explain(query, strategy)`` renders the staged lowering pipeline
+(logical plan -> passes -> physical plan) for any query with an operator
+tree. The pre-1.2 module-level ``compile_query`` / ``compile_swole``
+wrappers have been removed; call ``Engine.compile`` (or the underlying
+``repro.codegen.base.compile_query`` / ``repro.core.swole.compile_swole``
+for the research knobs).
 """
 
-__version__ = "1.1.0"
-
-import warnings as _warnings
+__version__ = "1.2.0"
 
 from .codegen import available_strategies
-from .codegen import compile_query as _compile_query
-from .core import compile_swole as _compile_swole
 from .core import plan_query
 from .engine import (
     Engine,
@@ -38,40 +38,16 @@ from .engine import (
     WorkerPool,
 )
 from .errors import ReproError
-from .plan import AggSpec, Col, Const, JoinSpec, Query
+from .plan import (
+    AggSpec,
+    Col,
+    Const,
+    JoinSpec,
+    LogicalPlan,
+    Query,
+    from_query,
+)
 from .storage import Database
-
-
-def compile_query(query, db, strategy):
-    """Deprecated: use :meth:`Engine.compile` instead.
-
-    ``Engine(db).compile(query, strategy)`` adds plan caching and pairs
-    with morsel-parallel execution; this wrapper compiles uncached.
-    """
-    _warnings.warn(
-        "repro.compile_query is deprecated; use repro.Engine(db)"
-        ".compile(query, strategy)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _compile_query(query, db, strategy)
-
-
-def compile_swole(query, db, machine=None, stats=None, force=None):
-    """Deprecated: use :meth:`Engine.compile` instead.
-
-    ``Engine(db, machine=...).compile(query)`` resolves to SWOLE by
-    default; keep using :func:`repro.core.swole.compile_swole` directly
-    for the ``stats``/``force`` research knobs.
-    """
-    _warnings.warn(
-        "repro.compile_swole is deprecated; use repro.Engine(db, "
-        "machine=...).compile(query)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _compile_swole(query, db, machine=machine, stats=stats, force=force)
-
 
 __all__ = [
     "AggSpec",
@@ -81,6 +57,7 @@ __all__ = [
     "Engine",
     "ExecutionKnobs",
     "JoinSpec",
+    "LogicalPlan",
     "MachineModel",
     "MorselExecutor",
     "PAPER_MACHINE",
@@ -92,7 +69,6 @@ __all__ = [
     "WorkerPool",
     "__version__",
     "available_strategies",
-    "compile_query",
-    "compile_swole",
+    "from_query",
     "plan_query",
 ]

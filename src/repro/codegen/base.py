@@ -9,7 +9,8 @@ parameterised by strings.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import warnings
+from typing import Callable, Dict, List
 
 from ..engine.program import CompiledQuery
 from ..errors import CodegenError
@@ -22,12 +23,28 @@ CompileFn = Callable[[Query, Database], CompiledQuery]
 _REGISTRY: Dict[str, CompileFn] = {}
 
 
-def register_strategy(name: str) -> Callable[[CompileFn], CompileFn]:
-    """Decorator registering a compile function under ``name``."""
+def register_strategy(
+    name: str, replace: bool = False
+) -> Callable[[CompileFn], CompileFn]:
+    """Decorator registering a compile function under ``name``.
+
+    Re-registering a name is an error unless ``replace=True``, which
+    overwrites the existing strategy with a warning — for tests and
+    experiments that shadow a built-in strategy deliberately.
+    """
 
     def decorator(fn: CompileFn) -> CompileFn:
         if name in _REGISTRY:
-            raise CodegenError(f"strategy {name!r} already registered")
+            if not replace:
+                raise CodegenError(
+                    f"strategy {name!r} already registered; pass "
+                    "replace=True to overwrite"
+                )
+            warnings.warn(
+                f"overwriting registered strategy {name!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         _REGISTRY[name] = fn
         return fn
 
@@ -44,7 +61,7 @@ def get_strategy(name: str) -> CompileFn:
         ) from exc
 
 
-def available_strategies() -> list:
+def available_strategies() -> List[str]:
     """Names of all registered strategies (sorted)."""
     return sorted(_REGISTRY)
 

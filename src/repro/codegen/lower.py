@@ -1,0 +1,283 @@
+"""Lowering: bound logical plan + pass decisions -> physical plan.
+
+Stage 3 of the staged pipeline (logical plan -> strategy passes ->
+**lowering** -> kernel program). Lowering is purely structural — every
+cost-guided choice was already made by :func:`repro.plan.passes.run_passes`
+and arrives here as a :class:`~repro.plan.passes.Decisions` record; this
+module only maps tree shapes onto the physical operator vocabulary:
+
+* each probe spine becomes one :class:`~repro.plan.physical.Pipeline`,
+  build pipelines emitted depth-first so every state a pipeline consumes
+  was produced by an earlier one;
+* Filters become :class:`FilterStage` ops in the strategy's access style
+  (branching for datacentric/interpreter, prepass for hybrid/swole);
+* Joins become build-op/probe-op pairs according to the join mode the
+  passes chose (hash vs positional bitmap, groupjoin vs plain semijoin,
+  index join when columns are carried);
+* the root aggregation becomes :class:`ScalarAgg`/:class:`GroupAgg` in
+  the decided agg mode — or, for an eager-aggregation rewrite, the whole
+  plan collapses into one :class:`EagerAggregate` op.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import PlanError
+from ..plan import passes as PS
+from ..plan.expressions import And, Expr
+from ..plan.logical import JoinSpec, Query
+from ..plan.ops import (
+    Filter,
+    GroupByAgg,
+    Join,
+    LogicalPlan,
+    PlanNode,
+    Project,
+    Scan,
+    base_table,
+    is_groupjoin,
+    spine,
+    spine_joins,
+)
+from ..plan.physical import (
+    BRANCH,
+    VECTOR,
+    BitmapBuild,
+    BitmapSemiProbe,
+    ColumnMaterialize,
+    EagerAggregate,
+    FilterStage,
+    GroupAgg,
+    GroupBuild,
+    GroupJoinAgg,
+    HashSemiProbe,
+    IndexGather,
+    PhysicalOp,
+    PhysicalPlan,
+    Pipeline,
+    ScalarAgg,
+    SemiHashBuild,
+)
+from ..core.planner import EAGER
+from ..storage.database import Database
+
+
+def _access(strategy: str) -> str:
+    return BRANCH if strategy in ("interpreter", "datacentric") else VECTOR
+
+
+def _filter_mode(strategy: str) -> str:
+    return "branch" if strategy in ("interpreter", "datacentric") else "prepass"
+
+
+def _combine(conjs: List[Expr]) -> Optional[Expr]:
+    if not conjs:
+        return None
+    if len(conjs) == 1:
+        return conjs[0]
+    return And(conjs)
+
+
+def _spine_predicate(node: PlanNode) -> Optional[Expr]:
+    """The AND of all Filter predicates on a spine (legacy-Query form)."""
+    preds: List[Expr] = []
+    for step in spine(node):
+        if isinstance(step, Filter):
+            preds.extend(step.conjuncts())
+    return _combine(preds)
+
+
+def _legacy_groupjoin_query(plan: LogicalPlan) -> Query:
+    """Reverse-convert an eager-eligible groupjoin tree to a Query.
+
+    The eager pass only fires when the tree has the single-join shape
+    (build side is Filter*(Scan)), so the conversion is total there.
+    """
+    root = plan.root
+    assert isinstance(root, GroupByAgg)
+    joins = spine_joins(root.child)
+    target = joins[-1]
+    if len(joins) != 1:
+        raise PlanError("eager aggregation needs a single-join plan")
+    return Query(
+        table=base_table(root.child),
+        aggregates=root.aggregates,
+        predicate=_spine_predicate(root.child),
+        group_by=target.fk_column,
+        join=JoinSpec(
+            build_table=base_table(target.build),
+            fk_column=target.fk_column,
+            pk_column=target.pk_column,
+            build_predicate=_spine_predicate(target.build),
+        ),
+        name=plan.name,
+    )
+
+
+def lower_plan(
+    plan: LogicalPlan,
+    decisions: PS.Decisions,
+    db: Database,
+    strategy: str,
+) -> PhysicalPlan:
+    """Lower a bound logical plan into a :class:`PhysicalPlan`."""
+    root = plan.root
+    if not isinstance(root, GroupByAgg):
+        raise PlanError("physical lowering expects a GroupByAgg root")
+    access = _access(strategy)
+    filter_mode = _filter_mode(strategy)
+    interpreted = strategy == "interpreter"
+
+    if decisions.groupjoin_mode == EAGER:
+        query = _legacy_groupjoin_query(plan)
+        table = base_table(root.child)
+        return PhysicalPlan(
+            strategy=strategy,
+            pipelines=(
+                Pipeline(
+                    label=f"eager aggregate {table}",
+                    table=table,
+                    ops=(EagerAggregate(query),),
+                ),
+            ),
+            interpreted=interpreted,
+        )
+
+    gj_target = (
+        spine_joins(root.child)[-1] if is_groupjoin(root) else None
+    )
+    pipelines: List[Pipeline] = []
+
+    def lower_build(join: Join) -> str:
+        """Lower a join's build side into its own pipeline(s)."""
+        state = base_table(join.build)
+        ops = lower_steps(join.build)
+        mode = decisions.join_modes.get(join, PS.HASH_JOIN)
+        if join is gj_target:
+            ops.append(
+                GroupBuild(
+                    state, join.pk_column, len(root.aggregates), access
+                )
+            )
+            label = f"build {state}"
+        elif mode in (PS.BITMAP_MASK, PS.BITMAP_OFFSETS):
+            flavour = "mask" if mode == PS.BITMAP_MASK else "offsets"
+            ops.append(BitmapBuild(state, flavour))
+            label = f"bitmap build {state}"
+        elif join.carry:
+            # Index join: the build pipeline only materializes the
+            # carried columns (full length); nothing to hash.
+            label = f"scan {state}"
+        else:
+            ops.append(SemiHashBuild(state, join.pk_column, access))
+            label = f"build {state}"
+        pipelines.append(Pipeline(label=label, table=state, ops=tuple(ops)))
+        return state
+
+    def lower_steps(node: PlanNode) -> List[PhysicalOp]:
+        """Ops for one spine, excluding the terminal aggregation."""
+        ops: List[PhysicalOp] = []
+        table = base_table(node)
+        for step in spine(node):
+            if isinstance(step, Scan):
+                continue
+            if isinstance(step, Filter):
+                ops.append(FilterStage(step.conjuncts(), filter_mode))
+            elif isinstance(step, Project):
+                for name, expr in step.outputs:
+                    lut = _lut_entries(db, table, expr)
+                    ops.append(
+                        ColumnMaterialize(table, name, expr, lut)
+                    )
+            elif isinstance(step, Join):
+                state = lower_build(step)
+                mode = decisions.join_modes.get(step, PS.HASH_JOIN)
+                if step is gj_target:
+                    ops.append(
+                        GroupJoinAgg(
+                            state,
+                            step.fk_column,
+                            root.aggregates,
+                            access,
+                        )
+                    )
+                elif step.carry:
+                    ops.append(
+                        IndexGather(
+                            state, step.fk_column, step.carry, access
+                        )
+                    )
+                elif mode in (PS.BITMAP_MASK, PS.BITMAP_OFFSETS):
+                    ops.append(BitmapSemiProbe(state, step.fk_column))
+                else:
+                    ops.append(
+                        HashSemiProbe(state, step.fk_column, access)
+                    )
+            elif isinstance(step, GroupByAgg):
+                continue  # the caller appends the terminal op
+            else:
+                raise PlanError(f"cannot lower plan node {step!r}")
+        return ops
+
+    probe_table = base_table(root.child)
+    ops = lower_steps(root.child)
+    if gj_target is None:
+        if root.key is None:
+            ops.append(ScalarAgg(root.aggregates, decisions.agg_mode))
+        else:
+            ops.append(
+                GroupAgg(
+                    key=root.key,
+                    key_name=root.key_name,
+                    aggregates=root.aggregates,
+                    mode=decisions.agg_mode,
+                    expected_groups=decisions.group_cardinality,
+                )
+            )
+    joined = bool(spine_joins(root.child))
+    label = f"{'probe' if joined else 'scan'} {probe_table}"
+    merged = (
+        decisions.merged_columns
+        if decisions.agg_mode in (PS.VALUE_MASK, PS.KEY_MASK)
+        else ()
+    )
+    pipelines.append(
+        Pipeline(
+            label=label, table=probe_table, ops=tuple(ops), merged=merged
+        )
+    )
+    return PhysicalPlan(
+        strategy=strategy,
+        pipelines=tuple(pipelines),
+        interpreted=interpreted,
+    )
+
+
+def _lut_entries(db: Database, table: str, expr: Expr) -> int:
+    """Dictionary size when a materialized expr probes a dict column."""
+    for name in sorted(expr.columns()):
+        dictionary = db.table(table).column(name).dictionary
+        if dictionary is not None:
+            return len(dictionary)
+    return 0
+
+
+def parallelizable(plan: PhysicalPlan) -> bool:
+    """Whether the plan is a single partitionable scan.
+
+    Morsel parallelism currently covers single-pipeline plans whose ops
+    are all row-range splittable (filters and terminal aggregations);
+    multi-pipeline plans would need shared build state threaded through
+    the executor's setup hook. Interpreted plans stay serial, matching
+    the Volcano baseline.
+    """
+    if plan.interpreted or len(plan.pipelines) != 1:
+        return False
+    return all(
+        isinstance(op, (FilterStage, ScalarAgg, GroupAgg))
+        for op in plan.pipelines[0].ops
+    )
+
+
+__all__ = ["lower_plan", "parallelizable"]

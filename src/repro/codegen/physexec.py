@@ -1,0 +1,649 @@
+"""Physical-plan executor: interpret pipelines into kernel programs.
+
+The final stage of the staged pipeline (logical plan -> strategy passes
+-> physical plan -> **kernel program**). :func:`execute_plan` walks a
+:class:`~repro.plan.physical.PhysicalPlan` and, for every pipeline,
+runs its operators against the base table's columns — doing the real
+NumPy work *and* emitting the priced access events (SeqRead, CondRead,
+RandomAccess, Branch, Compute), exactly like the hand-coded strategy
+programs it replaces. The accounting deliberately reuses the shared
+helpers in :mod:`repro.codegen.common` (``prepass_predicate``,
+``datacentric_predicate``, ``emit_*``) so pipeline-compiled queries and
+legacy strategy modules price identical access patterns identically.
+
+Cross-pipeline state (hash tables, bitmaps, materialized columns) is
+keyed by the producing pipeline's base table; lowering guarantees every
+consumer runs after its producer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+import numpy as np
+
+from ..core import eager_aggregation
+from ..core.key_masking import mask_keys
+from ..engine import kernels as K
+from ..engine.events import Branch, Compute, RandomAccess, SeqRead, SeqWrite
+from ..engine.hashtable import NULL_KEY, HashTable
+from ..engine.session import Session
+from ..errors import PlanError
+from ..plan import passes as PS
+from ..plan.logical import AggSpec
+from ..plan.physical import (
+    BRANCH,
+    BitmapBuild,
+    BitmapSemiProbe,
+    ColumnMaterialize,
+    EagerAggregate,
+    FilterStage,
+    GroupAgg,
+    GroupBuild,
+    GroupJoinAgg,
+    HashSemiProbe,
+    IndexGather,
+    PhysicalPlan,
+    Pipeline,
+    ScalarAgg,
+    SemiHashBuild,
+)
+from ..storage.database import Database
+from .common import (
+    agg_exprs_columns,
+    datacentric_predicate,
+    emit_cond_reads,
+    emit_expr_compute,
+    emit_seq_reads,
+    grouped_result,
+    prepass_predicate,
+    table_rows,
+)
+
+
+class _Ctx:
+    """Mutable per-pipeline stream state."""
+
+    __slots__ = (
+        "view",
+        "table",
+        "n",
+        "mask",
+        "selvec_charged",
+        "already_read",
+        "carried",
+    )
+
+    def __init__(
+        self,
+        view: Dict[str, np.ndarray],
+        table: str,
+        merged: bool,
+    ) -> None:
+        self.view = view
+        self.table = table
+        self.n = table_rows(view)
+        self.mask: Optional[np.ndarray] = None
+        # The selection vector is built (and priced) once per pipeline;
+        # later narrowing reuses it via plain flatnonzero, mirroring the
+        # hand-coded programs.
+        self.selvec_charged = False
+        # Access merging (§III-C): the prepass records what it read so
+        # the masked aggregation never re-reads a shared column.
+        self.already_read: Optional[Set[str]] = set() if merged else None
+        self.carried: Dict[str, np.ndarray] = {}
+
+    def get_mask(self) -> np.ndarray:
+        if self.mask is None:
+            self.mask = np.ones(self.n, dtype=bool)
+        return self.mask
+
+    def narrow(self, new_mask: np.ndarray) -> None:
+        self.mask = (
+            new_mask if self.mask is None else (self.mask & new_mask)
+        )
+
+
+def _indices(session: Session, ctx: _Ctx) -> np.ndarray:
+    """Selected row indexes; the selection-vector event fires once."""
+    if not ctx.selvec_charged:
+        ctx.selvec_charged = True
+        return K.selection_vector(session, ctx.get_mask())
+    return np.flatnonzero(ctx.get_mask())
+
+
+def _base_cols(
+    aggregates, view: Dict[str, np.ndarray]
+) -> List[str]:
+    """Aggregate input columns that live in the scanned table (carried
+    columns arrive via the FK index instead)."""
+    return [c for c in agg_exprs_columns(aggregates) if c in view]
+
+
+def _agg_deltas(
+    session: Session,
+    agg: AggSpec,
+    data: Dict[str, np.ndarray],
+    n: int,
+    simd: bool,
+) -> np.ndarray:
+    """Delta vector for one aggregate, with its arithmetic priced."""
+    if agg.func == "count":
+        return np.ones(n, dtype=np.int64)
+    emit_expr_compute(session, agg.expr, n, simd=simd)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.asarray(agg.expr.evaluate(data), dtype=np.int64)
+
+
+def _aggregate_into(
+    session: Session,
+    table: HashTable,
+    keys: np.ndarray,
+    aggregates,
+    data: Dict[str, np.ndarray],
+    n: int,
+    simd: bool,
+) -> None:
+    """Accumulate every aggregate: one priced hash access per tuple for
+    the first column, resolved-slot adds for the rest."""
+    slots = None
+    for i, agg in enumerate(aggregates):
+        session.tracer.emit(Compute(n=n, op="add", simd=simd))
+        deltas = _agg_deltas(session, agg, data, n, simd)
+        if slots is None:
+            K.ht_aggregate(session, table, keys, deltas, agg=i)
+            slots, _ = table.lookup(keys)
+        else:
+            K.ht_add_at(session, table, slots, i, deltas)
+
+
+# ---------------------------------------------------------------------------
+# Operator implementations
+# ---------------------------------------------------------------------------
+
+
+def _op_filter(session: Session, ctx: _Ctx, op: FilterStage) -> None:
+    if op.mode == "branch":
+        mask = datacentric_predicate(session, ctx.view, op.conjuncts)
+    else:
+        mask = prepass_predicate(
+            session, ctx.view, op.conjuncts, already_read=ctx.already_read
+        )
+    ctx.narrow(mask)
+
+
+def _read_keys(
+    session: Session, ctx: _Ctx, column: str, access: str
+) -> np.ndarray:
+    """Selected key values under the op's access style."""
+    if access == BRANCH:
+        values = K.conditional_read(
+            session, ctx.view[column], ctx.get_mask(), column
+        )
+    else:
+        idx = _indices(session, ctx)
+        values = K.gather(session, ctx.view[column], idx, column)
+    return values.astype(np.int64)
+
+
+def _op_semihash_build(
+    session: Session, ctx: _Ctx, op: SemiHashBuild, state: Dict
+) -> None:
+    keys = _read_keys(session, ctx, op.key_column, op.access)
+    ht = HashTable(expected_keys=max(keys.shape[0], 1), num_aggs=0)
+    K.ht_insert_keys(session, ht, keys)
+    state[op.state] = {"ht": ht}
+
+
+def _op_group_build(
+    session: Session, ctx: _Ctx, op: GroupBuild, state: Dict
+) -> None:
+    keys = _read_keys(session, ctx, op.key_column, op.access)
+    # +1 slot: the bookkeeping count column marking touched groups.
+    ht = HashTable(
+        expected_keys=max(keys.shape[0], 1), num_aggs=op.num_aggs + 1
+    )
+    K.ht_insert_keys(session, ht, keys)
+    state[op.state] = {"ht": ht}
+
+
+def _op_bitmap_build(
+    session: Session, ctx: _Ctx, op: BitmapBuild, state: Dict
+) -> None:
+    mask = ctx.get_mask()
+    nbytes = max(ctx.n // 8, 1)
+    if op.mode == "mask":
+        # Unconditional build: one sequential write of the whole map.
+        session.tracer.emit(SeqWrite(n=nbytes, width=1, array="bitmap"))
+    else:
+        idx = _indices(session, ctx)
+        session.tracer.emit(
+            RandomAccess(
+                n=int(idx.shape[0]), struct_bytes=nbytes, kind="bitmap_set"
+            )
+        )
+    state[op.state] = {"mask": mask.copy(), "rows": ctx.n}
+
+
+def _op_hash_semi_probe(
+    session: Session, ctx: _Ctx, op: HashSemiProbe, state: Dict
+) -> None:
+    ht = state[op.state]["ht"]
+    mask = ctx.get_mask()
+    if op.access == BRANCH:
+        keys = K.conditional_read(
+            session, ctx.view[op.fk_column], mask, op.fk_column
+        ).astype(np.int64)
+        _, found = K.ht_lookup(session, ht, keys)
+        k = int(keys.shape[0])
+        taken = float(found.mean()) if k else 0.0
+        session.tracer.emit(
+            Branch(n=k, taken_fraction=taken, site=f"{op.state}-join")
+        )
+        new = mask.copy()
+        new[mask] = found
+    else:
+        idx = _indices(session, ctx)
+        keys = K.gather(
+            session, ctx.view[op.fk_column], idx, op.fk_column
+        ).astype(np.int64)
+        _, found = K.ht_lookup(session, ht, keys)
+        session.tracer.emit(
+            Compute(n=int(found.shape[0]), op="select", simd=False)
+        )
+        new = np.zeros(ctx.n, dtype=bool)
+        new[idx[found]] = True
+    ctx.mask = new
+
+
+def _op_bitmap_semi_probe(
+    session: Session,
+    ctx: _Ctx,
+    op: BitmapSemiProbe,
+    state: Dict,
+    db: Database,
+) -> None:
+    built = state[op.state]
+    offsets = db.fk_index(ctx.table, op.fk_column).offsets
+    session.tracer.emit(
+        SeqRead(n=ctx.n, width=8, array=f"fkindex({op.fk_column})")
+    )
+    session.tracer.emit(
+        RandomAccess(
+            n=ctx.n,
+            struct_bytes=max(built["rows"] // 8, 1),
+            kind="bitmap_test",
+        )
+    )
+    session.tracer.emit(Compute(n=ctx.n, op="and", simd=True, width=1))
+    ctx.narrow(built["mask"][offsets])
+
+
+def _op_column_materialize(
+    session: Session, ctx: _Ctx, op: ColumnMaterialize, state: Dict
+) -> None:
+    emit_seq_reads(session, ctx.view, sorted(op.expr.columns()))
+    if op.lut_entries:
+        session.tracer.emit(
+            RandomAccess(
+                n=ctx.n, struct_bytes=op.lut_entries, kind="lut"
+            )
+        )
+    values = np.asarray(op.expr.evaluate(ctx.view))
+    out = values.view(np.uint8) if values.dtype == bool else values
+    K.seq_write(session, out, op.column, resident=False)
+    entry = state.setdefault(op.state, {"columns": {}, "rows": ctx.n})
+    entry["columns"][op.column] = values
+
+
+def _op_index_gather(
+    session: Session,
+    ctx: _Ctx,
+    op: IndexGather,
+    state: Dict,
+    db: Database,
+) -> None:
+    built = state[op.state]
+    offsets = db.fk_index(ctx.table, op.fk_column).offsets
+    mask = ctx.get_mask()
+    if op.access == BRANCH:
+        K.conditional_read(
+            session, ctx.view[op.fk_column], mask, op.fk_column
+        )
+        sel = np.flatnonzero(mask)
+    else:
+        sel = _indices(session, ctx)
+        K.gather(session, offsets, sel, f"fkindex({op.fk_column})")
+    session.tracer.emit(
+        RandomAccess(
+            n=int(sel.shape[0]),
+            struct_bytes=built["rows"],
+            kind="index_join",
+        )
+    )
+    for name in op.columns:
+        ctx.carried[name] = built["columns"][name][offsets[sel]]
+
+
+def _op_groupjoin_agg(
+    session: Session, ctx: _Ctx, op: GroupJoinAgg, state: Dict
+) -> Dict[str, np.ndarray]:
+    ht = state[op.state]["ht"]
+    mask = ctx.get_mask()
+    base_cols = _base_cols(op.aggregates, ctx.view)
+    if op.access == BRANCH:
+        keys = K.conditional_read(
+            session, ctx.view[op.fk_column], mask, op.fk_column
+        ).astype(np.int64)
+        slots, found = K.ht_lookup(session, ht, keys)
+        k = int(keys.shape[0])
+        taken = float(found.mean()) if k else 0.0
+        session.tracer.emit(
+            Branch(n=k, taken_fraction=taken, site="join")
+        )
+        sel = np.flatnonzero(mask)[found]
+        emit_cond_reads(session, ctx.view, base_cols, int(sel.shape[0]))
+    else:
+        idx = _indices(session, ctx)
+        keys = K.gather(
+            session, ctx.view[op.fk_column], idx, op.fk_column
+        ).astype(np.int64)
+        slots, found = K.ht_lookup(session, ht, keys)
+        session.tracer.emit(
+            Compute(n=int(found.shape[0]), op="select", simd=False)
+        )
+        sel = idx[found]
+        for col in base_cols:
+            K.gather(session, ctx.view[col], sel, col)
+    matched_slots = slots[found]
+    kk = int(sel.shape[0])
+    sub = {c: ctx.view[c][sel] for c in base_cols}
+    naggs = len(op.aggregates)
+    for i, agg in enumerate(op.aggregates):
+        deltas = _agg_deltas(session, agg, sub, kk, simd=False)
+        K.ht_add_at(session, ht, matched_slots, i, deltas)
+    K.ht_add_at(
+        session, ht, matched_slots, naggs, np.ones(kk, dtype=np.int64)
+    )
+    out_keys, aggs = ht.items()
+    touched = aggs[:, naggs] > 0
+    return grouped_result(out_keys[touched], aggs[touched, :naggs])
+
+
+def _op_scalar_agg(
+    session: Session, ctx: _Ctx, op: ScalarAgg
+) -> Dict[str, Any]:
+    if op.mode == PS.VALUE_MASK:
+        return _scalar_value_mask(session, ctx, op)
+    mask = ctx.get_mask()
+    k = int(mask.sum())
+    base_cols = _base_cols(op.aggregates, ctx.view)
+    if op.mode == PS.CONDITIONAL:
+        emit_cond_reads(session, ctx.view, base_cols, k)
+        sel = np.flatnonzero(mask)
+    elif op.mode == PS.GATHERED:
+        sel = _indices(session, ctx)
+        for col in base_cols:
+            K.gather(session, ctx.view[col], sel, col)
+    else:
+        raise PlanError(f"unknown scalar aggregation mode {op.mode!r}")
+    sub = {c: ctx.view[c][sel] for c in base_cols}
+    sub.update(ctx.carried)
+    result: Dict[str, Any] = {}
+    for agg in op.aggregates:
+        session.tracer.emit(Compute(n=k, op="add", simd=False))
+        if agg.func == "count":
+            result[agg.name] = k
+            continue
+        deltas = _agg_deltas(session, agg, sub, k, simd=False)
+        result[agg.name] = int(np.sum(deltas, dtype=np.int64))
+    return result
+
+
+def _scalar_value_mask(
+    session: Session, ctx: _Ctx, op: ScalarAgg
+) -> Dict[str, Any]:
+    """§III-A: unconditional sequential reads, masked accumulation."""
+    view = ctx.view
+    n = ctx.n
+    mask = ctx.get_mask()
+    mask_int = mask.astype(np.int64)
+    emit_seq_reads(
+        session,
+        view,
+        _base_cols(op.aggregates, view),
+        already_read=ctx.already_read,
+    )
+    result: Dict[str, Any] = {}
+    for agg in op.aggregates:
+        if agg.func == "count":
+            session.tracer.emit(Compute(n=n, op="add", simd=True))
+            result[agg.name] = int(mask.sum())
+            continue
+        emit_expr_compute(session, agg.expr, n, simd=True)
+        session.tracer.emit(Compute(n=n, op="mul", simd=True))  # masking
+        session.tracer.emit(Compute(n=n, op="add", simd=True))  # accumulate
+        values = np.asarray(agg.expr.evaluate(view), dtype=np.int64)
+        result[agg.name] = int(np.sum(values * mask_int, dtype=np.int64))
+    return result
+
+
+def _op_group_agg(
+    session: Session, ctx: _Ctx, op: GroupAgg
+) -> Dict[str, np.ndarray]:
+    if op.mode == PS.KEY_MASK:
+        return _group_key_mask(session, ctx, op)
+    if op.mode == PS.VALUE_MASK:
+        return _group_value_mask(session, ctx, op)
+    mask = ctx.get_mask()
+    k = int(mask.sum())
+    cols = sorted(
+        set(op.key.columns()) | set(_base_cols(op.aggregates, ctx.view))
+    )
+    if op.mode == PS.CONDITIONAL:
+        emit_cond_reads(session, ctx.view, cols, k)
+        sel = np.flatnonzero(mask)
+    elif op.mode == PS.GATHERED:
+        sel = _indices(session, ctx)
+        for col in cols:
+            K.gather(session, ctx.view[col], sel, col)
+    else:
+        raise PlanError(f"unknown grouped aggregation mode {op.mode!r}")
+    sub = {c: ctx.view[c][sel] for c in cols}
+    sub.update({name: vals for name, vals in ctx.carried.items()})
+    keys = np.asarray(op.key.evaluate(sub), dtype=np.int64)
+    table = HashTable(
+        expected_keys=max(op.expected_groups, 1),
+        num_aggs=len(op.aggregates),
+    )
+    _aggregate_into(
+        session, table, keys, op.aggregates, sub, k, simd=False
+    )
+    out_keys, aggs = table.items()
+    return grouped_result(out_keys, aggs)
+
+
+def _group_key_mask(
+    session: Session, ctx: _Ctx, op: GroupAgg
+) -> Dict[str, np.ndarray]:
+    """§III-B: blend non-qualifying keys into the throwaway entry."""
+    view = ctx.view
+    n = ctx.n
+    mask = ctx.get_mask()
+    emit_seq_reads(
+        session,
+        view,
+        sorted(op.key.columns()),
+        already_read=ctx.already_read,
+    )
+    emit_expr_compute(session, op.key, n, simd=True)
+    raw_keys = np.asarray(op.key.evaluate(view), dtype=np.int64)
+    keys = mask_keys(session, raw_keys, mask, op.key_name)
+    emit_seq_reads(
+        session,
+        view,
+        _base_cols(op.aggregates, view),
+        already_read=ctx.already_read,
+    )
+    # +1 expected key: the NULL_KEY throwaway slot.
+    table = HashTable(
+        expected_keys=op.expected_groups + 1,
+        num_aggs=len(op.aggregates),
+    )
+    _aggregate_into(
+        session, table, keys, op.aggregates, view, n, simd=True
+    )
+    out_keys, aggs = table.items()
+    keep = out_keys != NULL_KEY
+    return grouped_result(out_keys[keep], aggs[keep])
+
+
+def _group_value_mask(
+    session: Session, ctx: _Ctx, op: GroupAgg
+) -> Dict[str, np.ndarray]:
+    """§III-A grouped: real-key lookups, masked deltas, count column."""
+    view = ctx.view
+    n = ctx.n
+    mask = ctx.get_mask()
+    mask_int = mask.astype(np.int64)
+    emit_seq_reads(
+        session,
+        view,
+        sorted(op.key.columns()),
+        already_read=ctx.already_read,
+    )
+    emit_expr_compute(session, op.key, n, simd=True)
+    keys = np.asarray(op.key.evaluate(view), dtype=np.int64)
+    emit_seq_reads(
+        session,
+        view,
+        _base_cols(op.aggregates, view),
+        already_read=ctx.already_read,
+    )
+    naggs = len(op.aggregates)
+    table = HashTable(
+        expected_keys=max(op.expected_groups, 1), num_aggs=naggs + 1
+    )
+    slots = None
+    for i, agg in enumerate(op.aggregates):
+        if agg.func == "count":
+            session.tracer.emit(Compute(n=n, op="add", simd=True))
+            deltas = mask_int
+        else:
+            emit_expr_compute(session, agg.expr, n, simd=True)
+            session.tracer.emit(Compute(n=n, op="mul", simd=True))
+            deltas = (
+                np.asarray(agg.expr.evaluate(view), dtype=np.int64)
+                * mask_int
+            )
+        if slots is None:
+            K.ht_aggregate(session, table, keys, deltas, agg=i)
+            slots, _ = table.lookup(keys)
+        else:
+            K.ht_add_at(session, table, slots, i, deltas)
+    K.ht_add_at(session, table, slots, naggs, mask_int)
+    out_keys, aggs = table.items()
+    valid = aggs[:, naggs] > 0
+    return grouped_result(out_keys[valid], aggs[valid, :naggs])
+
+
+# ---------------------------------------------------------------------------
+# Pipeline / plan drivers
+# ---------------------------------------------------------------------------
+
+
+def _run_ops(
+    session: Session,
+    db: Database,
+    pipe: Pipeline,
+    state: Dict[str, Dict[str, Any]],
+    ctx: _Ctx,
+) -> Optional[Dict[str, Any]]:
+    result: Optional[Dict[str, Any]] = None
+    for op in pipe.ops:
+        if isinstance(op, FilterStage):
+            _op_filter(session, ctx, op)
+        elif isinstance(op, SemiHashBuild):
+            _op_semihash_build(session, ctx, op, state)
+        elif isinstance(op, GroupBuild):
+            _op_group_build(session, ctx, op, state)
+        elif isinstance(op, BitmapBuild):
+            _op_bitmap_build(session, ctx, op, state)
+        elif isinstance(op, HashSemiProbe):
+            _op_hash_semi_probe(session, ctx, op, state)
+        elif isinstance(op, BitmapSemiProbe):
+            _op_bitmap_semi_probe(session, ctx, op, state, db)
+        elif isinstance(op, ColumnMaterialize):
+            _op_column_materialize(session, ctx, op, state)
+        elif isinstance(op, IndexGather):
+            _op_index_gather(session, ctx, op, state, db)
+        elif isinstance(op, GroupJoinAgg):
+            result = _op_groupjoin_agg(session, ctx, op, state)
+        elif isinstance(op, ScalarAgg):
+            result = _op_scalar_agg(session, ctx, op)
+        elif isinstance(op, GroupAgg):
+            result = _op_group_agg(session, ctx, op)
+        else:
+            raise PlanError(f"cannot execute physical op {op!r}")
+    return result
+
+
+def run_pipeline(
+    session: Session,
+    db: Database,
+    pipe: Pipeline,
+    state: Dict[str, Dict[str, Any]],
+    view: Dict[str, np.ndarray],
+) -> Optional[Dict[str, Any]]:
+    """Run one pipeline over ``view``; returns the terminal op's result
+    (None for build pipelines)."""
+    if len(pipe.ops) == 1 and isinstance(pipe.ops[0], EagerAggregate):
+        # The eager kernels manage their own kernel/overlap scopes (they
+        # are also the morsel-splittable parallel path).
+        return eager_aggregation.groupjoin_pipeline(
+            session, db, pipe.ops[0].query
+        )
+    ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged))
+    with session.tracer.kernel(pipe.label), session.tracer.overlap():
+        return _run_ops(session, db, pipe, state, ctx)
+
+
+def run_partial(
+    session: Session,
+    db: Database,
+    pipe: Pipeline,
+    view: Dict[str, np.ndarray],
+) -> Optional[Dict[str, Any]]:
+    """Run a partitionable pipeline over one morsel's row-range view.
+
+    The morsel driver supplies its own kernel scope per morsel, so only
+    the overlap window is opened here (mirroring the hand-coded
+    strategies' parallel bodies).
+    """
+    ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged))
+    with session.tracer.overlap():
+        return _run_ops(session, db, pipe, {}, ctx)
+
+
+def execute_plan(
+    plan: PhysicalPlan, db: Database, session: Session
+) -> Dict[str, Any]:
+    """Run every pipeline in order; the last one produces the answer."""
+    if plan.interpreted:
+        for pipe in plan.pipelines:
+            K.interpreter_overhead(
+                session, db.table(pipe.table).num_rows, 2
+            )
+    state: Dict[str, Dict[str, Any]] = {}
+    result: Optional[Dict[str, Any]] = None
+    for pipe in plan.pipelines:
+        result = run_pipeline(
+            session, db, pipe, state, db.data(pipe.table)
+        )
+    if result is None:
+        raise PlanError("physical plan produced no result")
+    return result
+
+
+__all__ = ["execute_plan", "run_partial", "run_pipeline"]

@@ -155,19 +155,31 @@ def plan_query(
     return plan
 
 
-def _plan_scalar(
-    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
-) -> None:
-    plan.estimates = {
+# ---------------------------------------------------------------------------
+# Pass API: public per-decision choosers.
+#
+# Each takes (machine, inputs) and returns (choice, estimates) so callers
+# other than plan_query — notably the strategy-pass framework in
+# repro.plan.passes — can invoke one §III decision at a time against an
+# operator-tree node and record the candidate costs in its pass notes.
+# ---------------------------------------------------------------------------
+
+
+def choose_aggregation_scalar(
+    machine: MachineModel, inputs: cm.ModelInputs
+) -> Tuple[str, Dict[str, float]]:
+    """Scalar aggregation: hybrid pushdown vs value masking (§III-A)."""
+    estimates = {
         HYBRID: cm.hybrid_cost(machine, inputs),
         VALUE_MASKING: cm.value_masking_cost(machine, inputs),
     }
-    plan.aggregation = min(plan.estimates, key=plan.estimates.get)
+    return min(estimates, key=estimates.get), estimates
 
 
-def _plan_grouped(
-    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
-) -> None:
+def choose_aggregation_grouped(
+    machine: MachineModel, inputs: cm.ModelInputs
+) -> Tuple[str, Dict[str, float]]:
+    """Grouped aggregation: hybrid vs value masking vs key masking."""
     ht_bytes = cm.planned_ht_bytes(
         inputs.group_cardinality, num_aggs=inputs.num_aggs
     )
@@ -179,25 +191,43 @@ def _plan_grouped(
     vm_ht_bytes = cm.planned_ht_bytes(
         inputs.group_cardinality, num_aggs=inputs.num_aggs + 1
     )
-    plan.estimates = {
+    estimates = {
         HYBRID: cm.hybrid_cost(machine, inputs, ht_bytes),
         VALUE_MASKING: cm.value_masking_cost(machine, inputs, vm_ht_bytes),
         KEY_MASKING: cm.key_masking_cost(machine, inputs, ht_bytes),
     }
-    plan.aggregation = min(plan.estimates, key=plan.estimates.get)
+    return min(estimates, key=estimates.get), estimates
 
 
-def _plan_semijoin(
-    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
-) -> None:
-    # Positional bitmaps are "always better" (paper Fig. 2); the model
-    # only chooses the build flavour and the final aggregation mode.
-    unconditional = cm.bitmap_build_unconditional_cost(machine, inputs)
-    selective = cm.bitmap_build_selective_cost(machine, inputs)
-    plan.semijoin_build = (
-        BITMAP_MASK if unconditional <= selective else BITMAP_OFFSETS
+def choose_semijoin_build(
+    machine: MachineModel, inputs: cm.ModelInputs
+) -> Tuple[str, Dict[str, float]]:
+    """Positional-bitmap build flavour (§III-D): mask vs offsets."""
+    estimates = {
+        f"bitmap_build:{BITMAP_MASK}": cm.bitmap_build_unconditional_cost(
+            machine, inputs
+        ),
+        f"bitmap_build:{BITMAP_OFFSETS}": cm.bitmap_build_selective_cost(
+            machine, inputs
+        ),
+    }
+    choice = (
+        BITMAP_MASK
+        if estimates[f"bitmap_build:{BITMAP_MASK}"]
+        <= estimates[f"bitmap_build:{BITMAP_OFFSETS}"]
+        else BITMAP_OFFSETS
     )
-    combined = cm.ModelInputs(
+    return choice, estimates
+
+
+def semijoin_combined_inputs(inputs: cm.ModelInputs) -> cm.ModelInputs:
+    """Model inputs for the aggregation downstream of a semijoin.
+
+    The effective selectivity at the aggregation is the local predicate
+    selectivity times the fraction of probe rows whose FK survives the
+    build-side filter.
+    """
+    return cm.ModelInputs(
         num_rows=inputs.num_rows,
         selectivity=inputs.selectivity * inputs.join_match_fraction,
         pred_widths=inputs.pred_widths,
@@ -206,32 +236,67 @@ def _plan_semijoin(
         num_aggs=inputs.num_aggs,
         merged_widths=inputs.merged_widths,
     )
-    hybrid = cm.hybrid_cost(machine, combined)
-    masking = cm.value_masking_cost(machine, combined)
-    plan.estimates = {
-        f"bitmap_build:{BITMAP_MASK}": unconditional,
-        f"bitmap_build:{BITMAP_OFFSETS}": selective,
-        HYBRID: hybrid,
-        VALUE_MASKING: masking,
-    }
-    plan.aggregation = VALUE_MASKING if masking <= hybrid else HYBRID
 
 
-def _plan_groupjoin(
-    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
-) -> None:
+def choose_groupjoin_mode(
+    machine: MachineModel, inputs: cm.ModelInputs
+) -> Tuple[str, Dict[str, float]]:
+    """Groupjoin execution vs eager aggregation rewrite (§III-E)."""
     num_aggs = inputs.num_aggs + 1
     built_keys = max(
         int(inputs.build_rows * inputs.build_selectivity), 1
     )
     groupjoin_ht = cm.planned_ht_bytes(built_keys, num_aggs=num_aggs)
     eager_ht = cm.planned_ht_bytes(inputs.build_rows, num_aggs=num_aggs)
-    plan.estimates = {
+    estimates = {
         GROUPJOIN: cm.groupjoin_cost(machine, inputs, groupjoin_ht),
         EAGER: cm.eager_aggregation_cost(machine, inputs, eager_ht),
     }
-    plan.groupjoin_mode = (
-        EAGER if plan.estimates[EAGER] <= plan.estimates[GROUPJOIN] else GROUPJOIN
+    mode = EAGER if estimates[EAGER] <= estimates[GROUPJOIN] else GROUPJOIN
+    return mode, estimates
+
+
+def _plan_scalar(
+    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
+) -> None:
+    plan.aggregation, plan.estimates = choose_aggregation_scalar(
+        machine, inputs
+    )
+
+
+def _plan_grouped(
+    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
+) -> None:
+    plan.aggregation, plan.estimates = choose_aggregation_grouped(
+        machine, inputs
+    )
+
+
+def _plan_semijoin(
+    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
+) -> None:
+    # Positional bitmaps are "always better" (paper Fig. 2); the model
+    # only chooses the build flavour and the final aggregation mode.
+    plan.semijoin_build, build_estimates = choose_semijoin_build(
+        machine, inputs
+    )
+    combined = semijoin_combined_inputs(inputs)
+    _, agg_estimates = choose_aggregation_scalar(machine, combined)
+    plan.estimates = {**build_estimates, **agg_estimates}
+    # Downstream of a bitmap probe the masked path is preferred on ties:
+    # the probe already produced the mask value masking consumes.
+    plan.aggregation = (
+        VALUE_MASKING
+        if agg_estimates[VALUE_MASKING] <= agg_estimates[HYBRID]
+        else HYBRID
+    )
+
+
+def _plan_groupjoin(
+    plan: SwolePlan, machine: MachineModel, inputs: cm.ModelInputs
+) -> None:
+    plan.groupjoin_mode, plan.estimates = choose_groupjoin_mode(
+        machine, inputs
     )
 
 

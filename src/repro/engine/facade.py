@@ -163,10 +163,28 @@ class Engine:
         return compiled, was_hit, resolved, key
 
     def _compile(self, query, strategy: str) -> CompiledQuery:
+        from ..plan.ops import LogicalPlan
+
         if isinstance(query, str):
             from ..tpch import compile_tpch
 
-            return compile_tpch(query, strategy, self.db)
+            return compile_tpch(
+                query,
+                strategy,
+                self.db,
+                machine=self.machine,
+                registry=self.registry,
+            )
+        if isinstance(query, LogicalPlan):
+            from ..codegen.pipeline import compile_pipeline
+
+            return compile_pipeline(
+                query,
+                self.db,
+                strategy,
+                machine=self.machine,
+                registry=self.registry,
+            )
         if strategy == "swole":
             from ..core.swole import compile_swole
 
@@ -174,6 +192,23 @@ class Engine:
         from ..codegen.base import compile_query
 
         return compile_query(query, self.db, strategy)
+
+    def explain(self, query, strategy: str = "auto") -> str:
+        """The staged lowering pipeline's rendering of ``query``.
+
+        Shows the logical plan, every strategy pass with its cost-model
+        estimates, and the physical plan. Hand-coded programs (TPC-H
+        queries without an operator tree) have no staged rendering;
+        their emitted source is returned instead.
+        """
+        compiled = self.compile(query, strategy)
+        explain = compiled.notes.get("explain")
+        if explain is not None:
+            return explain
+        return (
+            f"// hand-coded {compiled.strategy} program for "
+            f"{compiled.name} (no staged lowering)\n" + compiled.source
+        )
 
     # -- execution -------------------------------------------------------
 

@@ -28,14 +28,29 @@ from .program import CompiledQuery
 
 
 def query_fingerprint(query) -> str:
-    """Stable fingerprint of a logical query or a hand-coded query name.
+    """Stable fingerprint of whatever the engine can compile.
 
-    Logical queries are frozen dataclass trees, so their ``repr`` is a
-    deterministic structural serialisation; hand-coded TPC-H programs
-    are addressed by name.
+    Everything that reaches the staged lowering pipeline fingerprints by
+    its operator tree (``ir:`` prefix), so two spellings of the same
+    tree share one cache entry: :class:`~repro.plan.ops.LogicalPlan`
+    objects directly, legacy :class:`~repro.plan.logical.Query` objects
+    via :func:`~repro.plan.ops.from_query`, and migrated TPC-H names via
+    their registered plan. Hand-coded TPC-H programs that have no tree
+    yet stay addressed by name (``tpch:`` prefix).
     """
+    from ..plan.logical import Query
+    from ..plan.ops import LogicalPlan, from_query, plan_fingerprint
+
     if isinstance(query, str):
+        from ..tpch.plans import PIPELINE_QUERIES, logical_plan
+
+        if query in PIPELINE_QUERIES:
+            return plan_fingerprint(logical_plan(query))
         return f"tpch:{query}"
+    if isinstance(query, LogicalPlan):
+        return plan_fingerprint(query)
+    if isinstance(query, Query):
+        return plan_fingerprint(from_query(query))
     digest = hashlib.sha256(repr(query).encode()).hexdigest()[:16]
     return f"query:{digest}"
 

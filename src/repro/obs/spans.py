@@ -9,6 +9,10 @@ stage vocabulary:
 stage                     measures
 ========================= ==============================================
 ``compile``               planning + code generation on a plan-cache miss
+``plan``                  validate + fingerprint (inside ``compile``,
+                          staged pipeline only)
+``optimize``              strategy pass pipeline (inside ``compile``)
+``lower``                 physical lowering (inside ``compile``)
 ``execute``               one engine execution, wall time
 ``morsel_execute``        the parallel morsel drain inside an execution
 ``merge``                 partial-state merge + finalize

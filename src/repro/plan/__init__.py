@@ -1,4 +1,15 @@
-"""Logical plans and expressions for the generic code-generation path."""
+"""Plan IR: expressions, legacy queries, operator trees, physical plans.
+
+Three layers, oldest first:
+
+* :mod:`~repro.plan.logical` — the legacy single-join :class:`Query`
+  dataclass (still the microbench vocabulary);
+* :mod:`~repro.plan.ops` — the composable logical operator tree
+  (:class:`LogicalPlan`), the input of the staged lowering pipeline;
+  :func:`from_query` converts legacy queries onto it;
+* :mod:`~repro.plan.passes` / :mod:`~repro.plan.physical` — the strategy
+  pass framework and the physical operator vocabulary it lowers to.
+"""
 
 from .expressions import (
     And,
@@ -6,12 +17,26 @@ from .expressions import (
     Col,
     Compare,
     Const,
+    DictEq,
+    DictPrefix,
     Expr,
+    InSet,
     Or,
     arith_ops,
     conjuncts,
 )
 from .logical import AggSpec, JoinSpec, Query, QueryStats, sample_stats
+from .ops import (
+    Filter,
+    GroupByAgg,
+    Join,
+    LogicalPlan,
+    Project,
+    Scan,
+    from_query,
+    plan_fingerprint,
+)
+from .physical import PhysicalPlan, Pipeline
 
 __all__ = [
     "AggSpec",
@@ -20,12 +45,25 @@ __all__ = [
     "Col",
     "Compare",
     "Const",
+    "DictEq",
+    "DictPrefix",
     "Expr",
+    "Filter",
+    "GroupByAgg",
+    "InSet",
+    "Join",
     "JoinSpec",
+    "LogicalPlan",
     "Or",
+    "PhysicalPlan",
+    "Pipeline",
+    "Project",
     "Query",
     "QueryStats",
+    "Scan",
     "arith_ops",
     "conjuncts",
+    "from_query",
+    "plan_fingerprint",
     "sample_stats",
 ]

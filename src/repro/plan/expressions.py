@@ -307,6 +307,86 @@ class Case(Expr):
         )
 
 
+@dataclass(frozen=True)
+class InSet(Expr):
+    """``child IN (v1, v2, ...)`` — an OR of equality comparisons.
+
+    Evaluated with one SIMD comparison per member (the
+    :func:`repro.engine.kernels.isin` cost convention).
+    """
+
+    child: Expr
+    values: Tuple[int, ...]
+
+    def __init__(self, child: Expr, values: Sequence[int]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(
+            self, "values", tuple(int(v) for v in values)
+        )
+
+    def columns(self) -> FrozenSet[str]:
+        return self.child.columns()
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        values = np.asarray(self.child.evaluate(data))
+        return np.isin(values, np.asarray(self.values, dtype=np.int64))
+
+    def to_c(self) -> str:
+        members = ", ".join(str(v) for v in self.values)
+        return f"in_set({self.child.to_c()}, {{{members}}})"
+
+
+@dataclass(frozen=True)
+class DictEq(Expr):
+    """``column = 'literal'`` over a dictionary-encoded string column.
+
+    A *placeholder* node: the logical plan stays database-independent,
+    and the binding pass resolves the literal to its dictionary code
+    (producing a plain :class:`Compare`) at compile time. Evaluating an
+    unbound node is an error.
+    """
+
+    column: str
+    value: str
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset([self.column])
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        raise PlanError(
+            f"dictionary literal {self.column} == {self.value!r} must be "
+            "bound to a code before evaluation (run the binding pass)"
+        )
+
+    def to_c(self) -> str:
+        return f"{self.column}[i] == dict({self.value!r})"
+
+
+@dataclass(frozen=True)
+class DictPrefix(Expr):
+    """``column LIKE 'prefix%'`` over a dictionary-encoded column.
+
+    Binds to an :class:`InSet` of every dictionary code whose decoded
+    text starts with ``prefix`` (the paper's Q14 ``PROMO%`` pattern
+    becomes a tiny code -> flag lookup table).
+    """
+
+    column: str
+    prefix: str
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset([self.column])
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        raise PlanError(
+            f"dictionary prefix {self.column} LIKE {self.prefix!r}% must "
+            "be bound to codes before evaluation (run the binding pass)"
+        )
+
+    def to_c(self) -> str:
+        return f"starts_with(dict[{self.column}[i]], {self.prefix!r})"
+
+
 def conjuncts(predicate: Union[Expr, None]) -> Tuple[Expr, ...]:
     """Split a predicate into top-level AND terms (one per prepass loop)."""
     if predicate is None:
@@ -340,6 +420,10 @@ def col_refs(expr: Union[Expr, None]) -> Tuple[str, ...]:
         for cond, value in expr.branches:
             result += col_refs(cond) + col_refs(value)
         return result + col_refs(expr.default)
+    if isinstance(expr, InSet):
+        return col_refs(expr.child)
+    if isinstance(expr, (DictEq, DictPrefix)):
+        return (expr.column,)
     raise PlanError(f"cannot walk expression {expr!r}")
 
 
@@ -361,4 +445,30 @@ def arith_ops(expr: Expr) -> Tuple[str, ...]:
         for ops in expr.branch_ops():
             result += ops
         return result + arith_ops(expr.default)
+    if isinstance(expr, InSet):
+        return arith_ops(expr.child)
     return ()
+
+
+def compare_count(expr: Expr) -> int:
+    """Number of elementwise comparisons one evaluation of ``expr`` costs.
+
+    An :class:`InSet` counts one comparison per member (the OR-of-
+    equalities form); unbound dictionary placeholders count one.
+    """
+    if isinstance(expr, Compare):
+        return 1 + compare_count(expr.left) + compare_count(expr.right)
+    if isinstance(expr, (And, Or)):
+        return sum(compare_count(term) for term in expr.terms)
+    if isinstance(expr, InSet):
+        return max(len(expr.values), 1) + compare_count(expr.child)
+    if isinstance(expr, (DictEq, DictPrefix)):
+        return 1
+    if isinstance(expr, Case):
+        return sum(
+            compare_count(cond) + compare_count(value)
+            for cond, value in expr.branches
+        ) + compare_count(expr.default)
+    if isinstance(expr, Arith):
+        return compare_count(expr.left) + compare_count(expr.right)
+    return 0

@@ -1,0 +1,756 @@
+"""Strategy passes over logical operator trees.
+
+Stage 2 of the staged lowering pipeline (logical plan -> **passes** ->
+physical plan -> kernel program). :func:`run_passes` takes a
+:class:`~repro.plan.ops.LogicalPlan` and returns
+
+* the *bound* plan — database-dependent placeholders (``DictEq``,
+  ``DictPrefix``) resolved to dictionary codes;
+* a :class:`Decisions` record the lowering stage consumes; and
+* an ordered list of :class:`PassNote` entries — every rewrite that was
+  applied, declined, or retained, with the cost-model estimates behind
+  each cost-guided choice. ``Engine.explain`` renders these verbatim.
+
+Pass ordering is fixed:
+
+1. **bind-dictionary-literals** (all strategies) — must run first so the
+   statistics passes can evaluate predicates on data samples;
+2. **pushdown** (interpreter/datacentric/hybrid) — the baseline
+   strategies keep every predicate at the scan, by construction;
+3. **bitmap-semijoin** (swole, §III-D) — per pure semijoin, choose the
+   positional-bitmap build flavour via the cost model;
+4. **groupjoin** (swole, §III-E) — eager-aggregation rewrite when the
+   cost model prefers it and the build side is a filtered scan;
+5. **aggregation** (swole, §III-A/B) — value/key masking vs the hybrid
+   fallback for the terminal aggregation;
+6. **access-merging** (swole, §III-C) — only meaningful under masked
+   aggregation, hence last.
+
+Cost-guided passes call the public ``choose_*`` helpers of
+:mod:`repro.core.planner`, so the pass framework and the legacy
+``plan_query`` planner can never disagree about a decision. A new
+technique registers here by appending a pass function to
+``_SWOLE_PASSES`` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import cost_models as cm
+from ..core import planner as P
+from ..engine.machine import MachineModel
+from ..errors import PlanError, StorageError
+from ..plan.expressions import (
+    And,
+    Arith,
+    Case,
+    Col,
+    Compare,
+    Const,
+    DictEq,
+    DictPrefix,
+    Expr,
+    InSet,
+    Or,
+    col_refs,
+)
+from ..storage.database import Database
+from .ops import (
+    Filter,
+    GroupByAgg,
+    Join,
+    LogicalPlan,
+    PlanNode,
+    Project,
+    Scan,
+    base_table,
+    is_groupjoin,
+    spine_filters,
+    spine_joins,
+    validate,
+)
+
+#: Aggregation lowering modes (physical vocabulary, per strategy).
+CONDITIONAL = "conditional"  # branch + conditional reads (datacentric)
+GATHERED = "gathered"  # selection vector + gathers (hybrid fallback)
+VALUE_MASK = "value_mask"  # §III-A
+KEY_MASK = "key_mask"  # §III-B
+
+#: Join lowering modes.
+HASH_JOIN = "hash"
+BITMAP_MASK = P.BITMAP_MASK
+BITMAP_OFFSETS = P.BITMAP_OFFSETS
+
+_SAMPLE_ROWS = 65536
+
+
+@dataclass(frozen=True)
+class PassNote:
+    """One pass outcome: applied / declined / retained, with estimates."""
+
+    pass_name: str
+    action: str
+    detail: str = ""
+    estimates: Tuple[Tuple[str, float], ...] = ()
+
+    def describe(self) -> str:
+        text = f"[{self.pass_name}] {self.action}"
+        if self.detail:
+            text += f" — {self.detail}"
+        if self.estimates:
+            costs = ", ".join(
+                f"{name}={value:.1f}" for name, value in self.estimates
+            )
+            text += f" (est cycles: {costs})"
+        return text
+
+
+@dataclass
+class Decisions:
+    """What the lowering stage needs to know, one field per dimension."""
+
+    agg_mode: str = CONDITIONAL
+    merged_columns: Tuple[str, ...] = ()
+    join_modes: Dict[Join, str] = field(default_factory=dict)
+    groupjoin_mode: Optional[str] = None  # P.GROUPJOIN | P.EAGER | None
+    group_cardinality: int = 1
+
+    def describe(self) -> str:
+        parts = [f"aggregation={self.agg_mode}"]
+        if self.merged_columns:
+            parts.append(f"access_merging={list(self.merged_columns)}")
+        for join, mode in self.join_modes.items():
+            parts.append(f"join({join.fk_column})={mode}")
+        if self.groupjoin_mode is not None:
+            parts.append(f"groupjoin={self.groupjoin_mode}")
+        return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: bind dictionary literals
+# ---------------------------------------------------------------------------
+
+
+def _bind_expr(
+    expr: Expr, table: str, db: Database, notes: List[PassNote]
+) -> Expr:
+    if isinstance(expr, DictEq):
+        column = db.table(table).column(expr.column)
+        try:
+            code = column.code_for(expr.value)
+        except StorageError:
+            notes.append(
+                PassNote(
+                    "bind-dictionary-literals",
+                    "folded",
+                    f"{expr.column} == {expr.value!r}: not in dictionary, "
+                    "always false",
+                )
+            )
+            return InSet(Col(expr.column), ())
+        notes.append(
+            PassNote(
+                "bind-dictionary-literals",
+                "bound",
+                f"{expr.column} == {expr.value!r} -> code {code}",
+            )
+        )
+        return Compare(Col(expr.column), "==", Const(code))
+    if isinstance(expr, DictPrefix):
+        column = db.table(table).column(expr.column)
+        if column.dictionary is None:
+            raise PlanError(
+                f"column {expr.column!r} has no dictionary to prefix-match"
+            )
+        codes = tuple(
+            code
+            for code, text in enumerate(column.dictionary)
+            if text.startswith(expr.prefix)
+        )
+        notes.append(
+            PassNote(
+                "bind-dictionary-literals",
+                "bound",
+                f"{expr.column} LIKE {expr.prefix!r}% -> {len(codes)} of "
+                f"{len(column.dictionary)} codes",
+            )
+        )
+        return InSet(Col(expr.column), codes)
+    if isinstance(expr, Compare):
+        return Compare(
+            _bind_expr(expr.left, table, db, notes),
+            expr.op,
+            _bind_expr(expr.right, table, db, notes),
+        )
+    if isinstance(expr, Arith):
+        return Arith(
+            expr.op,
+            _bind_expr(expr.left, table, db, notes),
+            _bind_expr(expr.right, table, db, notes),
+        )
+    if isinstance(expr, And):
+        return And([_bind_expr(t, table, db, notes) for t in expr.terms])
+    if isinstance(expr, Or):
+        return Or([_bind_expr(t, table, db, notes) for t in expr.terms])
+    if isinstance(expr, Case):
+        return Case(
+            [
+                (
+                    _bind_expr(cond, table, db, notes),
+                    _bind_expr(value, table, db, notes),
+                )
+                for cond, value in expr.branches
+            ],
+            _bind_expr(expr.default, table, db, notes),
+        )
+    if isinstance(expr, InSet):
+        return InSet(_bind_expr(expr.child, table, db, notes), expr.values)
+    return expr
+
+
+def _bind_node(
+    node: PlanNode, db: Database, notes: List[PassNote]
+) -> PlanNode:
+    if isinstance(node, Scan):
+        return node
+    if isinstance(node, Filter):
+        child = _bind_node(node.child, db, notes)
+        table = base_table(child)
+        return Filter(child, _bind_expr(node.predicate, table, db, notes))
+    if isinstance(node, Project):
+        child = _bind_node(node.child, db, notes)
+        table = base_table(child)
+        return Project(
+            child,
+            [
+                (name, _bind_expr(expr, table, db, notes))
+                for name, expr in node.outputs
+            ],
+        )
+    if isinstance(node, Join):
+        return replace(
+            node,
+            probe=_bind_node(node.probe, db, notes),
+            build=_bind_node(node.build, db, notes),
+        )
+    if isinstance(node, GroupByAgg):
+        child = _bind_node(node.child, db, notes)
+        table = base_table(child)
+        aggregates = tuple(
+            replace(agg, expr=_bind_expr(agg.expr, table, db, notes))
+            if agg.expr is not None
+            else agg
+            for agg in node.aggregates
+        )
+        key = (
+            _bind_expr(node.key, table, db, notes)
+            if node.key is not None
+            else None
+        )
+        return GroupByAgg(
+            child=child,
+            aggregates=aggregates,
+            key=key,
+            key_name=node.key_name,
+        )
+    raise PlanError(f"unknown plan node {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Statistics over the tree (prefix samples, like plan.logical.sample_stats)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpineStats:
+    """Sampled statistics for one probe spine (a pipeline-to-be)."""
+
+    table: str
+    num_rows: int
+    local_selectivity: float  # spine filters only
+    match_fraction: float  # product of semijoin survival fractions
+
+    @property
+    def survival(self) -> float:
+        """Fraction of scanned rows that reach the spine's consumer."""
+        return self.local_selectivity * self.match_fraction
+
+
+def _sample(db: Database, table: str) -> Dict[str, np.ndarray]:
+    data = db.data(table)
+    return {name: values[:_SAMPLE_ROWS] for name, values in data.items()}
+
+
+def _local_selectivity(node: PlanNode, db: Database) -> float:
+    """Selectivity of the spine's filters over a base-table prefix sample.
+
+    Conjuncts referencing columns the base table does not have (carried
+    or projected columns) contribute 1.0 — the join-match fraction
+    accounts for those rows separately.
+    """
+    table = base_table(node)
+    sample = _sample(db, table)
+    if not sample or not next(iter(sample.values())).shape[0]:
+        return 1.0
+    selectivity = 1.0
+    for term in spine_filters(node):
+        if not term.columns() <= set(sample):
+            continue
+        selectivity *= float(
+            np.asarray(term.evaluate(sample), dtype=bool).mean()
+        )
+    return selectivity
+
+
+def spine_stats(node: PlanNode, db: Database) -> SpineStats:
+    """Sampled statistics for a subtree's probe spine.
+
+    The match fraction of a semijoin is the build side's *survival*
+    fraction: with uniform FK references (true of all generated data),
+    the probability a probe row's FK hits a surviving build row equals
+    the fraction of build rows that survive.
+    """
+    table = base_table(node)
+    num_rows = db.table(table).num_rows
+    match = 1.0
+    for join in spine_joins(node):
+        match *= spine_stats(join.build, db).survival
+    return SpineStats(
+        table=table,
+        num_rows=num_rows,
+        local_selectivity=_local_selectivity(node, db),
+        match_fraction=match,
+    )
+
+
+def _width_of(db: Database, table: str, column: str) -> int:
+    """Physical byte width; derived (carried/projected) columns are 8."""
+    table_obj = db.table(table)
+    if column in table_obj:
+        return int(table_obj[column].dtype.itemsize)
+    return 8
+
+
+def _group_cardinality(
+    root: GroupByAgg, db: Database, table: str
+) -> int:
+    if root.key is None:
+        return 1
+    sample = _sample(db, table)
+    if not root.key.columns() <= set(sample):
+        return 1
+    take = int(next(iter(sample.values())).shape[0])
+    if not take:
+        return 1
+    keys = np.asarray(root.key.evaluate(sample))
+    cardinality = int(np.unique(keys).shape[0])
+    num_rows = db.table(table).num_rows
+    if take < num_rows:
+        # Prefix samples under-count distinct values; extrapolate with
+        # the standard birthday-style estimator (cf. sample_stats).
+        if cardinality / take > 0.95:
+            cardinality = int(cardinality * num_rows / take)
+    return max(cardinality, 1)
+
+
+def _root_model_inputs(
+    root: GroupByAgg, db: Database, stats: SpineStats
+) -> cm.ModelInputs:
+    """Model inputs for the terminal aggregation decision."""
+    table = stats.table
+    pred_widths = tuple(
+        _width_of(db, table, name)
+        for conj in spine_filters(root.child)
+        for name in sorted(conj.columns())
+    )
+    agg_widths = tuple(
+        _width_of(db, table, name)
+        for agg in root.aggregates
+        if agg.expr is not None
+        for name in col_refs(agg.expr)
+    )
+    agg_ops: Tuple[str, ...] = ()
+    for agg in root.aggregates:
+        if agg.expr is not None:
+            from .expressions import arith_ops
+
+            agg_ops += arith_ops(agg.expr)
+    merged = merged_columns(root)
+    merged_widths = tuple(_width_of(db, table, name) for name in merged)
+    key_cols = tuple(sorted(root.key.columns())) if root.key else ()
+    group_width = max(
+        (_width_of(db, table, name) for name in key_cols), default=8
+    )
+    return cm.ModelInputs(
+        num_rows=stats.num_rows,
+        # Combined selectivity: the masked/conditional aggregation sees
+        # rows surviving both local filters and upstream semijoins
+        # (mirrors planner.semijoin_combined_inputs).
+        selectivity=stats.survival,
+        pred_widths=pred_widths,
+        agg_widths=agg_widths,
+        agg_ops=agg_ops,
+        num_aggs=len(root.aggregates),
+        group_width=group_width,
+        group_cardinality=_group_cardinality(root, db, table),
+        merged_widths=merged_widths,
+    )
+
+
+def merged_columns(root: GroupByAgg) -> Tuple[str, ...]:
+    """Columns read by both the spine filters and an aggregate (§III-C)."""
+    pred_cols = set()
+    for term in spine_filters(root.child):
+        pred_cols |= term.columns()
+    agg_cols = set()
+    for agg in root.aggregates:
+        if agg.expr is not None:
+            agg_cols |= agg.expr.columns()
+    return tuple(sorted(pred_cols & agg_cols))
+
+
+# ---------------------------------------------------------------------------
+# Strategy passes
+# ---------------------------------------------------------------------------
+
+
+def _build_is_filtered_scan(node: PlanNode) -> bool:
+    """Eager aggregation precondition: build side is Filter*(Scan)."""
+    while isinstance(node, Filter):
+        node = node.child
+    return isinstance(node, Scan)
+
+
+def all_joins(node: PlanNode) -> Tuple[Join, ...]:
+    """Every join in a subtree, build-nested joins before their owner."""
+    found: List[Join] = []
+    for join in spine_joins(node):
+        found.extend(all_joins(join.build))
+        found.append(join)
+    return tuple(found)
+
+
+def _pass_bitmap_semijoins(
+    root: GroupByAgg,
+    db: Database,
+    machine: MachineModel,
+    decisions: Decisions,
+    notes: List[PassNote],
+) -> None:
+    """§III-D: replace hash semijoins with positional bitmaps.
+
+    Visits *every* join in the tree — including ones on build-side
+    spines (Q3's customer semijoin feeds the orders build pipeline) —
+    not just the probe spine.
+    """
+    joins = spine_joins(root.child)
+    groupjoin_target = (
+        joins[-1] if joins and is_groupjoin(root) else None
+    )
+    for join in all_joins(root.child):
+        if join is groupjoin_target or not join.is_semijoin:
+            continue
+        probe_table = base_table(join.probe)
+        if not db.has_fk_index(probe_table, join.fk_column):
+            notes.append(
+                PassNote(
+                    "bitmap-semijoin",
+                    "declined",
+                    f"no FK index on {probe_table}.{join.fk_column}",
+                )
+            )
+            continue
+        build = spine_stats(join.build, db)
+        inputs = cm.ModelInputs(
+            num_rows=db.table(probe_table).num_rows,
+            selectivity=1.0,
+            build_rows=build.num_rows,
+            build_selectivity=build.survival,
+            build_pred_widths=tuple(
+                _width_of(db, build.table, name)
+                for conj in spine_filters(join.build)
+                for name in sorted(conj.columns())
+            ),
+        )
+        mode, estimates = P.choose_semijoin_build(machine, inputs)
+        decisions.join_modes[join] = mode
+        notes.append(
+            PassNote(
+                "bitmap-semijoin",
+                "applied",
+                f"{probe_table}.{join.fk_column} semijoin -> positional "
+                f"bitmap, {mode} build",
+                estimates=tuple(sorted(estimates.items())),
+            )
+        )
+
+
+def _pass_groupjoin(
+    root: GroupByAgg,
+    db: Database,
+    machine: MachineModel,
+    decisions: Decisions,
+    notes: List[PassNote],
+) -> None:
+    """§III-E: eager-aggregation rewrite of the terminal groupjoin."""
+    if not is_groupjoin(root):
+        return
+    joins = spine_joins(root.child)
+    target = joins[-1]
+    probe = spine_stats(root.child, db)
+    build = spine_stats(target.build, db)
+    if not _build_is_filtered_scan(target.build):
+        decisions.groupjoin_mode = P.GROUPJOIN
+        notes.append(
+            PassNote(
+                "eager-aggregation",
+                "declined",
+                "build side is not a filtered scan; keeping the "
+                "hash groupjoin",
+            )
+        )
+        return
+    table = probe.table
+    inputs = cm.ModelInputs(
+        num_rows=probe.num_rows,
+        selectivity=probe.local_selectivity,
+        pred_widths=tuple(
+            _width_of(db, table, name)
+            for conj in spine_filters(root.child)
+            for name in sorted(conj.columns())
+        ),
+        agg_widths=tuple(
+            _width_of(db, table, name)
+            for agg in root.aggregates
+            if agg.expr is not None
+            for name in col_refs(agg.expr)
+        ),
+        agg_ops=_root_model_inputs(root, db, probe).agg_ops,
+        num_aggs=len(root.aggregates),
+        build_rows=build.num_rows,
+        build_selectivity=build.local_selectivity,
+        build_pred_widths=tuple(
+            _width_of(db, build.table, name)
+            for conj in spine_filters(target.build)
+            for name in sorted(conj.columns())
+        ),
+        pk_width=_width_of(db, build.table, target.pk_column),
+        fk_width=_width_of(db, table, target.fk_column),
+        join_match_fraction=build.local_selectivity,
+    )
+    mode, estimates = P.choose_groupjoin_mode(machine, inputs)
+    decisions.groupjoin_mode = mode
+    action = "applied" if mode == P.EAGER else "declined"
+    detail = (
+        "aggregate before the join, delete-cleanup after"
+        if mode == P.EAGER
+        else "hash groupjoin is cheaper on these statistics"
+    )
+    notes.append(
+        PassNote(
+            "eager-aggregation",
+            action,
+            detail,
+            estimates=tuple(sorted(estimates.items())),
+        )
+    )
+
+
+def _pass_aggregation(
+    root: GroupByAgg,
+    db: Database,
+    machine: MachineModel,
+    decisions: Decisions,
+    notes: List[PassNote],
+) -> None:
+    """§III-A/§III-B: masked aggregation vs the hybrid fallback."""
+    if decisions.groupjoin_mode is not None:
+        # The groupjoin pass owns the terminal aggregation; the probe
+        # adds into the build-side hash table either way.
+        decisions.agg_mode = GATHERED
+        return
+    stats = spine_stats(root.child, db)
+    inputs = _root_model_inputs(root, db, stats)
+    decisions.group_cardinality = inputs.group_cardinality
+    carried = _carried_columns(root)
+    if root.key is None:
+        choice, estimates = P.choose_aggregation_scalar(machine, inputs)
+    else:
+        choice, estimates = P.choose_aggregation_grouped(machine, inputs)
+    mode = {
+        P.HYBRID: GATHERED,
+        P.VALUE_MASKING: VALUE_MASK,
+        P.KEY_MASKING: KEY_MASK,
+    }[choice]
+    if mode == VALUE_MASK and carried:
+        # Carried columns only exist for index-matched rows; masked
+        # (unconditional) evaluation would read values that were never
+        # gathered. Fall back to the selective path.
+        notes.append(
+            PassNote(
+                "aggregation",
+                "declined",
+                f"value masking needs full columns, but {list(carried)} "
+                "are index-carried; falling back to gathered",
+                estimates=tuple(sorted(estimates.items())),
+            )
+        )
+        decisions.agg_mode = GATHERED
+        return
+    decisions.agg_mode = mode
+    action = "retained" if mode == GATHERED else "applied"
+    detail = {
+        GATHERED: "hybrid pushdown aggregation is cheapest",
+        VALUE_MASK: "evaluate unconditionally, mask non-qualifying rows",
+        KEY_MASK: "blend non-qualifying keys to the throwaway slot",
+    }[mode]
+    notes.append(
+        PassNote(
+            "aggregation",
+            action,
+            detail,
+            estimates=tuple(sorted(estimates.items())),
+        )
+    )
+
+
+def _carried_columns(root: GroupByAgg) -> Tuple[str, ...]:
+    carried = set()
+    for join in spine_joins(root.child):
+        carried |= set(join.carry)
+    used = set()
+    for agg in root.aggregates:
+        if agg.expr is not None:
+            used |= agg.expr.columns()
+    return tuple(sorted(carried & used))
+
+
+def _pass_access_merging(
+    root: GroupByAgg,
+    db: Database,
+    machine: MachineModel,
+    decisions: Decisions,
+    notes: List[PassNote],
+) -> None:
+    """§III-C: share reads between the prepass and the aggregation."""
+    if decisions.agg_mode not in (VALUE_MASK, KEY_MASK):
+        return
+    merged = merged_columns(root)
+    if not merged:
+        return
+    decisions.merged_columns = merged
+    notes.append(
+        PassNote(
+            "access-merging",
+            "applied",
+            f"columns {list(merged)} read once for predicate and "
+            "aggregate ('always better')",
+        )
+    )
+
+
+#: Swole pass pipeline, in order. A new §III technique lands by
+#: appending its pass function here (see DESIGN.md for the contract).
+_SWOLE_PASSES = (
+    _pass_bitmap_semijoins,
+    _pass_groupjoin,
+    _pass_aggregation,
+    _pass_access_merging,
+)
+
+
+def run_passes(
+    plan: LogicalPlan,
+    db: Database,
+    machine: MachineModel,
+    strategy: str,
+) -> Tuple[LogicalPlan, Decisions, List[PassNote]]:
+    """Run the strategy's pass pipeline over ``plan``.
+
+    Returns the bound plan, the lowering decisions, and the pass notes.
+    """
+    validate(plan)
+    notes: List[PassNote] = []
+    bound_root = _bind_node(plan.root, db, notes)
+    bound = LogicalPlan(name=plan.name, root=bound_root)
+    validate(bound)
+    root = bound.root
+    assert isinstance(root, GroupByAgg)
+
+    decisions = Decisions()
+    decisions.join_modes = {
+        join: HASH_JOIN for join in spine_joins(root.child)
+    }
+    decisions.group_cardinality = _group_cardinality(
+        root, db, base_table(root.child)
+    )
+    if is_groupjoin(root):
+        decisions.groupjoin_mode = P.GROUPJOIN
+
+    if strategy in ("interpreter", "datacentric"):
+        decisions.agg_mode = CONDITIONAL
+        notes.append(
+            PassNote(
+                "pushdown",
+                "retained",
+                "predicates stay at the scan; tuple-at-a-time branches "
+                "(HyPer-style)"
+                + (
+                    " under a Volcano interpreter"
+                    if strategy == "interpreter"
+                    else ""
+                ),
+            )
+        )
+    elif strategy == "hybrid":
+        decisions.agg_mode = GATHERED
+        notes.append(
+            PassNote(
+                "pushdown",
+                "retained",
+                "vectorized prepass + selection vectors at the scan "
+                "(Tupleware-style)",
+            )
+        )
+    elif strategy == "swole":
+        for pass_fn in _SWOLE_PASSES:
+            pass_fn(root, db, machine, decisions, notes)
+    else:
+        raise PlanError(f"unknown strategy {strategy!r}")
+    return bound, decisions, notes
+
+
+def spine_tables(plan: LogicalPlan) -> Tuple[str, ...]:
+    """Base tables of every pipeline the plan will lower to, probe last."""
+    tables: List[str] = []
+
+    def walk(node: PlanNode) -> None:
+        for join in spine_joins(node):
+            walk(join.build)
+        tables.append(base_table(node))
+
+    root = plan.root
+    walk(root.child if isinstance(root, GroupByAgg) else root)
+    return tuple(tables)
+
+
+__all__ = [
+    "CONDITIONAL",
+    "GATHERED",
+    "VALUE_MASK",
+    "KEY_MASK",
+    "HASH_JOIN",
+    "BITMAP_MASK",
+    "BITMAP_OFFSETS",
+    "Decisions",
+    "PassNote",
+    "SpineStats",
+    "merged_columns",
+    "run_passes",
+    "spine_stats",
+    "spine_tables",
+]

@@ -1,0 +1,316 @@
+"""Physical plans — stage 3 of the staged lowering pipeline.
+
+A :class:`PhysicalPlan` is a strategy-specific, executable shape:
+an ordered list of :class:`Pipeline` objects (build pipelines first,
+the probe pipeline last), each a sequence of physical operators over
+one base table's column stream. The lowering stage
+(:mod:`repro.codegen.lower`) produces it from a bound logical plan
+plus the pass :class:`~repro.plan.passes.Decisions`; the executor
+(:mod:`repro.codegen.physexec`) interprets it into kernel calls that
+do the real NumPy work and emit the priced access events.
+
+The operator vocabulary is deliberately small — exactly the shapes the
+paper's strategies generate:
+
+========================  =================================================
+operator                  lowers from
+========================  =================================================
+:class:`FilterStage`      Filter (branching or SIMD-prepass form)
+:class:`SemiHashBuild`    semijoin build side (hash set of keys)
+:class:`GroupBuild`       groupjoin build side (keys + aggregate slots)
+:class:`BitmapBuild`      semijoin build side under §III-D
+:class:`HashSemiProbe`    semijoin probe against a hash set
+:class:`BitmapSemiProbe`  semijoin probe against a positional bitmap
+:class:`ColumnMaterialize` build-side Project (full-length derived column)
+:class:`IndexGather`      index join carrying build columns via FK index
+:class:`GroupJoinAgg`     groupjoin probe adding straight into the build HT
+:class:`ScalarAgg`        terminal scalar aggregation (per agg-mode)
+:class:`GroupAgg`         terminal grouped aggregation (per agg-mode)
+:class:`EagerAggregate`   groupjoin rewritten per §III-E (aggregate early,
+                          delete-cleanup after)
+========================  =================================================
+
+``access`` distinguishes tuple-at-a-time branching code (datacentric /
+interpreter) from selection-vector code (hybrid / swole); the masked
+aggregation modes come from :mod:`repro.plan.passes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .expressions import Expr, compare_count
+from .logical import AggSpec, Query
+
+#: Access styles for non-terminal operators.
+BRANCH = "branch"  # tuple-at-a-time, conditional reads, branch events
+VECTOR = "vector"  # selection vectors + gathers
+
+
+class PhysicalOp:
+    """Base class of physical operators; ``describe`` feeds explain."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+def _aggs_text(aggregates: Tuple[AggSpec, ...]) -> str:
+    return ", ".join(
+        f"{a.name}={a.func}"
+        + (f"({a.expr.to_c()})" if a.expr is not None else "(*)")
+        for a in aggregates
+    )
+
+
+@dataclass(frozen=True)
+class FilterStage(PhysicalOp):
+    """Predicate evaluation over the pipeline's stream.
+
+    ``mode == "branch"``: short-circuit conjuncts, conditional reads and
+    a branch per conjunct (the data-centric form). ``mode == "prepass"``:
+    SIMD evaluation of every conjunct over the whole column, ANDed into
+    a 0/1 mask (the hybrid/SWOLE form).
+    """
+
+    conjuncts: Tuple[Expr, ...]
+    mode: str  # "branch" | "prepass"
+
+    def describe(self) -> str:
+        n_cmps = sum(max(compare_count(c), 1) for c in self.conjuncts)
+        preds = " AND ".join(c.to_c() for c in self.conjuncts)
+        return (
+            f"Filter[{self.mode}] {preds} "
+            f"({len(self.conjuncts)} conjuncts, {n_cmps} compares)"
+        )
+
+
+@dataclass(frozen=True)
+class SemiHashBuild(PhysicalOp):
+    """Terminal build op: hash set of surviving keys (semijoin)."""
+
+    state: str
+    key_column: str
+    access: str = VECTOR
+
+    def describe(self) -> str:
+        return (
+            f"SemiHashBuild[{self.access}] keys={self.key_column} "
+            f"-> ht[{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class GroupBuild(PhysicalOp):
+    """Terminal build op: keys plus aggregate slots (hash groupjoin)."""
+
+    state: str
+    key_column: str
+    num_aggs: int
+    access: str = VECTOR
+
+    def describe(self) -> str:
+        return (
+            f"GroupBuild[{self.access}] keys={self.key_column} "
+            f"aggs={self.num_aggs}+count -> ht[{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class BitmapBuild(PhysicalOp):
+    """Terminal build op: positional bitmap over build-row offsets."""
+
+    state: str
+    mode: str  # "mask" (unconditional write) | "offsets" (selective set)
+
+    def describe(self) -> str:
+        return f"BitmapBuild[{self.mode}] -> bitmap[{self.state}]"
+
+
+@dataclass(frozen=True)
+class HashSemiProbe(PhysicalOp):
+    """Narrow the stream to rows whose FK hits the build hash set."""
+
+    state: str
+    fk_column: str
+    access: str = VECTOR
+
+    def describe(self) -> str:
+        return (
+            f"HashSemiProbe[{self.access}] {self.fk_column} "
+            f"in ht[{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class BitmapSemiProbe(PhysicalOp):
+    """Narrow the stream by testing bits at FK-index offsets (§III-D)."""
+
+    state: str
+    fk_column: str
+
+    def describe(self) -> str:
+        return (
+            f"BitmapSemiProbe {self.fk_column} via fkindex "
+            f"-> bitmap[{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class ColumnMaterialize(PhysicalOp):
+    """Evaluate a derived column over the whole table into state.
+
+    Build-side Projects lower to this (Q14's dictionary-driven ``promo``
+    flag); probe pipelines later gather it through the FK index.
+    """
+
+    state: str
+    column: str
+    expr: Expr
+    lut_entries: int = 0  # dictionary size when the expr is a dict probe
+
+    def describe(self) -> str:
+        text = f"ColumnMaterialize {self.column} = {self.expr.to_c()}"
+        if self.lut_entries:
+            text += f" (LUT over {self.lut_entries} codes)"
+        return text + f" -> {self.state}.{self.column}"
+
+
+@dataclass(frozen=True)
+class IndexGather(PhysicalOp):
+    """Pull carried build columns into the stream via the FK index."""
+
+    state: str
+    fk_column: str
+    columns: Tuple[str, ...]
+    access: str = VECTOR
+
+    def describe(self) -> str:
+        return (
+            f"IndexGather[{self.access}] {list(self.columns)} "
+            f"via fkindex({self.fk_column}) from {self.state}"
+        )
+
+
+@dataclass(frozen=True)
+class GroupJoinAgg(PhysicalOp):
+    """Groupjoin probe: look up the FK, add deltas into the build HT."""
+
+    state: str
+    fk_column: str
+    aggregates: Tuple[AggSpec, ...]
+    access: str = VECTOR
+
+    def describe(self) -> str:
+        return (
+            f"GroupJoinAgg[{self.access}] key={self.fk_column} "
+            f"into ht[{self.state}] aggs=[{_aggs_text(self.aggregates)}]"
+        )
+
+
+@dataclass(frozen=True)
+class ScalarAgg(PhysicalOp):
+    """Terminal scalar aggregation under one of the agg modes."""
+
+    aggregates: Tuple[AggSpec, ...]
+    mode: str  # conditional | gathered | value_mask
+
+    def describe(self) -> str:
+        return f"ScalarAgg[{self.mode}] [{_aggs_text(self.aggregates)}]"
+
+
+@dataclass(frozen=True)
+class GroupAgg(PhysicalOp):
+    """Terminal grouped aggregation under one of the agg modes."""
+
+    key: Expr
+    key_name: str
+    aggregates: Tuple[AggSpec, ...]
+    mode: str  # conditional | gathered | value_mask | key_mask
+    expected_groups: int = 1
+
+    def describe(self) -> str:
+        return (
+            f"GroupAgg[{self.mode}] key[{self.key_name}]={self.key.to_c()} "
+            f"(~{self.expected_groups} groups) "
+            f"[{_aggs_text(self.aggregates)}]"
+        )
+
+
+@dataclass(frozen=True)
+class EagerAggregate(PhysicalOp):
+    """§III-E rewrite: unconditional FK-grouped aggregation of the probe
+    table, then a build-side cleanup scan deleting non-qualifying keys.
+
+    Carries the equivalent single-join :class:`Query` so execution can
+    reuse the morsel-splittable kernels in
+    :mod:`repro.core.eager_aggregation`.
+    """
+
+    query: Query
+
+    def describe(self) -> str:
+        join = self.query.join
+        return (
+            f"EagerAggregate key={join.fk_column} "
+            f"(cleanup scan over {join.build_table})"
+        )
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """One fused loop over one base table's columns."""
+
+    label: str
+    table: str
+    ops: Tuple[PhysicalOp, ...]
+    merged: Tuple[str, ...] = ()  # §III-C: columns read once, shared
+
+    def describe(self) -> str:
+        lines = [f"pipeline {self.label!r} over {self.table}:"]
+        if self.merged:
+            lines.append(f"  merged reads: {list(self.merged)}")
+        for op in self.ops:
+            lines.append(f"  {op.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """Executable plan: build pipelines first, the probe pipeline last."""
+
+    strategy: str
+    pipelines: Tuple[Pipeline, ...]
+    interpreted: bool = False
+    notes: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        head = f"PhysicalPlan[{self.strategy}]"
+        if self.interpreted:
+            head += " (Volcano per-tuple dispatch on every scan)"
+        lines = [head]
+        for pipe in self.pipelines:
+            for line in pipe.describe().splitlines():
+                lines.append("  " + line)
+        return "\n".join(lines)
+
+
+__all__ = [
+    "BRANCH",
+    "VECTOR",
+    "BitmapBuild",
+    "BitmapSemiProbe",
+    "ColumnMaterialize",
+    "EagerAggregate",
+    "FilterStage",
+    "GroupAgg",
+    "GroupBuild",
+    "GroupJoinAgg",
+    "HashSemiProbe",
+    "IndexGather",
+    "PhysicalOp",
+    "PhysicalPlan",
+    "Pipeline",
+    "ScalarAgg",
+    "SemiHashBuild",
+]

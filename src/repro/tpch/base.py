@@ -39,8 +39,52 @@ def query_names() -> List[str]:
     return sorted(QUERY_MODULES, key=lambda name: int(name[1:]))
 
 
-def compile_tpch(name: str, strategy: str, db: Database) -> CompiledQuery:
-    """Compile TPC-H query ``name`` under ``strategy`` against ``db``."""
+def compile_tpch(
+    name: str,
+    strategy: str,
+    db: Database,
+    machine=None,
+    registry=None,
+) -> CompiledQuery:
+    """Compile TPC-H query ``name`` under ``strategy`` against ``db``.
+
+    Queries with a logical operator tree (:data:`~repro.tpch.plans.
+    PIPELINE_QUERIES`) go through the generic staged lowering pipeline;
+    the rest still use their hand-coded strategy modules. ``machine``
+    and ``registry`` only affect the pipeline path (cost-model decisions
+    and compile-stage spans).
+    """
+    try:
+        module = QUERY_MODULES[name]
+    except KeyError as exc:
+        raise CodegenError(
+            f"unknown TPC-H query {name!r}; have {query_names()}"
+        ) from exc
+    if strategy not in STRATEGIES:
+        raise CodegenError(
+            f"unknown strategy {strategy!r}; have {list(STRATEGIES)}"
+        )
+    from . import plans
+    if name in plans.PIPELINE_QUERIES:
+        from ..codegen.pipeline import compile_pipeline
+
+        return compile_pipeline(
+            plans.logical_plan(name),
+            db,
+            strategy,
+            machine=machine,
+            registry=registry,
+        )
+    return oracle_tpch(name, strategy, db)
+
+
+def oracle_tpch(name: str, strategy: str, db: Database) -> CompiledQuery:
+    """Compile the hand-coded strategy program for ``name``.
+
+    This is the pre-pipeline compiler, kept as the equivalence oracle:
+    tests compare the staged pipeline's answers and costs against these
+    curated kernel compositions.
+    """
     try:
         module = QUERY_MODULES[name]
     except KeyError as exc:

@@ -1,0 +1,212 @@
+"""TPC-H queries as logical operator trees.
+
+These are the IR inputs to the staged lowering pipeline
+(:func:`repro.codegen.pipeline.compile_pipeline`): database-independent
+trees using placeholder dictionary predicates (``DictEq`` /
+``DictPrefix``) that the binding pass resolves against a concrete
+database. The hand-coded strategy modules (``q01.py`` etc.) remain as
+equivalence oracles — :func:`repro.tpch.base.oracle_tpch` compiles them
+directly, and the test suite asserts byte-identical answers.
+
+Aggregate fixed-point conventions match the oracles: prices in cents,
+discounts/taxes in percent points, products carrying the scale factors
+(the presentation-time divisions are not part of the query).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..datagen.tpch import (
+    DATE_1994_01_01,
+    DATE_1995_01_01,
+    DATE_1995_03_15,
+    DATE_1995_09_01,
+    DATE_1995_10_01,
+)
+from ..errors import CodegenError
+from ..plan.expressions import And, Col, Const, DictEq, DictPrefix
+from ..plan.logical import AggSpec
+from ..plan.ops import Filter, GroupByAgg, Join, LogicalPlan, Project, Scan
+
+#: Queries compiled through the generic staged pipeline (the remaining
+#: queries still go through their hand-coded strategy modules).
+PIPELINE_QUERIES = ("Q1", "Q3", "Q6", "Q14")
+
+Q1_CUTOFF = 10471  # 1998-12-01 minus 90 days, days since 1970-01-01
+Q6_DISC_LO, Q6_DISC_HI = 5, 7
+Q6_QTY_LIMIT = 24
+Q3_SEGMENT = "BUILDING"
+Q14_PREFIX = "PROMO"
+
+
+def q1_plan() -> LogicalPlan:
+    """Q1: one ~98 %-pass predicate, six aggregates, six groups."""
+    price = Col("l_extendedprice")
+    disc_price = price * (Const(100) - Col("l_discount"))
+    charge = disc_price * (Const(100) + Col("l_tax"))
+    return LogicalPlan(
+        name="Q1",
+        root=GroupByAgg(
+            child=Filter(
+                child=Scan("lineitem"),
+                predicate=Col("l_shipdate") <= Q1_CUTOFF,
+            ),
+            aggregates=(
+                AggSpec("sum", Col("l_quantity"), "sum_qty"),
+                AggSpec("sum", price, "sum_base"),
+                AggSpec("sum", disc_price, "sum_disc_price"),
+                AggSpec("sum", charge, "sum_charge"),
+                AggSpec("sum", Col("l_discount"), "sum_disc"),
+                AggSpec("count", None, "count"),
+            ),
+            key=Col("l_returnflag") * 2 + Col("l_linestatus"),
+            key_name="returnflag_linestatus",
+        ),
+    )
+
+
+def q6_plan() -> LogicalPlan:
+    """Q6: three conjuncts (five compares), one revenue aggregate."""
+    shipdate, disc, qty = (
+        Col("l_shipdate"),
+        Col("l_discount"),
+        Col("l_quantity"),
+    )
+    return LogicalPlan(
+        name="Q6",
+        root=GroupByAgg(
+            child=Filter(
+                child=Scan("lineitem"),
+                predicate=And(
+                    [
+                        And(
+                            [
+                                shipdate >= DATE_1994_01_01,
+                                shipdate < DATE_1995_01_01,
+                            ]
+                        ),
+                        And([disc >= Q6_DISC_LO, disc <= Q6_DISC_HI]),
+                        qty < Q6_QTY_LIMIT,
+                    ]
+                ),
+            ),
+            aggregates=(
+                AggSpec(
+                    "sum", Col("l_extendedprice") * disc, "revenue"
+                ),
+            ),
+        ),
+    )
+
+
+def q3_plan() -> LogicalPlan:
+    """Q3: customer |X| orders |X| lineitem, revenue per order."""
+    revenue = Col("l_extendedprice") * (
+        Const(100) - Col("l_discount")
+    )
+    orders_side = Join(
+        probe=Filter(
+            child=Scan("orders"),
+            predicate=Col("o_orderdate") < DATE_1995_03_15,
+        ),
+        build=Filter(
+            child=Scan("customer"),
+            predicate=DictEq("c_mktsegment", Q3_SEGMENT),
+        ),
+        fk_column="o_custkey",
+        pk_column="c_custkey",
+    )
+    return LogicalPlan(
+        name="Q3",
+        root=GroupByAgg(
+            child=Join(
+                probe=Filter(
+                    child=Scan("lineitem"),
+                    predicate=Col("l_shipdate") > DATE_1995_03_15,
+                ),
+                build=orders_side,
+                fk_column="l_orderkey",
+                pk_column="o_orderkey",
+            ),
+            aggregates=(AggSpec("sum", revenue, "revenue"),),
+            key=Col("l_orderkey"),
+            key_name="l_orderkey",
+        ),
+    )
+
+
+def q14_plan() -> LogicalPlan:
+    """Q14: month filter, index join carrying the promo flag from part."""
+    shipdate = Col("l_shipdate")
+    revenue = Col("l_extendedprice") * (
+        Const(100) - Col("l_discount")
+    )
+    return LogicalPlan(
+        name="Q14",
+        root=GroupByAgg(
+            child=Join(
+                probe=Filter(
+                    child=Scan("lineitem"),
+                    # One conjunct (two compares): the month window is a
+                    # single branch site, like the hand-coded programs.
+                    predicate=And(
+                        [
+                            And(
+                                [
+                                    shipdate >= DATE_1995_09_01,
+                                    shipdate < DATE_1995_10_01,
+                                ]
+                            )
+                        ]
+                    ),
+                ),
+                build=Project(
+                    child=Scan("part"),
+                    outputs=(
+                        ("promo", DictPrefix("p_type", Q14_PREFIX)),
+                    ),
+                ),
+                fk_column="l_partkey",
+                pk_column="p_partkey",
+                carry=("promo",),
+            ),
+            aggregates=(
+                AggSpec("sum", revenue * Col("promo"), "promo_revenue"),
+                AggSpec("sum", revenue, "total_revenue"),
+            ),
+        ),
+    )
+
+
+_BUILDERS = {
+    "Q1": q1_plan,
+    "Q3": q3_plan,
+    "Q6": q6_plan,
+    "Q14": q14_plan,
+}
+
+_CACHE: Dict[str, LogicalPlan] = {}
+
+
+def logical_plan(name: str) -> LogicalPlan:
+    """The logical operator tree for a pipeline-compiled TPC-H query."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError as exc:
+        raise CodegenError(
+            f"no logical plan for {name!r}; have {sorted(_BUILDERS)}"
+        ) from exc
+    if name not in _CACHE:
+        _CACHE[name] = builder()
+    return _CACHE[name]
+
+
+__all__ = [
+    "PIPELINE_QUERIES",
+    "logical_plan",
+    "q1_plan",
+    "q3_plan",
+    "q6_plan",
+    "q14_plan",
+]

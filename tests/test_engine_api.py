@@ -107,16 +107,21 @@ class TestSessionApi:
         assert engine.knobs.ht_prefetch is False
 
 
-class TestDeprecatedWrappers:
-    def test_compile_query_warns_and_works(self, micro_db):
-        with pytest.warns(DeprecationWarning, match="Engine"):
-            compiled = repro.compile_query(mb.q1(30), micro_db, "hybrid")
-        assert compiled.run().value
+class TestRemovedWrappers:
+    def test_deprecated_wrappers_are_gone(self):
+        # The pre-1.2 module-level compile_query / compile_swole shims
+        # were removed; Engine.compile is the supported path.
+        assert not hasattr(repro, "compile_query")
+        assert not hasattr(repro, "compile_swole")
+        assert "compile_query" not in repro.__all__
+        assert "compile_swole" not in repro.__all__
 
-    def test_compile_swole_warns_and_works(self, micro_db):
-        with pytest.warns(DeprecationWarning, match="Engine"):
-            compiled = repro.compile_swole(mb.q1(30), micro_db)
-        assert compiled.strategy == "swole"
+    def test_engine_compile_replaces_wrappers(self, micro_db):
+        engine = Engine(db=micro_db)
+        hybrid = engine.compile(mb.q1(30), "hybrid")
+        assert hybrid.run().value
+        swole = engine.compile(mb.q1(30), "swole")
+        assert swole.strategy == "swole"
 
     def test_engine_exported_from_top_level(self):
         assert repro.Engine is Engine

@@ -1,0 +1,226 @@
+"""The staged lowering pipeline vs the hand-coded TPC-H oracles.
+
+Q1/Q3/Q6/Q14 now compile from logical operator trees through the
+strategy pass framework; the hand-coded ``tpch/qXX.py`` strategy
+functions are demoted to equivalence oracles. The central invariant:
+for every pipeline query and every strategy, the generic compiler
+produces *byte-identical* results to both the oracle program and the
+NumPy reference, at a simulated cost within noise of the oracle's.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.datagen import microbench as mb
+from repro.engine import Engine, Session
+from repro.engine.program import results_equal
+from repro.plan.ops import from_query, plan_fingerprint
+from repro.tpch import (
+    PIPELINE_QUERIES,
+    STRATEGIES,
+    compile_tpch,
+    logical_plan,
+    oracle_tpch,
+    reference_result,
+)
+
+#: The generic compiler must land within this cost band of the oracle —
+#: wide enough for bookkeeping differences (selection-vector charging,
+#: merged prepass masks), tight enough to catch a lost technique.
+COST_BAND = (0.70, 1.30)
+
+
+@pytest.mark.parametrize("name", PIPELINE_QUERIES)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestPipelineVsOracle:
+    def test_results_byte_identical(self, tpch_db, name, strategy):
+        pipe = compile_tpch(name, strategy, tpch_db).run(Session())
+        oracle = oracle_tpch(name, strategy, tpch_db).run(Session())
+        assert results_equal(pipe, oracle), (name, strategy)
+
+    def test_results_match_reference(self, tpch_db, name, strategy):
+        expected = reference_result(name, tpch_db)
+        result = compile_tpch(name, strategy, tpch_db).run(Session())
+        assert set(result.value) == set(expected)
+        for key in expected:
+            lhs, rhs = expected[key], result.value[key]
+            if isinstance(lhs, np.ndarray):
+                assert np.array_equal(lhs, np.asarray(rhs)), (
+                    name,
+                    strategy,
+                    key,
+                )
+            else:
+                assert lhs == rhs, (name, strategy, key)
+
+    def test_cost_within_band_of_oracle(self, tpch_db, name, strategy):
+        pipe = compile_tpch(name, strategy, tpch_db).run(Session())
+        oracle = oracle_tpch(name, strategy, tpch_db).run(Session())
+        ratio = pipe.cycles / oracle.cycles
+        assert COST_BAND[0] <= ratio <= COST_BAND[1], (
+            name,
+            strategy,
+            ratio,
+        )
+
+
+class TestGroupedOrdering:
+    @pytest.mark.parametrize("name", ("Q1", "Q3"))
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_grouped_keys_ascending(self, tpch_db, name, strategy):
+        result = compile_tpch(name, strategy, tpch_db).run(Session())
+        keys = np.asarray(result.value["keys"])
+        assert np.all(keys[:-1] < keys[1:]), (name, strategy)
+
+    def test_q1_count_column_last(self, tpch_db):
+        result = compile_tpch("Q1", "swole", tpch_db).run(Session())
+        counts = result.value["aggs"][:, 5]
+        shipdate = tpch_db.table("lineitem")["l_shipdate"]
+        assert int(counts.sum()) == int((shipdate <= 10471).sum())
+
+
+class TestCompileRouting:
+    def test_pipeline_queries_carry_ir_notes(self, tpch_db):
+        for name in PIPELINE_QUERIES:
+            compiled = compile_tpch(name, "swole", tpch_db)
+            assert compiled.notes["fingerprint"].startswith("ir:")
+            assert "explain" in compiled.notes
+
+    def test_hand_coded_queries_have_no_ir_notes(self, tpch_db):
+        compiled = compile_tpch("Q4", "swole", tpch_db)
+        assert "fingerprint" not in compiled.notes
+
+    def test_oracle_stays_hand_coded(self, tpch_db):
+        oracle = oracle_tpch("Q1", "swole", tpch_db)
+        assert "fingerprint" not in oracle.notes
+
+    def test_fingerprint_matches_plan(self, tpch_db):
+        compiled = compile_tpch("Q6", "hybrid", tpch_db)
+        assert compiled.notes["fingerprint"] == plan_fingerprint(
+            logical_plan("Q6")
+        )
+
+
+class TestExplain:
+    def test_explain_shows_all_three_stages(self, tpch_db):
+        engine = Engine(db=tpch_db)
+        text = engine.explain("Q3", "swole")
+        assert "== Logical plan ==" in text
+        assert "== Passes ==" in text
+        assert "== Physical plan ==" in text
+        engine.shutdown()
+
+    def test_explain_shows_cost_estimates(self, tpch_db):
+        engine = Engine(db=tpch_db)
+        text = engine.explain("Q3", "swole")
+        assert "est cycles" in text
+        assert "bitmap" in text
+        engine.shutdown()
+
+    def test_explain_decisions_line(self, tpch_db):
+        engine = Engine(db=tpch_db)
+        text = engine.explain("Q1", "swole")
+        assert "decisions:" in text
+        # The §III-B pass weighs hybrid vs key masking vs value masking
+        # and prints all three estimates before its pick.
+        assert "key_masking=" in text
+        assert "value_masking=" in text
+        assert "aggregation=value_mask" in text
+        engine.shutdown()
+
+    def test_explain_falls_back_for_hand_coded(self, tpch_db):
+        engine = Engine(db=tpch_db)
+        text = engine.explain("Q4", "swole")
+        assert text.startswith("// hand-coded")
+        engine.shutdown()
+
+    def test_explain_accepts_logical_plans(self, tpch_db):
+        engine = Engine(db=tpch_db)
+        text = engine.explain(logical_plan("Q6"), "datacentric")
+        assert "== Physical plan ==" in text
+        assert "Filter[branch]" in text
+        engine.shutdown()
+
+
+class TestEngineIntegration:
+    def test_pipeline_queries_cache_by_ir(self, tpch_db):
+        engine = Engine(db=tpch_db)
+        by_name = engine.compile("Q6", "swole")
+        by_plan = engine.compile(logical_plan("Q6"), "swole")
+        assert by_name is by_plan  # same fingerprint -> same cache slot
+        engine.shutdown()
+
+    def test_parallel_run_matches_serial(self, tpch_db):
+        engine = Engine(db=tpch_db, workers=4)
+        for name in ("Q1", "Q6"):
+            serial = engine.execute(name, "swole", workers=1)
+            parallel = engine.execute(name, "swole", workers=4)
+            assert parallel.metrics.workers == 4
+            assert results_equal(serial, parallel), name
+        engine.shutdown()
+
+
+class TestMicroQueriesThroughPipeline:
+    """from_query lifts legacy microbench queries onto the operator
+    tree; the pipeline must agree with the strategy codegen there too."""
+
+    @pytest.mark.parametrize(
+        "query", [mb.q1(30), mb.q2(30), mb.q4(50, 50)], ids=["q1", "q2", "q4"]
+    )
+    @pytest.mark.parametrize("strategy", ("datacentric", "hybrid"))
+    def test_matches_codegen(self, micro_db, query, strategy):
+        from repro.codegen import compile_query
+        from repro.codegen.pipeline import compile_pipeline
+
+        pipe = compile_pipeline(from_query(query), micro_db, strategy)
+        oracle = compile_query(query, micro_db, strategy)
+        assert results_equal(pipe.run(Session()), oracle.run(Session()))
+
+    @pytest.mark.parametrize(
+        "query", [mb.q1(30), mb.q2(30), mb.q4(50, 50)], ids=["q1", "q2", "q4"]
+    )
+    def test_matches_swole_planner(self, micro_db, query):
+        from repro.codegen.pipeline import compile_pipeline
+        from repro.core.swole import compile_swole
+
+        pipe = compile_pipeline(from_query(query), micro_db, "swole")
+        oracle = compile_swole(query, micro_db)
+        assert results_equal(pipe.run(Session()), oracle.run(Session()))
+
+
+class TestStrategyRegistry:
+    def test_available_strategies_typed(self):
+        names = repro.available_strategies()
+        assert isinstance(names, list)
+        assert all(isinstance(n, str) for n in names)
+        assert "swole" in names
+
+    def test_register_strategy_rejects_silent_overwrite(self):
+        from repro.codegen.base import register_strategy
+        from repro.errors import CodegenError
+
+        with pytest.raises(CodegenError, match="already registered"):
+
+            @register_strategy("hybrid")
+            def shadow(query, db):  # pragma: no cover - never called
+                raise AssertionError
+
+    def test_register_strategy_replace_warns(self):
+        from repro.codegen.base import (
+            _REGISTRY,
+            get_strategy,
+            register_strategy,
+        )
+
+        original = get_strategy("hybrid")
+        try:
+            with pytest.warns(RuntimeWarning, match="overwriting"):
+
+                @register_strategy("hybrid", replace=True)
+                def shadow(query, db):  # pragma: no cover - never called
+                    raise AssertionError
+
+            assert get_strategy("hybrid") is shadow
+        finally:
+            _REGISTRY["hybrid"] = original

@@ -29,7 +29,23 @@ class TestKeys:
         assert query_fingerprint(mb.q1(30)) != query_fingerprint(mb.q1(31))
 
     def test_tpch_names_addressed_directly(self):
-        assert query_fingerprint("Q1") == "tpch:Q1"
+        # Hand-coded queries key on their name; queries with an operator
+        # tree key on the IR fingerprint (same as an equivalent
+        # LogicalPlan passed directly).
+        assert query_fingerprint("Q4") == "tpch:Q4"
+        from repro.plan.ops import plan_fingerprint
+        from repro.tpch import logical_plan
+
+        assert query_fingerprint("Q1") == plan_fingerprint(
+            logical_plan("Q1")
+        )
+        assert query_fingerprint("Q1").startswith("ir:")
+
+    def test_legacy_query_shares_ir_fingerprint(self):
+        from repro.plan.ops import from_query, plan_fingerprint
+
+        q = mb.q1(30)
+        assert query_fingerprint(q) == plan_fingerprint(from_query(q))
 
     def test_machine_fingerprint_separates_scales(self):
         assert machine_fingerprint(PAPER_MACHINE) != machine_fingerprint(

@@ -128,7 +128,7 @@ class TestQ6:
         reads = [
             e
             for _, e, _ in result.report.events
-            if isinstance(e, SeqRead) and e.array == "disc"
+            if isinstance(e, SeqRead) and e.array == "l_discount"
         ]
         assert len(reads) == 1  # access merging
 
