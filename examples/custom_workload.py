@@ -1,9 +1,13 @@
 """Custom workload: bring your own table and let SWOLE plan it.
 
 Shows the public API end to end on data that is *not* one of the bundled
-generators: build a Database from NumPy arrays, express a query with the
-expression DSL, sample statistics, inspect the planner's per-technique
-cost estimates, and run the chosen plan.
+generators: build a Database from NumPy arrays, express the query as an
+operator tree with the fluent :class:`repro.PlanBuilder`, inspect the
+staged lowering (logical plan, strategy passes with their cost-model
+estimates, physical plan) via ``Engine.explain``, and run the chosen
+plan. The dictionary-encoded ``source = 'ads'`` literal stays symbolic
+in the plan — the binding pass resolves it to its dictionary code at
+compile time.
 
 The scenario: a web-analytics events table where a marketing query sums
 session revenue for one traffic source, grouped by country.
@@ -13,11 +17,10 @@ Run:  python examples/custom_workload.py
 
 import numpy as np
 
-from repro import Engine
+from repro import AggSpec, Col, Engine, PlanBuilder
 from repro.bench.microbench import scaled_machine
 from repro.datagen.microbench import MicrobenchConfig
-from repro.plan.expressions import And, Col, Const
-from repro.plan.logical import AggSpec, Query
+from repro.plan.expressions import DictEq
 from repro.storage.column import Column, LogicalType, string_column
 from repro.storage.database import Database
 from repro.storage.table import Table
@@ -45,35 +48,29 @@ def build_events(n: int = 1_000_000, seed: int = 3) -> Database:
 
 def main() -> None:
     db = build_events()
-    source_col = db.table("events").column("source")
-    ads = source_col.code_for("ads")
 
-    query = Query(
-        table="events",
-        predicate=And(
-            [Col("source").eq(Const(ads)), Col("pages") > Const(3)]
-        ),
-        aggregates=(
+    plan = (
+        PlanBuilder.scan("events")
+        .filter(DictEq("source", "ads"), Col("pages") > 3)
+        .group_agg(
             AggSpec("sum", Col("revenue_cents"), name="revenue"),
             AggSpec("count", name="sessions"),
-        ),
-        group_by="country",
-        name="ads-revenue-by-country",
+            key="country",
+        )
+        .build("ads-revenue-by-country")
     )
 
     # caches scaled as if this were a 100M-row production table
     machine = scaled_machine(MicrobenchConfig(num_rows=1_000_000))
     engine = Engine(db, machine=machine, workers=4)
 
-    compiled = engine.compile(query)  # "auto" -> SWOLE, cached
-    print(f"SWOLE plan: {compiled.notes['plan']}")
-    print("candidate estimates (cycles):")
-    for technique, cycles in sorted(compiled.notes["estimates"].items()):
-        print(f"  {technique:<24s} {cycles:>16,.0f}")
+    # the staged lowering: logical plan, passes (with the cost-model
+    # estimates behind every applied/declined technique), physical plan
+    print(engine.explain(plan))
     print()
 
-    result = engine.execute(query)  # morsel-parallel on 4 workers
-    hybrid = engine.execute(query, "hybrid")
+    result = engine.execute(plan)  # "auto" -> SWOLE, morsel-parallel
+    hybrid = engine.execute(plan, "hybrid")
     assert np.array_equal(result.value["keys"], hybrid.value["keys"])
     assert np.array_equal(result.value["aggs"], hybrid.value["aggs"])
 

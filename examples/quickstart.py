@@ -1,17 +1,20 @@
 """Quickstart: one Engine, every strategy, identical answers.
 
-Generates the paper's microbenchmark table R, binds it to a
-:class:`repro.Engine`, executes
-``select sum(r_a * r_b) from R where r_x < 13 and r_y = 1`` under the
-data-centric, hybrid, ROF, and SWOLE strategies, and prints the answer
-(identical by construction), simulated runtime, and the SWOLE planner's
-technique choice. A second pass at 4 workers shows the morsel executor:
-same bits, simulated critical path ~4x shorter, plan cache hit.
+Generates the paper's microbenchmark table R, builds
+``select sum(r_a * r_b) from R where r_x < 13 and r_y = 1`` as an
+operator tree with the fluent :class:`repro.PlanBuilder` (the front-door
+query API), executes it under the interpreter, data-centric, hybrid, and
+SWOLE strategies, and prints the answer (identical by construction),
+simulated runtime, and the SWOLE planner's technique choice. The ROF
+strategy predates the pass framework, so its row runs the same query
+through the legacy microbench spec. A second pass at 4 workers shows the
+morsel executor: same bits, simulated critical path ~4x shorter, plan
+cache hit.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Engine
+from repro import AggSpec, Col, Engine, PlanBuilder
 from repro.bench.microbench import scaled_machine
 from repro.datagen import microbench as mb
 
@@ -22,15 +25,24 @@ def main() -> None:
     machine = scaled_machine(config)  # caches shrink with the data
     engine = Engine(db, machine=machine, workers=4)
 
-    query = mb.q1(13)  # select sum(r_a * r_b) from R where r_x < 13 ...
-    print(f"query: {query.name}   |R| = {config.num_rows:,}")
+    # select sum(r_a * r_b) from R where r_x < 13 and r_y = 1
+    plan = (
+        PlanBuilder.scan("R")
+        .filter(Col("r_x") < 13, Col("r_y").eq(1))
+        .group_agg(AggSpec("sum", Col("r_a") * Col("r_b"), name="sum"))
+        .build("uQ1[mul,13]")
+    )
+    print(f"query: {plan.name}   |R| = {config.num_rows:,}")
     print()
 
     results = {
-        strategy: engine.execute(query, strategy, workers=1)
-        for strategy in ("interpreter", "datacentric", "hybrid", "rof", "swole")
+        strategy: engine.execute(plan, strategy, workers=1)
+        for strategy in ("interpreter", "datacentric", "hybrid", "swole")
     }
-    swole = engine.compile(query)  # "auto" resolves to SWOLE; cached
+    # ROF predates the operator-tree pass framework; the legacy
+    # microbench Query spelling still drives it.
+    results["rof"] = engine.execute(mb.q1(13), "rof", workers=1)
+    swole = engine.compile(plan)  # "auto" resolves to SWOLE; cached
     print(f"SWOLE plan: {swole.notes['plan']}")
     print()
 
@@ -46,7 +58,7 @@ def main() -> None:
         )
 
     print()
-    parallel = engine.execute(query)  # engine default: 4 workers
+    parallel = engine.execute(plan)  # engine default: 4 workers
     assert parallel.scalar("sum") == answer, "parallel run diverged!"
     print("same query through the morsel executor (engine default):")
     print(parallel.metrics.describe())

@@ -14,6 +14,14 @@ execute (morsel-parallel), inspect run metrics::
     result = engine.execute(mb.q1(13))
     print(result.scalar(), result.metrics.describe())
 
+Operator-tree plans are the primary query API: build one fluently with
+:class:`PlanBuilder` (or look up a TPC-H plan via
+``repro.tpch.logical_plan``) and hand it to ``Engine.execute`` /
+``Engine.explain`` — or to a remote query server, which carries the
+same plan over the wire as structural JSON plus its IR fingerprint
+(:mod:`repro.plan.serde`). Addressing TPC-H queries by bare name string
+still works but is deprecated.
+
 ``Engine.explain(query, strategy)`` renders the staged lowering pipeline
 (logical plan -> passes -> physical plan) for any query with an operator
 tree. The pre-1.2 module-level ``compile_query`` / ``compile_swole``
@@ -22,7 +30,7 @@ wrappers have been removed; call ``Engine.compile`` (or the underlying
 for the research knobs).
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .codegen import available_strategies
 from .core import plan_query
@@ -44,6 +52,7 @@ from .plan import (
     Const,
     JoinSpec,
     LogicalPlan,
+    PlanBuilder,
     Query,
     from_query,
 )
@@ -61,6 +70,7 @@ __all__ = [
     "MachineModel",
     "MorselExecutor",
     "PAPER_MACHINE",
+    "PlanBuilder",
     "PlanCache",
     "Query",
     "ReproError",

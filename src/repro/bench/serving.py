@@ -68,6 +68,7 @@ from ..datagen.cache import DatasetCache, dataset_cache
 from ..engine import Engine
 from ..engine.machine import PAPER_MACHINE
 from ..errors import ReproError
+from ..plan.serde import plan_to_wire
 from ..server import (
     ERR_DEADLINE,
     ERR_QUEUE_FULL,
@@ -76,6 +77,7 @@ from ..server import (
     QueryService,
     ServiceClient,
 )
+from ..tpch import logical_plan
 from .throughput import percentile
 
 #: Strategies measured by default (the paper's main series).
@@ -99,9 +101,14 @@ def effective_concurrency(requested: int) -> int:
     that only time-slice each other)."""
     return max(1, min(requested, os.cpu_count() or 1))
 
-#: Wire-format workload mixes (shared by both transports).
+#: Wire-format workload mixes (shared by both transports). TPC-H
+#: queries travel as plan envelopes — structural JSON + IR fingerprint
+#: — the non-deprecated wire spelling.
 WORKLOADS: Dict[str, List[Tuple[str, Any]]] = {
-    "tpch-q1q6": [("Q1", "Q1"), ("Q6", "Q6")],
+    "tpch-q1q6": [
+        ("Q1", plan_to_wire(logical_plan("Q1"))),
+        ("Q6", plan_to_wire(logical_plan("Q6"))),
+    ],
     "micro-q1q2": [
         ("uQ1-mul", {"micro": "q1", "args": {"sel": 30, "op": "mul"}}),
         ("uQ1-div", {"micro": "q1", "args": {"sel": 30, "op": "div"}}),

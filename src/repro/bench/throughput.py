@@ -36,6 +36,7 @@ from ..datagen import tpch as tpchgen
 from ..datagen.cache import DatasetCache, dataset_cache
 from ..engine import Engine
 from ..engine.machine import PAPER_MACHINE
+from ..tpch import logical_plan
 
 #: Strategies measured by default (the paper's main series).
 DEFAULT_STRATEGIES = ("datacentric", "hybrid", "swole")
@@ -178,17 +179,18 @@ def pool_vs_spawn(
     alongside as ``speedup_total``.
     """
     per_round = max(iterations // rounds, 1)
+    plan = logical_plan(query) if isinstance(query, str) else query
     round_seconds: Dict[str, List[float]] = {"pool": [], "spawn": []}
     with Engine(db, machine=machine, workers=workers) as pooled:
         spawn = Engine(db, machine=machine, workers=workers, use_pool=False)
         for engine in (pooled, spawn):  # warm plans + pool threads
             for _ in range(3):
-                engine.execute(query, strategy, workers=workers)
+                engine.execute(plan, strategy, workers=workers)
         for _ in range(rounds):
             for mode, engine in (("pool", pooled), ("spawn", spawn)):
                 begin = time.perf_counter()
                 for _ in range(per_round):
-                    engine.execute(query, strategy, workers=workers)
+                    engine.execute(plan, strategy, workers=workers)
                 round_seconds[mode].append(time.perf_counter() - begin)
     pool_qps = per_round / min(round_seconds["pool"])
     spawn_qps = per_round / min(round_seconds["spawn"])
@@ -262,7 +264,7 @@ def run_throughput(
     tpch_machine = PAPER_MACHINE.scaled(tpch_config.machine_scale)
 
     workloads: List[WorkloadResult] = []
-    tpch_mix = [("Q1", "Q1"), ("Q6", "Q6")]
+    tpch_mix = [("Q1", logical_plan("Q1")), ("Q6", logical_plan("Q6"))]
     micro_mix = [
         ("uQ1-mul", mb.q1(30, "mul")),
         ("uQ1-div", mb.q1(30, "div")),

@@ -16,7 +16,7 @@ from ..engine import kernels as K
 from ..engine.events import Branch, Compute, CondRead, SeqRead
 from ..engine.hashtable import HashTable
 from ..engine.session import Session
-from ..plan.expressions import Expr, arith_ops
+from ..plan.expressions import Expr, StrMatch, arith_ops
 from ..plan.logical import AggSpec, Query
 
 
@@ -103,16 +103,23 @@ def datacentric_predicate(
     remaining = np.ones(n, dtype=bool)
     survivors = n
     for i, conj in enumerate(conjs):
-        cols = sorted(conj.columns())
-        if i == 0:
-            emit_seq_reads(session, data, cols)
+        if isinstance(conj, StrMatch):
+            # LIKE predicates price as a per-row strcmp over the string
+            # column itself (the flag column is the oracle's shortcut,
+            # not an access the generated program performs).
+            term = np.asarray(conj.evaluate(data), dtype=bool)
+            K.string_match(session, term, conj.column)
         else:
-            emit_cond_reads(session, data, cols, survivors)
-        session.tracer.emit(
-            Compute(n=survivors, op="cmp", simd=False)
-        )
-        emit_expr_compute(session, conj, survivors, simd=False)
-        term = conj.evaluate(data)
+            cols = sorted(conj.columns())
+            if i == 0:
+                emit_seq_reads(session, data, cols)
+            else:
+                emit_cond_reads(session, data, cols, survivors)
+            session.tracer.emit(
+                Compute(n=survivors, op="cmp", simd=False)
+            )
+            emit_expr_compute(session, conj, survivors, simd=False)
+            term = conj.evaluate(data)
         passed = remaining & term
         new_survivors = int(passed.sum())
         taken = new_survivors / survivors if survivors else 0.0
@@ -141,17 +148,27 @@ def prepass_predicate(
     """
     n = int(next(iter(data.values())).shape[0])
     mask = np.ones(n, dtype=bool)
+    # string_match already includes the resident mask write; a predicate
+    # that is nothing but LIKEs skips the extra combined-mask pass.
+    wrote_mask = not all(isinstance(c, StrMatch) for c in conjs)
     for i, conj in enumerate(conjs):
-        cols = sorted(conj.columns())
-        emit_seq_reads(session, data, cols, already_read=already_read)
-        width = max(column_width(data, c) for c in cols) if cols else 8
-        session.tracer.emit(Compute(n=n, op="cmp", simd=True, width=width))
-        emit_expr_compute(session, conj, n, simd=True, width=width)
-        term = conj.evaluate(data)
+        if isinstance(conj, StrMatch):
+            term = np.asarray(conj.evaluate(data), dtype=bool)
+            K.string_match(session, term, conj.column)
+        else:
+            cols = sorted(conj.columns())
+            emit_seq_reads(session, data, cols, already_read=already_read)
+            width = max(column_width(data, c) for c in cols) if cols else 8
+            session.tracer.emit(
+                Compute(n=n, op="cmp", simd=True, width=width)
+            )
+            emit_expr_compute(session, conj, n, simd=True, width=width)
+            term = conj.evaluate(data)
         if i > 0:
             session.tracer.emit(Compute(n=n, op="and", simd=True, width=1))
         mask = mask & term
-    K.seq_write(session, mask.view(np.uint8), "cmp", resident=True)
+    if wrote_mask:
+        K.seq_write(session, mask.view(np.uint8), "cmp", resident=True)
     return mask
 
 

@@ -28,16 +28,20 @@ from ..plan import passes as PS
 from ..plan.expressions import And, Expr
 from ..plan.logical import JoinSpec, Query
 from ..plan.ops import (
+    DisjunctJoin,
+    ExistsJoin,
     Filter,
     GroupByAgg,
     Join,
     LogicalPlan,
+    OuterGroupJoin,
     PlanNode,
     Project,
     Scan,
     base_table,
     is_groupjoin,
     spine,
+    spine_filters,
     spine_joins,
 )
 from ..plan.physical import (
@@ -45,14 +49,24 @@ from ..plan.physical import (
     VECTOR,
     BitmapBuild,
     BitmapSemiProbe,
+    CarriedGather,
     ColumnMaterialize,
+    DisjunctBitmapProbe,
+    DisjunctIndexProbe,
     EagerAggregate,
+    ExistsBitmapBuild,
+    ExistsBitmapProbe,
     FilterStage,
     GroupAgg,
     GroupBuild,
+    GroupDistribution,
     GroupJoinAgg,
+    HashJoinCarryProbe,
     HashSemiProbe,
     IndexGather,
+    JoinBuild,
+    MultiBitmapBuild,
+    OuterGroupJoinAgg,
     PhysicalOp,
     PhysicalPlan,
     Pipeline,
@@ -149,10 +163,20 @@ def lower_plan(
     )
     pipelines: List[Pipeline] = []
 
+    def emit(pipe: Pipeline) -> None:
+        # Shared build subtrees (Q5 reaches nation/region through both
+        # customer and supplier) lower to identical pipelines; build
+        # the state once.
+        if pipe not in pipelines:
+            pipelines.append(pipe)
+
+    def bitmap_flavour(mode: str) -> str:
+        return "mask" if mode == PS.BITMAP_MASK else "offsets"
+
     def lower_build(join: Join) -> str:
         """Lower a join's build side into its own pipeline(s)."""
         state = base_table(join.build)
-        ops = lower_steps(join.build)
+        ops = lower_steps(join.build, in_build=True)
         mode = decisions.join_modes.get(join, PS.HASH_JOIN)
         if join is gj_target:
             ops.append(
@@ -162,27 +186,54 @@ def lower_plan(
             )
             label = f"build {state}"
         elif mode in (PS.BITMAP_MASK, PS.BITMAP_OFFSETS):
-            flavour = "mask" if mode == PS.BITMAP_MASK else "offsets"
-            ops.append(BitmapBuild(state, flavour))
+            ops.append(
+                BitmapBuild(state, bitmap_flavour(mode), join.carry)
+            )
             label = f"bitmap build {state}"
-        elif join.carry:
+        elif join.carry and not _filters_stream(join.build):
             # Index join: the build pipeline only materializes the
             # carried columns (full length); nothing to hash.
             label = f"scan {state}"
+        elif join.carry:
+            ops.append(
+                JoinBuild(state, join.pk_column, join.carry, access)
+            )
+            label = f"build {state}"
         else:
             ops.append(SemiHashBuild(state, join.pk_column, access))
             label = f"build {state}"
-        pipelines.append(Pipeline(label=label, table=state, ops=tuple(ops)))
+        emit(Pipeline(label=label, table=state, ops=tuple(ops)))
         return state
 
-    def lower_steps(node: PlanNode) -> List[PhysicalOp]:
+    def lower_steps(
+        node: PlanNode, in_build: bool = False
+    ) -> List[PhysicalOp]:
         """Ops for one spine, excluding the terminal aggregation."""
         ops: List[PhysicalOp] = []
         table = base_table(node)
+        pending: List[CarriedGather] = []
+
+        def flush_gathers() -> None:
+            # Late materialization: carried columns are gathered only
+            # once every semijoin on the spine has narrowed the stream
+            # (priced), or composed for free while a build pipeline
+            # merely threads them along.
+            ops.extend(pending)
+            pending.clear()
+
         for step in spine(node):
             if isinstance(step, Scan):
                 continue
             if isinstance(step, Filter):
+                cols = set()
+                for conj in step.conjuncts():
+                    cols |= conj.columns()
+                if any(
+                    col in gather.columns
+                    for gather in pending
+                    for col in cols
+                ):
+                    flush_gathers()
                 ops.append(FilterStage(step.conjuncts(), filter_mode))
             elif isinstance(step, Project):
                 for name, expr in step.outputs:
@@ -202,27 +253,146 @@ def lower_plan(
                             access,
                         )
                     )
-                elif step.carry:
+                elif mode in (PS.BITMAP_MASK, PS.BITMAP_OFFSETS):
+                    ops.append(BitmapSemiProbe(state, step.fk_column))
+                    if step.carry:
+                        pending.append(
+                            CarriedGather(
+                                state,
+                                step.fk_column,
+                                step.carry,
+                                priced=not in_build,
+                            )
+                        )
+                elif step.carry and not _filters_stream(step.build):
                     ops.append(
                         IndexGather(
                             state, step.fk_column, step.carry, access
                         )
                     )
-                elif mode in (PS.BITMAP_MASK, PS.BITMAP_OFFSETS):
-                    ops.append(BitmapSemiProbe(state, step.fk_column))
+                elif step.carry:
+                    ops.append(
+                        HashJoinCarryProbe(
+                            state, step.fk_column, step.carry, access
+                        )
+                    )
                 else:
                     ops.append(
                         HashSemiProbe(state, step.fk_column, access)
+                    )
+            elif isinstance(step, ExistsJoin):
+                state = base_table(step.build)
+                probe_tbl = base_table(step.probe)
+                mode = decisions.join_modes.get(step, PS.HASH_JOIN)
+                build_ops = lower_steps(step.build, in_build=True)
+                if mode in (PS.BITMAP_MASK, PS.BITMAP_OFFSETS):
+                    build_ops.append(
+                        ExistsBitmapBuild(
+                            state,
+                            step.fk_column,
+                            probe_tbl,
+                            bitmap_flavour(mode),
+                        )
+                    )
+                    emit(
+                        Pipeline(
+                            label=f"bitmap build {state}",
+                            table=state,
+                            ops=tuple(build_ops),
+                        )
+                    )
+                    ops.append(ExistsBitmapProbe(state, step.anti))
+                else:
+                    build_ops.append(
+                        SemiHashBuild(
+                            state,
+                            step.fk_column,
+                            access,
+                            expected_from=probe_tbl,
+                        )
+                    )
+                    emit(
+                        Pipeline(
+                            label=f"build {state}",
+                            table=state,
+                            ops=tuple(build_ops),
+                        )
+                    )
+                    ops.append(
+                        HashSemiProbe(
+                            state,
+                            step.pk_column,
+                            access,
+                            negate=step.anti,
+                        )
+                    )
+            elif isinstance(step, OuterGroupJoin):
+                if _filters_stream(step.build):
+                    raise PlanError(
+                        "outer groupjoin build must be a plain scan"
+                    )
+                state = base_table(step.build)
+                ops.append(
+                    OuterGroupJoinAgg(
+                        state,
+                        step.fk_column,
+                        step.count_name,
+                        decisions.outer_mode,
+                        build_table=state,
+                    )
+                )
+            elif isinstance(step, DisjunctJoin):
+                state = base_table(step.build)
+                mode = decisions.join_modes.get(step, PS.HASH_JOIN)
+                if mode in (PS.BITMAP_MASK, PS.BITMAP_OFFSETS):
+                    build_ops = lower_steps(step.build, in_build=True)
+                    build_ops.append(
+                        MultiBitmapBuild(
+                            state,
+                            tuple(bp for bp, _ in step.disjuncts),
+                        )
+                    )
+                    emit(
+                        Pipeline(
+                            label=f"bitmap build {state}",
+                            table=state,
+                            ops=tuple(build_ops),
+                        )
+                    )
+                    ops.append(
+                        DisjunctBitmapProbe(
+                            state, step.fk_column, step.disjuncts
+                        )
+                    )
+                else:
+                    # No build pipeline: each surviving probe row reads
+                    # its build partner through the FK index in place.
+                    ops.append(
+                        DisjunctIndexProbe(
+                            state, step.fk_column, step.disjuncts, access
+                        )
                     )
             elif isinstance(step, GroupByAgg):
                 continue  # the caller appends the terminal op
             else:
                 raise PlanError(f"cannot lower plan node {step!r}")
+        flush_gathers()
         return ops
+
+    outer = next(
+        (
+            step
+            for step in spine(root.child)
+            if isinstance(step, OuterGroupJoin)
+        ),
+        None,
+    )
+    if outer is not None:
+        _check_outer_root(root, outer)
 
     probe_table = base_table(root.child)
     ops = lower_steps(root.child)
-    if gj_target is None:
+    if gj_target is None and outer is None:
         if root.key is None:
             ops.append(ScalarAgg(root.aggregates, decisions.agg_mode))
         else:
@@ -235,7 +405,10 @@ def lower_plan(
                     expected_groups=decisions.group_cardinality,
                 )
             )
-    joined = bool(spine_joins(root.child))
+    joined = any(
+        isinstance(step, (Join, ExistsJoin, DisjunctJoin))
+        for step in spine(root.child)
+    )
     label = f"{'probe' if joined else 'scan'} {probe_table}"
     merged = (
         decisions.merged_columns
@@ -247,11 +420,50 @@ def lower_plan(
             label=label, table=probe_table, ops=tuple(ops), merged=merged
         )
     )
+    if outer is not None:
+        # The grouped tail runs over the count table, one slot per
+        # build key, folding never-seen keys into the zero bucket.
+        build_table = base_table(outer.build)
+        pipelines.append(
+            Pipeline(
+                label="distribution",
+                table=build_table,
+                ops=(
+                    GroupDistribution(
+                        state=build_table,
+                        key_name=root.key_name,
+                        agg_name=root.aggregates[0].name,
+                    ),
+                ),
+            )
+        )
     return PhysicalPlan(
         strategy=strategy,
         pipelines=tuple(pipelines),
         interpreted=interpreted,
     )
+
+
+def _filters_stream(node: PlanNode) -> bool:
+    """Whether a build subtree restricts its stream at all."""
+    return bool(spine_filters(node)) or bool(spine_joins(node))
+
+
+def _check_outer_root(root: GroupByAgg, outer: OuterGroupJoin) -> None:
+    """The outer groupjoin rekeys the stream; the root must group the
+    count column it produces with a single count aggregate."""
+    from ..plan.expressions import Col
+
+    if (
+        not isinstance(root.key, Col)
+        or root.key.name != outer.count_name
+        or len(root.aggregates) != 1
+        or root.aggregates[0].func != "count"
+    ):
+        raise PlanError(
+            "an OuterGroupJoin plan must group by its count column "
+            f"({outer.count_name!r}) with a single count aggregate"
+        )
 
 
 def _lut_entries(db: Database, table: str, expr: Expr) -> int:
@@ -263,20 +475,40 @@ def _lut_entries(db: Database, table: str, expr: Expr) -> int:
     return 0
 
 
-def parallelizable(plan: PhysicalPlan) -> bool:
-    """Whether the plan is a single partitionable scan.
+#: Final-pipeline ops safe to run over a row-range morsel: they only
+#: *read* shared build state (hash tables, bitmaps, carried columns) and
+#: slice FK-index offsets to their row range. Excluded on purpose:
+#: GroupJoinAgg and OuterGroupJoinAgg mutate the shared build hash
+#: table, IndexGather predates morsel state threading (Q14 stays serial,
+#: as seeded), and GroupDistribution/EagerAggregate are whole-table
+#: passes by construction.
+_SPLITTABLE_OPS = (
+    FilterStage,
+    ScalarAgg,
+    GroupAgg,
+    HashSemiProbe,
+    BitmapSemiProbe,
+    ExistsBitmapProbe,
+    HashJoinCarryProbe,
+    CarriedGather,
+    DisjunctIndexProbe,
+    DisjunctBitmapProbe,
+)
 
-    Morsel parallelism currently covers single-pipeline plans whose ops
-    are all row-range splittable (filters and terminal aggregations);
-    multi-pipeline plans would need shared build state threaded through
-    the executor's setup hook. Interpreted plans stay serial, matching
-    the Volcano baseline.
+
+def parallelizable(plan: PhysicalPlan) -> bool:
+    """Whether the plan's final pipeline is a partitionable scan.
+
+    Build pipelines (hash tables, bitmaps, carried columns) run once in
+    the executor's setup hook; the final pipeline splits into row-range
+    morsels when every op is splittable. Interpreted plans stay serial,
+    matching the Volcano baseline.
     """
-    if plan.interpreted or len(plan.pipelines) != 1:
+    if plan.interpreted:
         return False
     return all(
-        isinstance(op, (FilterStage, ScalarAgg, GroupAgg))
-        for op in plan.pipelines[0].ops
+        isinstance(op, _SPLITTABLE_OPS)
+        for op in plan.pipelines[-1].ops
     )
 
 

@@ -30,19 +30,30 @@ from ..engine.hashtable import NULL_KEY, HashTable
 from ..engine.session import Session
 from ..errors import PlanError
 from ..plan import passes as PS
+from ..plan.expressions import compare_count
 from ..plan.logical import AggSpec
 from ..plan.physical import (
     BRANCH,
     BitmapBuild,
     BitmapSemiProbe,
+    CarriedGather,
     ColumnMaterialize,
+    DisjunctBitmapProbe,
+    DisjunctIndexProbe,
     EagerAggregate,
+    ExistsBitmapBuild,
+    ExistsBitmapProbe,
     FilterStage,
     GroupAgg,
     GroupBuild,
+    GroupDistribution,
     GroupJoinAgg,
+    HashJoinCarryProbe,
     HashSemiProbe,
     IndexGather,
+    JoinBuild,
+    MultiBitmapBuild,
+    OuterGroupJoinAgg,
     PhysicalPlan,
     Pipeline,
     ScalarAgg,
@@ -72,6 +83,8 @@ class _Ctx:
         "selvec_charged",
         "already_read",
         "carried",
+        "lo",
+        "loop_charged",
     )
 
     def __init__(
@@ -79,10 +92,18 @@ class _Ctx:
         view: Dict[str, np.ndarray],
         table: str,
         merged: bool,
+        lo: int = 0,
     ) -> None:
         self.view = view
         self.table = table
         self.n = table_rows(view)
+        # Row offset of this view within the full table (nonzero for a
+        # morsel's row-range slice) — FK-index offsets are sliced to it.
+        self.lo = lo
+        # The per-tuple loop overhead is charged once per pipeline, by
+        # whichever op drives the scalar loop (branching filter or the
+        # first full-stream hash probe).
+        self.loop_charged = False
         self.mask: Optional[np.ndarray] = None
         # The selection vector is built (and priced) once per pipeline;
         # later narrowing reuses it via plain flatnonzero, mirroring the
@@ -110,6 +131,12 @@ def _indices(session: Session, ctx: _Ctx) -> np.ndarray:
         ctx.selvec_charged = True
         return K.selection_vector(session, ctx.get_mask())
     return np.flatnonzero(ctx.get_mask())
+
+
+def _fk_offsets(db: Database, ctx: _Ctx, fk_column: str) -> np.ndarray:
+    """FK-index offsets for this view's row range (morsel-sliced)."""
+    offsets = db.fk_index(ctx.table, fk_column).offsets
+    return offsets[ctx.lo : ctx.lo + ctx.n]
 
 
 def _base_cols(
@@ -164,13 +191,31 @@ def _aggregate_into(
 
 
 def _op_filter(session: Session, ctx: _Ctx, op: FilterStage) -> None:
-    if op.mode == "branch":
-        mask = datacentric_predicate(session, ctx.view, op.conjuncts)
-    else:
-        mask = prepass_predicate(
-            session, ctx.view, op.conjuncts, already_read=ctx.already_read
-        )
-    ctx.narrow(mask)
+    view_conjs = [
+        conj for conj in op.conjuncts if conj.columns() <= set(ctx.view)
+    ]
+    carried_conjs = [
+        conj for conj in op.conjuncts if conj not in view_conjs
+    ]
+    if view_conjs:
+        if op.mode == "branch":
+            mask = datacentric_predicate(session, ctx.view, view_conjs)
+            ctx.loop_charged = True
+        else:
+            mask = prepass_predicate(
+                session, ctx.view, view_conjs, already_read=ctx.already_read
+            )
+        ctx.narrow(mask)
+    for conj in carried_conjs:
+        # Cross-table conjunct over index-carried columns (Q5's
+        # c_nationkey = s_nationkey): evaluated branch-free over the
+        # surviving rows — the carried values are already in registers
+        # from the gathers that produced them.
+        k = int(ctx.get_mask().sum())
+        session.tracer.emit(Compute(n=k, op="cmp", simd=False))
+        full = dict(ctx.view)
+        full.update(ctx.carried)
+        ctx.narrow(np.asarray(conj.evaluate(full), dtype=bool))
 
 
 def _read_keys(
@@ -188,12 +233,30 @@ def _read_keys(
 
 
 def _op_semihash_build(
-    session: Session, ctx: _Ctx, op: SemiHashBuild, state: Dict
+    session: Session, ctx: _Ctx, op: SemiHashBuild, state: Dict, db: Database
 ) -> None:
     keys = _read_keys(session, ctx, op.key_column, op.access)
-    ht = HashTable(expected_keys=max(keys.shape[0], 1), num_aggs=0)
+    expected = (
+        db.table(op.expected_from).num_rows
+        if op.expected_from
+        else max(keys.shape[0], 1)
+    )
+    ht = HashTable(expected_keys=max(expected, 1), num_aggs=0)
     K.ht_insert_keys(session, ht, keys)
     state[op.state] = {"ht": ht}
+
+
+def _op_join_build(
+    session: Session, ctx: _Ctx, op: JoinBuild, state: Dict
+) -> None:
+    keys = _read_keys(session, ctx, op.key_column, op.access)
+    ht = HashTable(expected_keys=max(keys.shape[0], 1), num_aggs=1)
+    K.ht_insert_keys(session, ht, keys)
+    carried = {
+        name: ctx.carried.get(name, ctx.view.get(name))
+        for name in op.carry
+    }
+    state[op.state] = {"ht": ht, "carried": carried, "rows": ctx.n}
 
 
 def _op_group_build(
@@ -223,7 +286,13 @@ def _op_bitmap_build(
                 n=int(idx.shape[0]), struct_bytes=nbytes, kind="bitmap_set"
             )
         )
-    state[op.state] = {"mask": mask.copy(), "rows": ctx.n}
+    carried = {
+        name: ctx.carried.get(name, ctx.view.get(name))
+        for name in op.carry
+    }
+    state[op.state] = {
+        "mask": mask.copy(), "rows": ctx.n, "carried": carried
+    }
 
 
 def _op_hash_semi_probe(
@@ -254,6 +323,8 @@ def _op_hash_semi_probe(
         )
         new = np.zeros(ctx.n, dtype=bool)
         new[idx[found]] = True
+    if op.negate:
+        new = ctx.get_mask() & ~new
     ctx.mask = new
 
 
@@ -265,7 +336,7 @@ def _op_bitmap_semi_probe(
     db: Database,
 ) -> None:
     built = state[op.state]
-    offsets = db.fk_index(ctx.table, op.fk_column).offsets
+    offsets = _fk_offsets(db, ctx, op.fk_column)
     session.tracer.emit(
         SeqRead(n=ctx.n, width=8, array=f"fkindex({op.fk_column})")
     )
@@ -305,7 +376,7 @@ def _op_index_gather(
     db: Database,
 ) -> None:
     built = state[op.state]
-    offsets = db.fk_index(ctx.table, op.fk_column).offsets
+    offsets = _fk_offsets(db, ctx, op.fk_column)
     mask = ctx.get_mask()
     if op.access == BRANCH:
         K.conditional_read(
@@ -322,8 +393,10 @@ def _op_index_gather(
             kind="index_join",
         )
     )
+    # Carried columns stay full morsel length; consumers index them with
+    # whatever selection is live when they read them.
     for name in op.columns:
-        ctx.carried[name] = built["columns"][name][offsets[sel]]
+        ctx.carried[name] = built["columns"][name][offsets]
 
 
 def _op_groupjoin_agg(
@@ -389,7 +462,7 @@ def _op_scalar_agg(
     else:
         raise PlanError(f"unknown scalar aggregation mode {op.mode!r}")
     sub = {c: ctx.view[c][sel] for c in base_cols}
-    sub.update(ctx.carried)
+    sub.update({name: vals[sel] for name, vals in ctx.carried.items()})
     result: Dict[str, Any] = {}
     for agg in op.aggregates:
         session.tracer.emit(Compute(n=k, op="add", simd=False))
@@ -439,7 +512,8 @@ def _op_group_agg(
     mask = ctx.get_mask()
     k = int(mask.sum())
     cols = sorted(
-        set(op.key.columns()) | set(_base_cols(op.aggregates, ctx.view))
+        (set(op.key.columns()) & set(ctx.view))
+        | set(_base_cols(op.aggregates, ctx.view))
     )
     if op.mode == PS.CONDITIONAL:
         emit_cond_reads(session, ctx.view, cols, k)
@@ -451,7 +525,7 @@ def _op_group_agg(
     else:
         raise PlanError(f"unknown grouped aggregation mode {op.mode!r}")
     sub = {c: ctx.view[c][sel] for c in cols}
-    sub.update({name: vals for name, vals in ctx.carried.items()})
+    sub.update({name: vals[sel] for name, vals in ctx.carried.items()})
     keys = np.asarray(op.key.evaluate(sub), dtype=np.int64)
     table = HashTable(
         expected_keys=max(op.expected_groups, 1),
@@ -548,6 +622,336 @@ def _group_value_mask(
     return grouped_result(out_keys[valid], aggs[valid, :naggs])
 
 
+def _op_hash_join_carry_probe(
+    session: Session,
+    ctx: _Ctx,
+    op: HashJoinCarryProbe,
+    state: Dict,
+    db: Database,
+) -> None:
+    built = state[op.state]
+    ht = built["ht"]
+    if ctx.mask is None:
+        # First full-stream probe: the whole column is read sequentially
+        # and this op drives the per-tuple loop.
+        emit_seq_reads(session, ctx.view, [op.fk_column])
+        _, found = K.ht_lookup(
+            session, ht, ctx.view[op.fk_column].astype(np.int64)
+        )
+        if op.access == BRANCH:
+            taken = float(found.mean()) if ctx.n else 0.0
+            session.tracer.emit(
+                Branch(
+                    n=ctx.n, taken_fraction=taken, site=f"{op.state}-join"
+                )
+            )
+        else:
+            session.tracer.emit(
+                Compute(n=ctx.n, op="select", simd=False)
+            )
+        if not ctx.loop_charged:
+            K.scalar_loop(session, ctx.n)
+            ctx.loop_charged = True
+        ctx.narrow(found)
+    else:
+        mask = ctx.get_mask()
+        if op.access == BRANCH:
+            keys = K.conditional_read(
+                session, ctx.view[op.fk_column], mask, op.fk_column
+            ).astype(np.int64)
+            _, found = K.ht_lookup(session, ht, keys)
+            k = int(keys.shape[0])
+            taken = float(found.mean()) if k else 0.0
+            session.tracer.emit(
+                Branch(n=k, taken_fraction=taken, site=f"{op.state}-join")
+            )
+            new = mask.copy()
+            new[mask] = found
+        else:
+            idx = _indices(session, ctx)
+            keys = K.gather(
+                session, ctx.view[op.fk_column], idx, op.fk_column
+            ).astype(np.int64)
+            _, found = K.ht_lookup(session, ht, keys)
+            session.tracer.emit(
+                Compute(n=int(found.shape[0]), op="select", simd=False)
+            )
+            new = np.zeros(ctx.n, dtype=bool)
+            new[idx[found]] = True
+        ctx.mask = new
+    offsets = _fk_offsets(db, ctx, op.fk_column)
+    for name in op.carry:
+        ctx.carried[name] = built["carried"][name][offsets]
+
+
+def _op_carried_gather(
+    session: Session,
+    ctx: _Ctx,
+    op: CarriedGather,
+    state: Dict,
+    db: Database,
+) -> None:
+    """Late materialization: pull build-side columns through the FK
+    index for the surviving rows (priced), or silently compose them for
+    a downstream build (unpriced — the consumer prices its own access)."""
+    built = state[op.state]
+    offsets = _fk_offsets(db, ctx, op.fk_column)
+    if op.priced:
+        sel = _indices(session, ctx)
+        for name in op.columns:
+            vals = built["carried"][name]
+            session.tracer.emit(
+                RandomAccess(
+                    n=int(sel.shape[0]),
+                    struct_bytes=int(vals.shape[0]) * vals.dtype.itemsize,
+                    kind=f"gather({name})",
+                )
+            )
+    for name in op.columns:
+        ctx.carried[name] = built["carried"][name][offsets]
+
+
+def _op_exists_bitmap_build(
+    session: Session,
+    ctx: _Ctx,
+    op: ExistsBitmapBuild,
+    state: Dict,
+    db: Database,
+) -> None:
+    """SWOLE existential build: fold the FK side's qualifying rows into
+    a positional bitmap over the probe table's primary-key domain."""
+    offsets = _fk_offsets(db, ctx, op.fk_column)
+    session.tracer.emit(
+        SeqRead(n=ctx.n, width=8, array=f"fkindex({op.fk_column})")
+    )
+    session.tracer.emit(Compute(n=ctx.n, op="or", simd=True, width=1))
+    probe_rows = db.table(op.probe_table).num_rows
+    nbytes = max(probe_rows // 8, 1)
+    if op.mode == "mask":
+        session.tracer.emit(SeqWrite(n=nbytes, width=1, array="bitmap"))
+    else:
+        idx = _indices(session, ctx)
+        session.tracer.emit(
+            RandomAccess(
+                n=int(idx.shape[0]), struct_bytes=nbytes, kind="bitmap_set"
+            )
+        )
+    exists = np.zeros(probe_rows, dtype=bool)
+    exists[offsets[ctx.get_mask()]] = True
+    state[op.state] = {"exists": exists, "rows": probe_rows}
+
+
+def _op_exists_bitmap_probe(
+    session: Session, ctx: _Ctx, op: ExistsBitmapProbe, state: Dict
+) -> None:
+    built = state[op.state]
+    session.tracer.emit(
+        SeqRead(n=max(ctx.n // 8, 1), width=1, array="bitmap")
+    )
+    session.tracer.emit(Compute(n=ctx.n, op="and", simd=True, width=1))
+    bit = built["exists"][ctx.lo : ctx.lo + ctx.n]
+    ctx.narrow(~bit if op.anti else bit)
+
+
+def _op_outer_groupjoin_agg(
+    session: Session,
+    ctx: _Ctx,
+    op: OuterGroupJoinAgg,
+    state: Dict,
+    db: Database,
+) -> None:
+    """Outer groupjoin (Q13): count qualifying probe rows per build key.
+    Build rows that never match simply stay absent (or zero) here; the
+    distribution op restores them as count-0 groups."""
+    nc = db.table(op.build_table).num_rows
+    fk = ctx.view[op.fk_column]
+    mask = ctx.get_mask()
+    if op.mode == PS.KEY_MASK:
+        ht = HashTable(expected_keys=nc + 1, num_aggs=1)
+        keys = mask_keys(
+            session, fk.astype(np.int64), mask, op.fk_column
+        )
+        K.ht_aggregate(session, ht, keys, np.ones(ctx.n, dtype=np.int64))
+    elif op.mode == PS.VALUE_MASK:
+        ht = HashTable(expected_keys=max(nc, 1), num_aggs=1)
+        emit_seq_reads(
+            session, ctx.view, [op.fk_column], already_read=ctx.already_read
+        )
+        session.tracer.emit(Compute(n=ctx.n, op="mul", simd=True, width=8))
+        K.ht_aggregate(
+            session, ht, fk.astype(np.int64), mask.astype(np.int64)
+        )
+    elif op.mode == PS.CONDITIONAL:
+        ht = HashTable(expected_keys=max(nc, 1), num_aggs=1)
+        keys = K.conditional_read(
+            session, fk, mask, op.fk_column
+        ).astype(np.int64)
+        K.ht_aggregate(
+            session, ht, keys, np.ones(keys.shape[0], dtype=np.int64)
+        )
+    elif op.mode == PS.GATHERED:
+        ht = HashTable(expected_keys=max(nc, 1), num_aggs=1)
+        sel = _indices(session, ctx)
+        keys = K.gather(session, fk, sel, op.fk_column).astype(np.int64)
+        K.ht_aggregate(
+            session, ht, keys, np.ones(keys.shape[0], dtype=np.int64)
+        )
+    else:
+        raise PlanError(f"unknown outer groupjoin mode {op.mode!r}")
+    state[op.state] = {"ht": ht, "rows": nc}
+
+
+def _op_group_distribution(
+    session: Session, ctx: _Ctx, op: GroupDistribution, state: Dict
+) -> Dict[str, np.ndarray]:
+    """Second grouping over the groupjoin's per-key counts; unmatched
+    build rows land in the zero bucket (outer-join semantics)."""
+    built = state[op.state]
+    ht = built["ht"]
+    keys, aggs = ht.items()
+    keep = keys != NULL_KEY
+    per_key = aggs[keep, 0]
+    session.tracer.emit(
+        SeqRead(
+            n=int(per_key.shape[0]), width=8, array=f"ht({op.key_name})"
+        )
+    )
+    values, counts = np.unique(per_key, return_counts=True)
+    buckets = dict(zip(values.tolist(), counts.tolist()))
+    missing = int(built["rows"]) - int(per_key.shape[0])
+    if missing:
+        buckets[0] = buckets.get(0, 0) + missing
+    table = HashTable(expected_keys=max(len(buckets), 1), num_aggs=1)
+    K.ht_aggregate(
+        session,
+        table,
+        np.asarray(list(buckets.keys()), dtype=np.int64),
+        np.asarray(list(buckets.values()), dtype=np.int64),
+    )
+    out_keys, out = table.items()
+    return grouped_result(out_keys, out)
+
+
+def _op_multi_bitmap_build(
+    session: Session, ctx: _Ctx, op: MultiBitmapBuild, state: Dict
+) -> None:
+    """Q19-style SWOLE build: one scan of the build table produces one
+    positional bitmap per disjunct arm."""
+    cols: Set[str] = set()
+    total_cmps = 0
+    for bp in op.disjuncts:
+        cols |= bp.columns()
+        total_cmps += compare_count(bp)
+    emit_seq_reads(session, ctx.view, sorted(cols))
+    session.tracer.emit(
+        Compute(n=total_cmps * ctx.n, op="cmp", simd=True, width=4)
+    )
+    session.tracer.emit(
+        SeqWrite(
+            n=len(op.disjuncts) * max(ctx.n // 8, 1),
+            width=1,
+            array="bitmaps",
+        )
+    )
+    masks = [
+        np.asarray(bp.evaluate(ctx.view), dtype=bool)
+        for bp in op.disjuncts
+    ]
+    state[op.state] = {"masks": masks, "rows": ctx.n}
+
+
+def _op_disjunct_index_probe(
+    session: Session,
+    ctx: _Ctx,
+    op: DisjunctIndexProbe,
+    state: Dict,
+    db: Database,
+) -> None:
+    """Tuple-at-a-time disjunction: index-join into the build table and
+    evaluate every (build-pred AND probe-pred) arm per surviving row."""
+    build = db.data(op.state)
+    nparts = db.table(op.state).num_rows
+    offsets = _fk_offsets(db, ctx, op.fk_column)
+    mask = ctx.get_mask()
+    k = int(mask.sum())
+    probe_cols = sorted(
+        set().union(*(pp.columns() for _, pp in op.disjuncts))
+    )
+    build_cols = sorted(
+        set().union(*(bp.columns() for bp, _ in op.disjuncts))
+    )
+    width_sum = sum(build[c].dtype.itemsize for c in build_cols)
+    if op.access == BRANCH:
+        emit_cond_reads(session, ctx.view, probe_cols, k)
+    else:
+        sel = _indices(session, ctx)
+        for col in probe_cols:
+            K.gather(session, ctx.view[col], sel, col)
+    session.tracer.emit(
+        RandomAccess(
+            n=k, struct_bytes=nparts * width_sum, kind="index_join"
+        )
+    )
+    session.tracer.emit(
+        Compute(n=3 * len(op.disjuncts) * k, op="cmp", simd=False)
+    )
+    build_rows = {c: build[c][offsets] for c in build_cols}
+    hit = np.zeros(ctx.n, dtype=bool)
+    for bp, pp in op.disjuncts:
+        hit |= np.asarray(bp.evaluate(build_rows), dtype=bool) & np.asarray(
+            pp.evaluate(ctx.view), dtype=bool
+        )
+    final = mask & hit
+    if op.access == BRANCH:
+        taken = (float(final.sum()) / k) if k else 0.0
+        session.tracer.emit(
+            Branch(n=k, taken_fraction=taken, site="disjunction")
+        )
+    else:
+        session.tracer.emit(Compute(n=k, op="select", simd=False))
+    ctx.mask = final
+
+
+def _op_disjunct_bitmap_probe(
+    session: Session,
+    ctx: _Ctx,
+    op: DisjunctBitmapProbe,
+    state: Dict,
+    db: Database,
+) -> None:
+    """SWOLE disjunction: test each arm's positional bitmap through the
+    FK index and AND it with that arm's probe-side predicate."""
+    built = state[op.state]
+    offsets = _fk_offsets(db, ctx, op.fk_column)
+    probe_cols = sorted(
+        set().union(*(pp.columns() for _, pp in op.disjuncts))
+    )
+    emit_seq_reads(
+        session, ctx.view, probe_cols, already_read=ctx.already_read
+    )
+    total_cmps = sum(compare_count(pp) for _, pp in op.disjuncts)
+    session.tracer.emit(
+        Compute(n=total_cmps * ctx.n, op="cmp", simd=True, width=4)
+    )
+    sel = _indices(session, ctx)
+    k = int(sel.shape[0])
+    K.gather(session, offsets, sel, f"fkindex({op.fk_column})")
+    session.tracer.emit(
+        RandomAccess(
+            n=len(op.disjuncts) * k,
+            struct_bytes=max(built["rows"] // 8, 1),
+            kind="bitmap_test",
+        )
+    )
+    session.tracer.emit(
+        Compute(n=2 * len(op.disjuncts) * k, op="and", simd=True, width=1)
+    )
+    hit = np.zeros(ctx.n, dtype=bool)
+    for (_, pp), bm in zip(op.disjuncts, built["masks"]):
+        hit |= bm[offsets] & np.asarray(pp.evaluate(ctx.view), dtype=bool)
+    ctx.narrow(hit)
+
+
 # ---------------------------------------------------------------------------
 # Pipeline / plan drivers
 # ---------------------------------------------------------------------------
@@ -565,21 +969,41 @@ def _run_ops(
         if isinstance(op, FilterStage):
             _op_filter(session, ctx, op)
         elif isinstance(op, SemiHashBuild):
-            _op_semihash_build(session, ctx, op, state)
+            _op_semihash_build(session, ctx, op, state, db)
+        elif isinstance(op, JoinBuild):
+            _op_join_build(session, ctx, op, state)
         elif isinstance(op, GroupBuild):
             _op_group_build(session, ctx, op, state)
         elif isinstance(op, BitmapBuild):
             _op_bitmap_build(session, ctx, op, state)
+        elif isinstance(op, MultiBitmapBuild):
+            _op_multi_bitmap_build(session, ctx, op, state)
+        elif isinstance(op, ExistsBitmapBuild):
+            _op_exists_bitmap_build(session, ctx, op, state, db)
         elif isinstance(op, HashSemiProbe):
             _op_hash_semi_probe(session, ctx, op, state)
+        elif isinstance(op, HashJoinCarryProbe):
+            _op_hash_join_carry_probe(session, ctx, op, state, db)
         elif isinstance(op, BitmapSemiProbe):
             _op_bitmap_semi_probe(session, ctx, op, state, db)
+        elif isinstance(op, ExistsBitmapProbe):
+            _op_exists_bitmap_probe(session, ctx, op, state)
+        elif isinstance(op, CarriedGather):
+            _op_carried_gather(session, ctx, op, state, db)
+        elif isinstance(op, DisjunctIndexProbe):
+            _op_disjunct_index_probe(session, ctx, op, state, db)
+        elif isinstance(op, DisjunctBitmapProbe):
+            _op_disjunct_bitmap_probe(session, ctx, op, state, db)
         elif isinstance(op, ColumnMaterialize):
             _op_column_materialize(session, ctx, op, state)
         elif isinstance(op, IndexGather):
             _op_index_gather(session, ctx, op, state, db)
         elif isinstance(op, GroupJoinAgg):
             result = _op_groupjoin_agg(session, ctx, op, state)
+        elif isinstance(op, OuterGroupJoinAgg):
+            _op_outer_groupjoin_agg(session, ctx, op, state, db)
+        elif isinstance(op, GroupDistribution):
+            result = _op_group_distribution(session, ctx, op, state)
         elif isinstance(op, ScalarAgg):
             result = _op_scalar_agg(session, ctx, op)
         elif isinstance(op, GroupAgg):
@@ -604,6 +1028,13 @@ def run_pipeline(
         return eager_aggregation.groupjoin_pipeline(
             session, db, pipe.ops[0].query
         )
+    if len(pipe.ops) == 1 and isinstance(pipe.ops[0], GroupDistribution):
+        # The distribution pass re-reads the groupjoin hash table, not
+        # the base columns; the hand-coded q13 runs it as a standalone
+        # kernel with no access/compute overlap window.
+        ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged))
+        with session.tracer.kernel(pipe.label):
+            return _run_ops(session, db, pipe, state, ctx)
     ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged))
     with session.tracer.kernel(pipe.label), session.tracer.overlap():
         return _run_ops(session, db, pipe, state, ctx)
@@ -614,16 +1045,22 @@ def run_partial(
     db: Database,
     pipe: Pipeline,
     view: Dict[str, np.ndarray],
+    state: Optional[Dict[str, Dict[str, Any]]] = None,
+    lo: int = 0,
 ) -> Optional[Dict[str, Any]]:
     """Run a partitionable pipeline over one morsel's row-range view.
 
     The morsel driver supplies its own kernel scope per morsel, so only
     the overlap window is opened here (mirroring the hand-coded
-    strategies' parallel bodies).
+    strategies' parallel bodies). ``state`` carries hash tables and
+    bitmaps built once in the setup phase; ``lo`` is the morsel's row
+    offset so FK-index slices line up with the view.
     """
-    ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged))
+    ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged), lo=lo)
     with session.tracer.overlap():
-        return _run_ops(session, db, pipe, {}, ctx)
+        return _run_ops(
+            session, db, pipe, state if state is not None else {}, ctx
+        )
 
 
 def execute_plan(

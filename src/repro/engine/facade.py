@@ -2,10 +2,14 @@
 
 :class:`Engine` is the single entry point that replaces the historical
 trio of ``compile_query`` / ``compile_swole`` / ``plan_query`` call
-sites. It owns the plan cache (keyed compilation artifacts, LRU) and the
-morsel executor (parallel scans + run metrics), and accepts either a
-logical :class:`~repro.plan.logical.Query` or a hand-coded TPC-H query
-name (``"Q1"`` .. ``"Q19"``).
+sites. It owns the plan cache (keyed compilation artifacts, LRU) and
+the morsel executor (parallel scans + run metrics). Every query-taking
+method accepts a :class:`~repro.plan.ops.LogicalPlan` operator tree
+(the primary API — build one with :class:`repro.PlanBuilder` or look a
+TPC-H plan up via ``repro.tpch.logical_plan``), a legacy microbench
+:class:`~repro.plan.logical.Query`, or — deprecated — a TPC-H query
+name string (``"Q1"`` .. ``"Q19"``, a thin lookup into
+:mod:`repro.tpch.plans`).
 
 Usage::
 
@@ -20,6 +24,7 @@ Usage::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Optional, Union
 
@@ -142,14 +147,25 @@ class Engine:
     ) -> CompiledQuery:
         """Compile ``query`` (cache-aware) and return the program.
 
-        ``query`` is a logical :class:`~repro.plan.logical.Query` or a
-        TPC-H query name string. ``strategy`` is any registered strategy
-        name, or ``"auto"`` for the planner-driven SWOLE strategy.
+        ``query`` is a :class:`~repro.plan.ops.LogicalPlan` operator
+        tree, a legacy microbench :class:`~repro.plan.logical.Query`,
+        or — deprecated — a TPC-H query name string. ``strategy`` is
+        any registered strategy name, or ``"auto"`` for the
+        planner-driven SWOLE strategy.
         """
         compiled, _, _, _ = self._compile_cached(query, strategy)
         return compiled
 
     def _compile_cached(self, query, strategy: str):
+        if isinstance(query, str):
+            warnings.warn(
+                "addressing queries by TPC-H name string is deprecated; "
+                "pass the operator tree instead — "
+                "repro.tpch.logical_plan(name), or build one with "
+                "repro.PlanBuilder",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         resolved = AUTO_STRATEGY if strategy == "auto" else strategy
         key = plan_key(query, resolved, self.machine, self.tile)
 

@@ -11,6 +11,7 @@ Three layers, oldest first:
   pass framework and the physical operator vocabulary it lowers to.
 """
 
+from .builder import PlanBuilder, scan
 from .expressions import (
     And,
     Arith,
@@ -18,25 +19,31 @@ from .expressions import (
     Compare,
     Const,
     DictEq,
+    DictIn,
     DictPrefix,
     Expr,
     InSet,
     Or,
+    StrMatch,
     arith_ops,
     conjuncts,
 )
 from .logical import AggSpec, JoinSpec, Query, QueryStats, sample_stats
 from .ops import (
+    DisjunctJoin,
+    ExistsJoin,
     Filter,
     GroupByAgg,
     Join,
     LogicalPlan,
+    OuterGroupJoin,
     Project,
     Scan,
     from_query,
     plan_fingerprint,
 )
 from .physical import PhysicalPlan, Pipeline
+from .serde import plan_from_dict, plan_from_wire, plan_to_dict, plan_to_wire
 
 __all__ = [
     "AggSpec",
@@ -46,7 +53,10 @@ __all__ = [
     "Compare",
     "Const",
     "DictEq",
+    "DictIn",
     "DictPrefix",
+    "DisjunctJoin",
+    "ExistsJoin",
     "Expr",
     "Filter",
     "GroupByAgg",
@@ -55,15 +65,23 @@ __all__ = [
     "JoinSpec",
     "LogicalPlan",
     "Or",
+    "OuterGroupJoin",
     "PhysicalPlan",
     "Pipeline",
+    "PlanBuilder",
     "Project",
     "Query",
     "QueryStats",
     "Scan",
+    "StrMatch",
     "arith_ops",
     "conjuncts",
     "from_query",
     "plan_fingerprint",
+    "plan_from_dict",
+    "plan_from_wire",
+    "plan_to_dict",
+    "plan_to_wire",
     "sample_stats",
+    "scan",
 ]

@@ -387,6 +387,73 @@ class DictPrefix(Expr):
         return f"starts_with(dict[{self.column}[i]], {self.prefix!r})"
 
 
+@dataclass(frozen=True)
+class DictIn(Expr):
+    """``column IN ('v1', 'v2', ...)`` over a dictionary-encoded column.
+
+    A placeholder like :class:`DictEq`: the binding pass resolves each
+    literal to its dictionary code, producing an :class:`InSet` over the
+    raw codes.
+    """
+
+    column: str
+    values: Tuple[str, ...]
+
+    def __init__(self, column: str, values: Sequence[str]) -> None:
+        object.__setattr__(self, "column", str(column))
+        object.__setattr__(
+            self, "values", tuple(str(v) for v in values)
+        )
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset([self.column])
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        raise PlanError(
+            f"dictionary set {self.column} IN {self.values!r} must be "
+            "bound to codes before evaluation (run the binding pass)"
+        )
+
+    def to_c(self) -> str:
+        members = ", ".join(repr(v) for v in self.values)
+        return f"in_set(dict[{self.column}[i]], {{{members}}})"
+
+
+@dataclass(frozen=True)
+class StrMatch(Expr):
+    """``column [NOT] LIKE '%pattern%'`` backed by a precomputed flag.
+
+    Complex substring patterns (Q13's ``%special%requests%``) cannot be
+    dictionary-bound; the storage layer precomputes a per-row match flag
+    (``flag_column``, nonzero = the text matches). The node evaluates
+    against that flag, but the executor prices it as a per-tuple
+    ``strcmp`` over the *display* column — the paper's point is exactly
+    that this predicate stays scalar under every strategy.
+    """
+
+    column: str  #: display column holding the text, e.g. ``o_comment``
+    pattern: str
+    flag_column: str  #: precomputed match flag, e.g. ``o_comment_special``
+    negated: bool = False
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset([self.flag_column])
+
+    def evaluate(self, data: Dict[str, np.ndarray]) -> np.ndarray:
+        try:
+            flags = data[self.flag_column]
+        except KeyError as exc:
+            raise PlanError(
+                f"match flag column {self.flag_column!r} not bound"
+            ) from exc
+        matched = flags != 0
+        return ~matched if self.negated else matched
+
+    def to_c(self) -> str:
+        bang = "!" if self.negated else ""
+        return f"{bang}like({self.column}[i], {self.pattern!r})"
+
+
 def conjuncts(predicate: Union[Expr, None]) -> Tuple[Expr, ...]:
     """Split a predicate into top-level AND terms (one per prepass loop)."""
     if predicate is None:
@@ -422,8 +489,10 @@ def col_refs(expr: Union[Expr, None]) -> Tuple[str, ...]:
         return result + col_refs(expr.default)
     if isinstance(expr, InSet):
         return col_refs(expr.child)
-    if isinstance(expr, (DictEq, DictPrefix)):
+    if isinstance(expr, (DictEq, DictPrefix, DictIn)):
         return (expr.column,)
+    if isinstance(expr, StrMatch):
+        return (expr.flag_column,)
     raise PlanError(f"cannot walk expression {expr!r}")
 
 
@@ -462,7 +531,9 @@ def compare_count(expr: Expr) -> int:
         return sum(compare_count(term) for term in expr.terms)
     if isinstance(expr, InSet):
         return max(len(expr.values), 1) + compare_count(expr.child)
-    if isinstance(expr, (DictEq, DictPrefix)):
+    if isinstance(expr, DictIn):
+        return max(len(expr.values), 1)
+    if isinstance(expr, (DictEq, DictPrefix, StrMatch)):
         return 1
     if isinstance(expr, Case):
         return sum(

@@ -141,6 +141,101 @@ class Join(PlanNode):
 
 
 @dataclass(frozen=True)
+class ExistsJoin(PlanNode):
+    """Existential (or anti-) semijoin ``EXISTS (build.fk = probe.pk)``.
+
+    Unlike :class:`Join`, the *probe* stream is the PK (small) side and
+    the build side scans the FK (large) side: a probe row survives when
+    at least one build row references it (Q4's ``EXISTS`` subquery), or
+    — with ``anti`` — when none does (``NOT EXISTS``).
+    """
+
+    probe: PlanNode
+    build: PlanNode
+    pk_column: str
+    fk_column: str
+    anti: bool = False
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.probe, self.build)
+
+    def describe(self) -> str:
+        kind = "anti" if self.anti else "exists"
+        return (
+            f"ExistsJoin[{kind}] {self.pk_column} = "
+            f"{base_table(self.build)}.{self.fk_column}"
+        )
+
+
+@dataclass(frozen=True)
+class OuterGroupJoin(PlanNode):
+    """Outer groupjoin: count probe rows per build key, keeping zeros.
+
+    The probe (FK) stream is counted into one slot per build-side key;
+    build rows with no qualifying probe rows survive with count zero
+    (Q13's zero-order customers). The node *rekeys* the stream: its
+    output is one row per build key carrying ``count_name``.
+    """
+
+    probe: PlanNode
+    build: PlanNode
+    fk_column: str
+    pk_column: str
+    count_name: str = "count"
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.probe, self.build)
+
+    def describe(self) -> str:
+        return (
+            f"OuterGroupJoin[outer] {self.fk_column} = "
+            f"{base_table(self.build)}.{self.pk_column} "
+            f"count={self.count_name}"
+        )
+
+
+@dataclass(frozen=True)
+class DisjunctJoin(PlanNode):
+    """OR-of-conjunctions join filter (Q19's shape, paper §III-F).
+
+    Each disjunct pairs a build-side predicate with a probe-side
+    predicate; a probe row survives when, for *some* disjunct, its FK
+    partner satisfies the build predicate and the row itself satisfies
+    the probe predicate:
+
+    ``OR_i (build_pred_i(build[fk]) AND probe_pred_i(probe))``
+    """
+
+    probe: PlanNode
+    build: PlanNode
+    fk_column: str
+    pk_column: str
+    disjuncts: Tuple[Tuple[Expr, Expr], ...]
+
+    def __post_init__(self) -> None:
+        pairs = tuple(
+            (build_pred, probe_pred)
+            for build_pred, probe_pred in self.disjuncts
+        )
+        if not pairs:
+            raise PlanError("DisjunctJoin requires at least one disjunct")
+        object.__setattr__(self, "disjuncts", pairs)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.probe, self.build)
+
+    def describe(self) -> str:
+        arms = " OR ".join(
+            f"[{bp.to_c()} && {pp.to_c()}]"
+            for bp, pp in self.disjuncts
+        )
+        return (
+            f"DisjunctJoin {self.fk_column} = "
+            f"{base_table(self.build)}.{self.pk_column} on {arms}"
+        )
+
+
+@dataclass(frozen=True)
 class GroupByAgg(PlanNode):
     """Aggregation root: scalar when ``key`` is None, grouped otherwise.
 
@@ -192,10 +287,14 @@ class LogicalPlan:
 # ---------------------------------------------------------------------------
 
 
+#: Nodes with a (probe, build) pair; the probe stream flows on.
+JOIN_NODES = (Join, ExistsJoin, OuterGroupJoin, DisjunctJoin)
+
+
 def base_table(node: PlanNode) -> str:
     """The scan table at the bottom of a node's probe spine."""
     while not isinstance(node, Scan):
-        if isinstance(node, Join):
+        if isinstance(node, JOIN_NODES):
             node = node.probe
         elif isinstance(node, (Filter, Project, GroupByAgg)):
             node = node.child
@@ -214,7 +313,7 @@ def spine(node: PlanNode) -> Tuple[PlanNode, ...]:
         chain.append(node)
         if isinstance(node, Scan):
             break
-        if isinstance(node, Join):
+        if isinstance(node, JOIN_NODES):
             node = node.probe
         elif isinstance(node, (Filter, Project, GroupByAgg)):
             node = node.child
@@ -274,16 +373,14 @@ def validate(plan: LogicalPlan) -> None:
             raise PlanError("GroupByAgg is only valid at the plan root")
         if isinstance(node, Join):
             if node.carry:
-                build_spine = spine(node.build)
-                available = set()
-                for step in build_spine:
-                    if isinstance(step, Project):
-                        available |= {name for name, _ in step.outputs}
-                missing = [c for c in node.carry if c not in available]
-                if missing:
+                # A carried column may be a Project output or an upstream
+                # carry on the build spine, or a base column of the
+                # build-side scan; the first two are checkable here, base
+                # columns resolve against the database at bind time.
+                names = [c for c in node.carry if not isinstance(c, str)]
+                if names:
                     raise PlanError(
-                        f"carried columns {missing} are not produced by "
-                        "a Project on the build side"
+                        f"carried columns must be names, got {names}"
                     )
         for child in node.children():
             check(child)
@@ -295,7 +392,7 @@ def render(node: PlanNode, indent: int = 0) -> str:
     """Indented tree rendering (the ``explain`` logical-plan section)."""
     pad = "  " * indent
     lines = [pad + node.describe()]
-    if isinstance(node, Join):
+    if isinstance(node, JOIN_NODES):
         lines.append(render(node.probe, indent + 1))
         lines.append(pad + "  build:")
         lines.append(render(node.build, indent + 2))

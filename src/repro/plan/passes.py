@@ -52,6 +52,7 @@ from ..plan.expressions import (
     Compare,
     Const,
     DictEq,
+    DictIn,
     DictPrefix,
     Expr,
     InSet,
@@ -60,15 +61,20 @@ from ..plan.expressions import (
 )
 from ..storage.database import Database
 from .ops import (
+    JOIN_NODES,
+    DisjunctJoin,
+    ExistsJoin,
     Filter,
     GroupByAgg,
     Join,
     LogicalPlan,
+    OuterGroupJoin,
     PlanNode,
     Project,
     Scan,
     base_table,
     is_groupjoin,
+    spine,
     spine_filters,
     spine_joins,
     validate,
@@ -115,8 +121,10 @@ class Decisions:
 
     agg_mode: str = CONDITIONAL
     merged_columns: Tuple[str, ...] = ()
-    join_modes: Dict[Join, str] = field(default_factory=dict)
+    join_modes: Dict[PlanNode, str] = field(default_factory=dict)
     groupjoin_mode: Optional[str] = None  # P.GROUPJOIN | P.EAGER | None
+    outer_mode: str = CONDITIONAL  # OuterGroupJoin count-delta mode
+    has_outer: bool = False
     group_cardinality: int = 1
 
     def describe(self) -> str:
@@ -127,6 +135,8 @@ class Decisions:
             parts.append(f"join({join.fk_column})={mode}")
         if self.groupjoin_mode is not None:
             parts.append(f"groupjoin={self.groupjoin_mode}")
+        if self.has_outer:
+            parts.append(f"outer_groupjoin={self.outer_mode}")
         return ", ".join(parts)
 
 
@@ -160,6 +170,23 @@ def _bind_expr(
             )
         )
         return Compare(Col(expr.column), "==", Const(code))
+    if isinstance(expr, DictIn):
+        column = db.table(table).column(expr.column)
+        codes = []
+        for value in expr.values:
+            try:
+                codes.append(column.code_for(value))
+            except StorageError:
+                continue
+        notes.append(
+            PassNote(
+                "bind-dictionary-literals",
+                "bound",
+                f"{expr.column} IN {list(expr.values)} -> "
+                f"{len(codes)} codes",
+            )
+        )
+        return InSet(Col(expr.column), tuple(codes))
     if isinstance(expr, DictPrefix):
         column = db.table(table).column(expr.column)
         if column.dictionary is None:
@@ -231,11 +258,26 @@ def _bind_node(
                 for name, expr in node.outputs
             ],
         )
-    if isinstance(node, Join):
+    if isinstance(node, (Join, ExistsJoin, OuterGroupJoin)):
         return replace(
             node,
             probe=_bind_node(node.probe, db, notes),
             build=_bind_node(node.build, db, notes),
+        )
+    if isinstance(node, DisjunctJoin):
+        probe = _bind_node(node.probe, db, notes)
+        build = _bind_node(node.build, db, notes)
+        probe_table = base_table(probe)
+        build_table = base_table(build)
+        disjuncts = tuple(
+            (
+                _bind_expr(build_pred, build_table, db, notes),
+                _bind_expr(probe_pred, probe_table, db, notes),
+            )
+            for build_pred, probe_pred in node.disjuncts
+        )
+        return replace(
+            node, probe=probe, build=build, disjuncts=disjuncts
         )
     if isinstance(node, GroupByAgg):
         child = _bind_node(node.child, db, notes)
@@ -317,14 +359,51 @@ def spine_stats(node: PlanNode, db: Database) -> SpineStats:
     table = base_table(node)
     num_rows = db.table(table).num_rows
     match = 1.0
-    for join in spine_joins(node):
-        match *= spine_stats(join.build, db).survival
+    for step in spine(node):
+        if isinstance(step, Join):
+            match *= spine_stats(step.build, db).survival
+        elif isinstance(step, ExistsJoin):
+            # P(some referencing build row survives) under uniform FK
+            # fan-out: 1 - (1 - s)^(builds per probe row).
+            build = spine_stats(step.build, db)
+            fanout = build.num_rows / max(num_rows, 1)
+            miss = (1.0 - build.survival) ** fanout
+            match *= miss if step.anti else 1.0 - miss
+        elif isinstance(step, DisjunctJoin):
+            match *= _disjunct_match_fraction(step, db)
+        # OuterGroupJoin rekeys the stream rather than filtering it;
+        # its statistics belong to the distribution scan, not here.
     return SpineStats(
         table=table,
         num_rows=num_rows,
         local_selectivity=_local_selectivity(node, db),
         match_fraction=match,
     )
+
+
+def _disjunct_match_fraction(join: DisjunctJoin, db: Database) -> float:
+    """Sampled probability a probe row survives some disjunct."""
+    build_sample = _sample(db, base_table(join.build))
+    probe_sample = _sample(db, base_table(join.probe))
+    if not build_sample or not probe_sample:
+        return 1.0
+    miss = 1.0
+    for build_pred, probe_pred in join.disjuncts:
+        build_sel = probe_sel = 1.0
+        if build_pred.columns() <= set(build_sample):
+            build_sel = float(
+                np.asarray(
+                    build_pred.evaluate(build_sample), dtype=bool
+                ).mean()
+            )
+        if probe_pred.columns() <= set(probe_sample):
+            probe_sel = float(
+                np.asarray(
+                    probe_pred.evaluate(probe_sample), dtype=bool
+                ).mean()
+            )
+        miss *= 1.0 - build_sel * probe_sel
+    return max(1.0 - miss, 0.0)
 
 
 def _width_of(db: Database, table: str, column: str) -> int:
@@ -335,6 +414,26 @@ def _width_of(db: Database, table: str, column: str) -> int:
     return 8
 
 
+def _carried_origin_table(
+    node: PlanNode, db: Database, column: str
+) -> Optional[str]:
+    """The base table that physically stores a (possibly carried) column.
+
+    A group key over a carried column (Q5 groups lineitem by the
+    carried ``s_nationkey``) is sampled on the build-side table the
+    carry chain bottoms out in.
+    """
+    table = base_table(node)
+    if column in db.table(table):
+        return table
+    for join in all_joins(node):
+        if column in join.carry:
+            found = _carried_origin_table(join.build, db, column)
+            if found is not None:
+                return found
+    return None
+
+
 def _group_cardinality(
     root: GroupByAgg, db: Database, table: str
 ) -> int:
@@ -342,7 +441,16 @@ def _group_cardinality(
         return 1
     sample = _sample(db, table)
     if not root.key.columns() <= set(sample):
-        return 1
+        key_cols = tuple(root.key.columns())
+        origin = (
+            _carried_origin_table(root.child, db, key_cols[0])
+            if len(key_cols) == 1
+            else None
+        )
+        if origin is None:
+            return 1
+        table = origin
+        sample = _sample(db, table)
     take = int(next(iter(sample.values())).shape[0])
     if not take:
         return 1
@@ -425,6 +533,11 @@ def _build_is_filtered_scan(node: PlanNode) -> bool:
     return isinstance(node, Scan)
 
 
+def _build_filters(node: PlanNode) -> bool:
+    """Whether a build subtree restricts its stream at all."""
+    return bool(spine_filters(node)) or bool(spine_joins(node))
+
+
 def all_joins(node: PlanNode) -> Tuple[Join, ...]:
     """Every join in a subtree, build-nested joins before their owner."""
     found: List[Join] = []
@@ -452,7 +565,20 @@ def _pass_bitmap_semijoins(
         joins[-1] if joins and is_groupjoin(root) else None
     )
     for join in all_joins(root.child):
-        if join is groupjoin_target or not join.is_semijoin:
+        if join is groupjoin_target:
+            continue
+        if not join.is_semijoin and not _build_filters(join.build):
+            # An unfiltered index join (Q14's part lookup) keeps its
+            # direct FK-index gather: a bitmap would cost a build scan
+            # without filtering anything.
+            notes.append(
+                PassNote(
+                    "bitmap-semijoin",
+                    "declined",
+                    f"{join.fk_column} index join has an unfiltered "
+                    "build side; direct FK gather",
+                )
+            )
             continue
         probe_table = base_table(join.probe)
         if not db.has_fk_index(probe_table, join.fk_column):
@@ -478,11 +604,16 @@ def _pass_bitmap_semijoins(
         )
         mode, estimates = P.choose_semijoin_build(machine, inputs)
         decisions.join_modes[join] = mode
+        kind = (
+            "semijoin"
+            if join.is_semijoin
+            else f"carry join, {list(join.carry)} gathered late"
+        )
         notes.append(
             PassNote(
                 "bitmap-semijoin",
                 "applied",
-                f"{probe_table}.{join.fk_column} semijoin -> positional "
+                f"{probe_table}.{join.fk_column} {kind} -> positional "
                 f"bitmap, {mode} build",
                 estimates=tuple(sorted(estimates.items())),
             )
@@ -573,6 +704,12 @@ def _pass_aggregation(
         # adds into the build-side hash table either way.
         decisions.agg_mode = GATHERED
         return
+    if decisions.has_outer:
+        # An outer groupjoin rekeys the stream: the terminal grouping
+        # runs over its count table (the distribution scan), which the
+        # outer-groupjoin pass owns.
+        decisions.agg_mode = GATHERED
+        return
     stats = spine_stats(root.child, db)
     inputs = _root_model_inputs(root, db, stats)
     decisions.group_cardinality = inputs.group_cardinality
@@ -586,7 +723,7 @@ def _pass_aggregation(
         P.VALUE_MASKING: VALUE_MASK,
         P.KEY_MASKING: KEY_MASK,
     }[choice]
-    if mode == VALUE_MASK and carried:
+    if mode in (VALUE_MASK, KEY_MASK) and carried:
         # Carried columns only exist for index-matched rows; masked
         # (unconditional) evaluation would read values that were never
         # gathered. Fall back to the selective path.
@@ -594,8 +731,9 @@ def _pass_aggregation(
             PassNote(
                 "aggregation",
                 "declined",
-                f"value masking needs full columns, but {list(carried)} "
-                "are index-carried; falling back to gathered",
+                f"masked evaluation needs full columns, but "
+                f"{list(carried)} are index-carried; falling back to "
+                "gathered",
                 estimates=tuple(sorted(estimates.items())),
             )
         )
@@ -626,6 +764,8 @@ def _carried_columns(root: GroupByAgg) -> Tuple[str, ...]:
     for agg in root.aggregates:
         if agg.expr is not None:
             used |= agg.expr.columns()
+    if root.key is not None:
+        used |= root.key.columns()
     return tuple(sorted(carried & used))
 
 
@@ -653,11 +793,180 @@ def _pass_access_merging(
     )
 
 
+def _pass_exists(
+    root: GroupByAgg,
+    db: Database,
+    machine: MachineModel,
+    decisions: Decisions,
+    notes: List[PassNote],
+) -> None:
+    """Existential/anti semijoin (Q4): positional bitmap over the probe.
+
+    The build side is the FK (large) side, so the bitmap is indexed by
+    *probe* row position and set through the build table's FK index —
+    the probe then tests one bit per row instead of probing a hash
+    table of FK keys.
+    """
+    for step in spine(root.child):
+        if not isinstance(step, ExistsJoin):
+            continue
+        build_table = base_table(step.build)
+        probe_table = base_table(step.probe)
+        if not db.has_fk_index(build_table, step.fk_column):
+            notes.append(
+                PassNote(
+                    "exists-bitmap",
+                    "declined",
+                    f"no FK index on {build_table}.{step.fk_column}; "
+                    "hash build over qualifying FK keys",
+                )
+            )
+            continue
+        build = spine_stats(step.build, db)
+        inputs = cm.ModelInputs(
+            num_rows=db.table(probe_table).num_rows,
+            selectivity=1.0,
+            build_rows=build.num_rows,
+            build_selectivity=build.survival,
+            build_pred_widths=tuple(
+                _width_of(db, build.table, name)
+                for conj in spine_filters(step.build)
+                for name in sorted(conj.columns())
+            ),
+        )
+        mode, estimates = P.choose_semijoin_build(machine, inputs)
+        decisions.join_modes[step] = mode
+        kind = "anti" if step.anti else "exists"
+        notes.append(
+            PassNote(
+                "exists-bitmap",
+                "applied",
+                f"{probe_table}.{step.pk_column} {kind} semijoin -> "
+                f"positional bitmap over probe rows, {mode} build",
+                estimates=tuple(sorted(estimates.items())),
+            )
+        )
+
+
+def _pass_outer_groupjoin(
+    root: GroupByAgg,
+    db: Database,
+    machine: MachineModel,
+    decisions: Decisions,
+    notes: List[PassNote],
+) -> None:
+    """Outer groupjoin (Q13): masked count deltas vs selective counts.
+
+    Unmatched build rows are preserved either way — the distribution
+    scan folds hash-table misses into the zero bucket. The choice here
+    is how the probe stream feeds the count table.
+    """
+    for step in spine(root.child):
+        if not isinstance(step, OuterGroupJoin):
+            continue
+        probe = spine_stats(step.probe, db)
+        build_table = base_table(step.build)
+        inputs = cm.ModelInputs(
+            num_rows=probe.num_rows,
+            selectivity=probe.survival,
+            pred_widths=tuple(
+                _width_of(db, probe.table, name)
+                for conj in spine_filters(step.probe)
+                for name in sorted(conj.columns())
+            ),
+            num_aggs=1,
+            group_width=_width_of(db, probe.table, step.fk_column),
+            group_cardinality=db.table(build_table).num_rows,
+        )
+        choice, estimates = P.choose_aggregation_grouped(machine, inputs)
+        decisions.outer_mode = {
+            P.HYBRID: GATHERED,
+            P.VALUE_MASKING: VALUE_MASK,
+            P.KEY_MASKING: KEY_MASK,
+        }[choice]
+        action = (
+            "retained" if decisions.outer_mode == GATHERED else "applied"
+        )
+        notes.append(
+            PassNote(
+                "outer-groupjoin",
+                action,
+                f"count {probe.table} rows per {build_table} key with "
+                f"{decisions.outer_mode} deltas; unmatched keys fold "
+                "into the zero bucket",
+                estimates=tuple(sorted(estimates.items())),
+            )
+        )
+
+
+def _pass_disjunct(
+    root: GroupByAgg,
+    db: Database,
+    machine: MachineModel,
+    decisions: Decisions,
+    notes: List[PassNote],
+) -> None:
+    """Disjunctive join filter (Q19): N bitmaps from one build scan.
+
+    Each disjunct's build-side conjunction becomes one positional
+    bitmap; all bitmaps are filled in a single sequential pass over the
+    build table, and the probe tests its FK bit per disjunct alongside
+    the matching probe-side predicate.
+    """
+    for step in spine(root.child):
+        if not isinstance(step, DisjunctJoin):
+            continue
+        probe_table = base_table(step.probe)
+        build_table = base_table(step.build)
+        if not db.has_fk_index(probe_table, step.fk_column):
+            notes.append(
+                PassNote(
+                    "disjunct-bitmaps",
+                    "declined",
+                    f"no FK index on {probe_table}.{step.fk_column}; "
+                    "per-row index probes into the build table",
+                )
+            )
+            continue
+        build = spine_stats(step.build, db)
+        build_cols = sorted(
+            {
+                name
+                for build_pred, _ in step.disjuncts
+                for name in build_pred.columns()
+            }
+        )
+        inputs = cm.ModelInputs(
+            num_rows=db.table(probe_table).num_rows,
+            selectivity=1.0,
+            build_rows=build.num_rows,
+            build_selectivity=_disjunct_match_fraction(step, db),
+            build_pred_widths=tuple(
+                _width_of(db, build_table, name) for name in build_cols
+            ),
+        )
+        _, estimates = P.choose_semijoin_build(machine, inputs)
+        decisions.join_modes[step] = BITMAP_MASK
+        notes.append(
+            PassNote(
+                "disjunct-bitmaps",
+                "applied",
+                f"{len(step.disjuncts)} disjunct bitmaps over "
+                f"{build_table} filled by one sequential scan; "
+                "per-disjunct probe access merged",
+                estimates=tuple(sorted(estimates.items())),
+            )
+        )
+
+
 #: Swole pass pipeline, in order. A new §III technique lands by
 #: appending its pass function here (see DESIGN.md for the contract).
 _SWOLE_PASSES = (
     _pass_bitmap_semijoins,
+    _pass_exists,
+    _pass_disjunct,
     _pass_groupjoin,
+    _pass_outer_groupjoin,
     _pass_aggregation,
     _pass_access_merging,
 )
@@ -690,9 +999,13 @@ def run_passes(
     )
     if is_groupjoin(root):
         decisions.groupjoin_mode = P.GROUPJOIN
+    decisions.has_outer = any(
+        isinstance(step, OuterGroupJoin) for step in spine(root.child)
+    )
 
     if strategy in ("interpreter", "datacentric"):
         decisions.agg_mode = CONDITIONAL
+        decisions.outer_mode = CONDITIONAL
         notes.append(
             PassNote(
                 "pushdown",
@@ -708,6 +1021,7 @@ def run_passes(
         )
     elif strategy == "hybrid":
         decisions.agg_mode = GATHERED
+        decisions.outer_mode = GATHERED
         notes.append(
             PassNote(
                 "pushdown",
@@ -725,13 +1039,23 @@ def run_passes(
 
 
 def spine_tables(plan: LogicalPlan) -> Tuple[str, ...]:
-    """Base tables of every pipeline the plan will lower to, probe last."""
+    """Base tables of every pipeline the plan will lower to, probe last.
+
+    Shared build subtrees (Q5 reaches the nation/region chain through
+    both customer and supplier) are deduplicated, matching the lowered
+    pipeline list.
+    """
     tables: List[str] = []
+    seen = set()
 
     def walk(node: PlanNode) -> None:
-        for join in spine_joins(node):
-            walk(join.build)
-        tables.append(base_table(node))
+        for step in spine(node):
+            if isinstance(step, JOIN_NODES):
+                walk(step.build)
+        table = base_table(node)
+        if table not in seen:
+            seen.add(table)
+            tables.append(table)
 
     root = plan.root
     walk(root.child if isinstance(root, GroupByAgg) else root)

@@ -28,6 +28,18 @@ operator                  lowers from
 :class:`GroupAgg`         terminal grouped aggregation (per agg-mode)
 :class:`EagerAggregate`   groupjoin rewritten per §III-E (aggregate early,
                           delete-cleanup after)
+:class:`ExistsBitmapBuild` ExistsJoin build under SWOLE: probe-positional
+                          bitmap set through the build FK index
+:class:`ExistsBitmapProbe` ExistsJoin probe: one bit test per probe row
+:class:`JoinBuild`        carry-join build side: hash keys + payload
+:class:`HashJoinCarryProbe` carry-join probe: narrow + attach payload
+:class:`CarriedGather`    late materialization of bitmap-carried columns
+:class:`OuterGroupJoinAgg` outer groupjoin probe: count deltas per FK
+:class:`GroupDistribution` outer groupjoin tail: count-of-counts scan
+                          folding unmatched build keys into bucket zero
+:class:`MultiBitmapBuild` DisjunctJoin build: N bitmaps from one scan
+:class:`DisjunctIndexProbe` DisjunctJoin probe via per-row FK index reads
+:class:`DisjunctBitmapProbe` DisjunctJoin probe via the disjunct bitmaps
 ========================  =================================================
 
 ``access`` distinguishes tuple-at-a-time branching code (datacentric /
@@ -87,11 +99,17 @@ class FilterStage(PhysicalOp):
 
 @dataclass(frozen=True)
 class SemiHashBuild(PhysicalOp):
-    """Terminal build op: hash set of surviving keys (semijoin)."""
+    """Terminal build op: hash set of surviving keys (semijoin).
+
+    ``expected_from`` names the table whose row count sizes the hash
+    table (an ExistsJoin build inserts FK values drawn from the *probe*
+    table's key domain); empty means size by the surviving keys.
+    """
 
     state: str
     key_column: str
     access: str = VECTOR
+    expected_from: str = ""
 
     def describe(self) -> str:
         return (
@@ -118,27 +136,42 @@ class GroupBuild(PhysicalOp):
 
 @dataclass(frozen=True)
 class BitmapBuild(PhysicalOp):
-    """Terminal build op: positional bitmap over build-row offsets."""
+    """Terminal build op: positional bitmap over build-row offsets.
+
+    ``carry`` names stream columns stashed full-length alongside the
+    bitmap; downstream pipelines materialize them late with
+    :class:`CarriedGather` after all semijoin filtering.
+    """
 
     state: str
     mode: str  # "mask" (unconditional write) | "offsets" (selective set)
+    carry: Tuple[str, ...] = ()
 
     def describe(self) -> str:
-        return f"BitmapBuild[{self.mode}] -> bitmap[{self.state}]"
+        text = f"BitmapBuild[{self.mode}] -> bitmap[{self.state}]"
+        if self.carry:
+            text += f" carrying {list(self.carry)}"
+        return text
 
 
 @dataclass(frozen=True)
 class HashSemiProbe(PhysicalOp):
-    """Narrow the stream to rows whose FK hits the build hash set."""
+    """Narrow the stream to rows whose FK hits the build hash set.
+
+    ``negate`` inverts the test (anti-join: keep rows with *no* build
+    partner).
+    """
 
     state: str
     fk_column: str
     access: str = VECTOR
+    negate: bool = False
 
     def describe(self) -> str:
+        op = "not in" if self.negate else "in"
         return (
             f"HashSemiProbe[{self.access}] {self.fk_column} "
-            f"in ht[{self.state}]"
+            f"{op} ht[{self.state}]"
         )
 
 
@@ -153,6 +186,201 @@ class BitmapSemiProbe(PhysicalOp):
         return (
             f"BitmapSemiProbe {self.fk_column} via fkindex "
             f"-> bitmap[{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class ExistsBitmapBuild(PhysicalOp):
+    """ExistsJoin build: set a probe-positional bit per surviving FK row.
+
+    The build side is the FK (large) side; its FK index maps each
+    surviving build row to the probe row it references, so the bitmap
+    is indexed by probe position (`probe_table` sizes it).
+    """
+
+    state: str
+    fk_column: str
+    probe_table: str
+    mode: str = "mask"  # "mask" | "offsets", as BitmapBuild
+
+    def describe(self) -> str:
+        return (
+            f"ExistsBitmapBuild[{self.mode}] fkindex({self.fk_column}) "
+            f"-> bitmap over {self.probe_table} rows [{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class ExistsBitmapProbe(PhysicalOp):
+    """ExistsJoin probe: AND the stream mask with one bit per row."""
+
+    state: str
+    anti: bool = False
+
+    def describe(self) -> str:
+        kind = "anti" if self.anti else "exists"
+        return f"ExistsBitmapProbe[{kind}] bitmap[{self.state}]"
+
+
+@dataclass(frozen=True)
+class JoinBuild(PhysicalOp):
+    """Carry-join build: hash surviving keys plus payload columns.
+
+    Like :class:`SemiHashBuild` but the probe later attaches ``carry``
+    columns from the build stream (through the FK index) instead of
+    only narrowing.
+    """
+
+    state: str
+    key_column: str
+    carry: Tuple[str, ...]
+    access: str = VECTOR
+
+    def describe(self) -> str:
+        return (
+            f"JoinBuild[{self.access}] keys={self.key_column} "
+            f"payload={list(self.carry)} -> ht[{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class HashJoinCarryProbe(PhysicalOp):
+    """Carry-join probe: narrow to matched rows, attach build payload."""
+
+    state: str
+    fk_column: str
+    carry: Tuple[str, ...]
+    access: str = VECTOR
+
+    def describe(self) -> str:
+        return (
+            f"HashJoinCarryProbe[{self.access}] {self.fk_column} "
+            f"in ht[{self.state}] attach {list(self.carry)}"
+        )
+
+
+@dataclass(frozen=True)
+class CarriedGather(PhysicalOp):
+    """Late materialization of bitmap-carried build columns.
+
+    ``priced=False`` composes carried arrays through the FK index for
+    free (build pipelines merely thread the values along);
+    ``priced=True`` charges one random gather per surviving row — the
+    point of late materialization is that this runs after *all*
+    semijoin filtering.
+    """
+
+    state: str
+    fk_column: str
+    columns: Tuple[str, ...]
+    priced: bool = True
+
+    def describe(self) -> str:
+        when = "after all semijoins" if self.priced else "composed free"
+        return (
+            f"CarriedGather {list(self.columns)} via "
+            f"fkindex({self.fk_column}) from {self.state} ({when})"
+        )
+
+
+@dataclass(frozen=True)
+class OuterGroupJoinAgg(PhysicalOp):
+    """Outer groupjoin probe: count stream rows per build key.
+
+    ``mode`` prices the count deltas: conditional reads, gathered
+    reads, masked (unconditional) adds, or key-masked blends.
+    """
+
+    state: str
+    fk_column: str
+    count_name: str
+    mode: str  # conditional | gathered | value_mask | key_mask
+    build_table: str
+
+    def describe(self) -> str:
+        return (
+            f"OuterGroupJoinAgg[{self.mode}] count by {self.fk_column} "
+            f"over {self.build_table} keys -> ht[{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class GroupDistribution(PhysicalOp):
+    """Outer groupjoin tail: group the per-key counts themselves.
+
+    Scans the count table, folds build keys that never appeared
+    (unmatched rows of the outer join) into the zero bucket, and
+    aggregates count-of-counts (Q13's distribution).
+    """
+
+    state: str
+    key_name: str
+    agg_name: str
+
+    def describe(self) -> str:
+        return (
+            f"GroupDistribution {self.agg_name} per {self.key_name} "
+            f"from ht[{self.state}] (unmatched keys -> bucket 0)"
+        )
+
+
+@dataclass(frozen=True)
+class MultiBitmapBuild(PhysicalOp):
+    """DisjunctJoin build: one bitmap per disjunct from a single scan.
+
+    Reads the union of build-side predicate columns once and fills
+    ``len(disjuncts)`` positional bitmaps in the same pass (§III-F's
+    three-bitmaps-from-one-scan shape).
+    """
+
+    state: str
+    disjuncts: Tuple[Expr, ...]  # build-side conjunction per disjunct
+
+    def describe(self) -> str:
+        arms = "; ".join(d.to_c() for d in self.disjuncts)
+        return (
+            f"MultiBitmapBuild {len(self.disjuncts)} bitmaps from one "
+            f"scan [{arms}] -> bitmaps[{self.state}]"
+        )
+
+
+@dataclass(frozen=True)
+class DisjunctIndexProbe(PhysicalOp):
+    """DisjunctJoin probe without bitmaps: per-row FK index lookups.
+
+    For each surviving probe row, read the build row through the FK
+    index and evaluate every (build_pred AND probe_pred) arm with
+    short-circuit compares.
+    """
+
+    state: str
+    fk_column: str
+    disjuncts: Tuple[Tuple[Expr, Expr], ...]
+    access: str = VECTOR
+
+    def describe(self) -> str:
+        return (
+            f"DisjunctIndexProbe[{self.access}] {self.fk_column} -> "
+            f"{self.state} rows, {len(self.disjuncts)} disjuncts"
+        )
+
+
+@dataclass(frozen=True)
+class DisjunctBitmapProbe(PhysicalOp):
+    """DisjunctJoin probe against the per-disjunct bitmaps.
+
+    Tests one bit per disjunct at the FK-index offset and ANDs each
+    with its probe-side predicate; a row survives if any arm holds.
+    """
+
+    state: str
+    fk_column: str
+    disjuncts: Tuple[Tuple[Expr, Expr], ...]
+
+    def describe(self) -> str:
+        return (
+            f"DisjunctBitmapProbe {self.fk_column} over "
+            f"{len(self.disjuncts)} bitmaps[{self.state}]"
         )
 
 
@@ -300,14 +528,24 @@ __all__ = [
     "VECTOR",
     "BitmapBuild",
     "BitmapSemiProbe",
+    "CarriedGather",
     "ColumnMaterialize",
+    "DisjunctBitmapProbe",
+    "DisjunctIndexProbe",
     "EagerAggregate",
+    "ExistsBitmapBuild",
+    "ExistsBitmapProbe",
     "FilterStage",
     "GroupAgg",
     "GroupBuild",
+    "GroupDistribution",
     "GroupJoinAgg",
+    "HashJoinCarryProbe",
     "HashSemiProbe",
     "IndexGather",
+    "JoinBuild",
+    "MultiBitmapBuild",
+    "OuterGroupJoinAgg",
     "PhysicalOp",
     "PhysicalPlan",
     "Pipeline",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import socket
 import time
+import warnings
 from typing import Any, Optional
 
 from ..errors import ReproError
@@ -71,9 +72,21 @@ class ServiceClient:
     ) -> QueryResponse:
         """Send one request and block for its response.
 
-        ``query`` is a TPC-H name or a microbench spec dict (the wire
-        protocol cannot carry logical ``Query`` objects).
+        ``query`` is a :class:`~repro.plan.ops.LogicalPlan` (sent as
+        structural JSON plus its IR fingerprint), a TPC-H name, or a
+        microbench spec dict. Legacy logical ``Query`` objects are
+        in-process only and cannot cross the wire. Addressing TPC-H
+        queries by bare name is deprecated — send the plan.
         """
+        if isinstance(query, str):
+            warnings.warn(
+                "addressing queries by name string over the wire is "
+                "deprecated; send the operator tree instead — "
+                "repro.tpch.logical_plan(name) or a repro.PlanBuilder "
+                "plan serialises automatically",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         kwargs = {} if id is None else {"id": id}
         req = QueryRequest(
             query=query,

@@ -7,11 +7,17 @@ the TCP server (:mod:`repro.server.tcp`) carries the same objects as
 newline-delimited JSON (one object per line, one response per request,
 in order).
 
-A request names its query either as a hand-coded TPC-H program
-(``"Q1"`` .. ``"Q19"``), as a microbenchmark spec
-(``{"micro": "q1", "args": {"sel": 30, "op": "mul"}}`` — the
-constructors in :mod:`repro.datagen.microbench`), or — in-process
-only — as a logical :class:`~repro.plan.logical.Query` object.
+A request carries its query in one of four spellings:
+
+* a logical plan envelope (``{"plan": {...}, "fingerprint": "ir:..."}``
+  — the structural JSON of :mod:`repro.plan.serde`, the primary form;
+  :class:`QueryRequest` serialises a
+  :class:`~repro.plan.ops.LogicalPlan` this way automatically);
+* a TPC-H query name (``"Q1"`` .. ``"Q19"`` — a thin lookup into
+  :mod:`repro.tpch.plans`; deprecated in favour of sending the plan);
+* a microbenchmark spec (``{"micro": "q1", "args": {"sel": 30}}`` —
+  the constructors in :mod:`repro.datagen.microbench`);
+* in-process only: a legacy :class:`~repro.plan.logical.Query` object.
 
 Besides queries, the wire carries one control operation: a **stats
 request** (``{"op": "stats"}``), answered with the server's full
@@ -79,17 +85,28 @@ class ProtocolError(ReproError):
 def parse_query_spec(spec: Any) -> Any:
     """Resolve a wire query spec into what ``Engine.execute`` accepts.
 
-    Strings pass through (TPC-H names); ``{"micro": name, "args":
-    {...}}`` dicts call the named microbenchmark constructor; logical
-    ``Query`` objects (in-process requests) pass through untouched.
+    ``{"plan": {...}}`` envelopes decode to a
+    :class:`~repro.plan.ops.LogicalPlan` (fingerprint-verified);
+    strings pass through (TPC-H names); ``{"micro": name, "args":
+    {...}}`` dicts call the named microbenchmark constructor;
+    ``LogicalPlan`` / legacy ``Query`` objects (in-process requests)
+    pass through untouched.
     """
     if isinstance(spec, str):
         return spec
     if isinstance(spec, dict):
+        if "plan" in spec:
+            from ..errors import PlanError
+            from ..plan.serde import plan_from_wire
+
+            try:
+                return plan_from_wire(spec)
+            except PlanError as exc:
+                raise ProtocolError(str(exc)) from exc
         if "micro" not in spec:
             raise ProtocolError(
-                "query spec dicts need a 'micro' key naming a "
-                "microbenchmark constructor"
+                "query spec dicts need a 'plan' envelope or a 'micro' "
+                "key naming a microbenchmark constructor"
             )
         registry = _micro_registry()
         name = spec["micro"]
@@ -111,8 +128,9 @@ def parse_query_spec(spec: Any) -> Any:
         except ReproError as exc:
             raise ProtocolError(str(exc)) from exc
     from ..plan.logical import Query
+    from ..plan.ops import LogicalPlan
 
-    if isinstance(spec, Query):
+    if isinstance(spec, (LogicalPlan, Query)):
         return spec
     raise ProtocolError(
         f"unsupported query spec of type {type(spec).__name__}"
@@ -150,12 +168,20 @@ class QueryRequest:
     id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
 
     def to_wire(self) -> dict:
-        if not isinstance(self.query, (str, dict)):
+        from ..plan.ops import LogicalPlan
+
+        query = self.query
+        if isinstance(query, LogicalPlan):
+            from ..plan.serde import plan_to_wire
+
+            query = plan_to_wire(query)
+        elif not isinstance(query, (str, dict)):
             raise ProtocolError(
-                "only TPC-H names and microbench spec dicts serialise; "
-                "logical Query objects are in-process only"
+                "only LogicalPlan trees, TPC-H names, and microbench "
+                "spec dicts serialise; legacy Query objects are "
+                "in-process only"
             )
-        wire: dict = {"id": self.id, "query": self.query}
+        wire: dict = {"id": self.id, "query": query}
         if self.strategy != "auto":
             wire["strategy"] = self.strategy
         if self.workers is not None:

@@ -29,17 +29,18 @@ class TestKeys:
         assert query_fingerprint(mb.q1(30)) != query_fingerprint(mb.q1(31))
 
     def test_tpch_names_addressed_directly(self):
-        # Hand-coded queries key on their name; queries with an operator
-        # tree key on the IR fingerprint (same as an equivalent
-        # LogicalPlan passed directly).
-        assert query_fingerprint("Q4") == "tpch:Q4"
+        # Every TPC-H name now resolves to an operator tree and keys on
+        # the IR fingerprint (same as an equivalent LogicalPlan passed
+        # directly); only unregistered names fall back to name keying.
         from repro.plan.ops import plan_fingerprint
         from repro.tpch import logical_plan
 
-        assert query_fingerprint("Q1") == plan_fingerprint(
-            logical_plan("Q1")
-        )
-        assert query_fingerprint("Q1").startswith("ir:")
+        for name in ("Q1", "Q4", "Q13"):
+            assert query_fingerprint(name) == plan_fingerprint(
+                logical_plan(name)
+            )
+            assert query_fingerprint(name).startswith("ir:")
+        assert query_fingerprint("Q99") == "tpch:Q99"
 
     def test_legacy_query_shares_ir_fingerprint(self):
         from repro.plan.ops import from_query, plan_fingerprint

@@ -63,6 +63,48 @@ class TestQuerySpec:
             parse_query_spec(42)
 
 
+class TestPlanSpecs:
+    """Logical plans over the wire: structural JSON + IR fingerprint."""
+
+    def _plan(self):
+        from repro.tpch import logical_plan
+
+        return logical_plan("Q6")
+
+    def test_logical_plan_passes_through(self):
+        plan = self._plan()
+        assert parse_query_spec(plan) is plan
+
+    def test_plan_envelope_decodes(self):
+        from repro.plan.serde import plan_to_wire
+
+        plan = self._plan()
+        wire = load_line(dump_line(plan_to_wire(plan)))
+        assert parse_query_spec(wire) == plan
+
+    def test_plan_request_round_trips(self):
+        from repro.server.protocol import parse_request
+
+        plan = self._plan()
+        request = QueryRequest(query=plan, strategy="swole", workers=2)
+        back = parse_request(load_line(dump_line(request.to_wire())))
+        assert back.strategy == "swole"
+        assert back.workers == 2
+        assert parse_query_spec(back.query) == plan
+
+    def test_tampered_fingerprint_rejected(self):
+        from repro.plan.serde import plan_to_wire
+
+        wire = plan_to_wire(self._plan())
+        wire["fingerprint"] = "ir:0000000000000000"
+        with pytest.raises(ProtocolError, match=r"does not match"):
+            parse_query_spec(wire)
+
+    def test_bad_plan_payload_rejected(self):
+        with pytest.raises(ProtocolError, match=r"unknown plan node"):
+            parse_query_spec({"plan": {"name": "x", "root": {"t": "cube"}}})
+
+
 class TestRequestWire:
     def test_round_trip_defaults(self):
         request = QueryRequest(query="Q1")

@@ -89,6 +89,32 @@ class TestHappyPath:
             assert via_spec.ok and bare.ok
             assert via_spec.value == pytest.approx(bare.value)
 
+    def test_plan_envelope_served(self, micro_db):
+        # An operator tree submitted as its wire form (structural JSON +
+        # IR fingerprint) answers identically to the in-process plan.
+        from repro.plan import PlanBuilder, plan_to_wire
+        from repro.plan.expressions import Col
+        from repro.plan.logical import AggSpec
+        from repro.server.protocol import encode_value
+
+        plan = (
+            PlanBuilder.scan("R")
+            .filter(Col("r_x") < 30)
+            .group_agg(
+                AggSpec("sum", Col("r_a") * Col("r_b"), name="sum")
+            )
+            .build("wire-uq1")
+        )
+        with Engine(db=micro_db, workers=1) as engine:
+            direct = engine.execute(plan, "swole", workers=1)
+            with QueryService(engine, concurrency=1) as service:
+                response = service.execute(
+                    QueryRequest(query=plan_to_wire(plan), strategy="swole")
+                )
+            assert response.ok
+            assert response.value == encode_value(direct.value)
+            assert response.metrics["plan_cache"] == "hit"
+
     def test_stats_count_outcomes(self):
         service = QueryService(StubEngine(), concurrency=1)
         service.execute("a")
