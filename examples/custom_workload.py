@@ -69,8 +69,14 @@ def main() -> None:
     print(engine.explain(plan))
     print()
 
-    result = engine.execute(plan)  # "auto" -> SWOLE, morsel-parallel
-    hybrid = engine.execute(plan, "hybrid")
+    # Instrumented backend: the simulated-runtime comparison below is
+    # priced by the cost model (the vectorized serving default, which
+    # answers identically, prices nothing).
+    result = engine.execute(plan, backend="instrumented")
+    hybrid = engine.execute(plan, "hybrid", backend="instrumented")
+    served = engine.execute(plan)  # the vectorized serving default
+    assert np.array_equal(result.value["keys"], served.value["keys"])
+    assert np.array_equal(result.value["aggs"], served.value["aggs"])
     assert np.array_equal(result.value["keys"], hybrid.value["keys"])
     assert np.array_equal(result.value["aggs"], hybrid.value["aggs"])
 

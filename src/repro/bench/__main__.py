@@ -96,7 +96,7 @@ def run_figure(
     raise SystemExit(f"unknown figure {name!r}")
 
 
-def run_quick(workers: int) -> None:
+def run_quick(workers: int, backend: str = "vectorized") -> None:
     """CI smoke run: tiny fig8 panel + executor and plan-cache demos."""
     from ..engine import Engine
 
@@ -109,7 +109,7 @@ def run_quick(workers: int) -> None:
 
     db = load_dataset("microbench", config)
     machine = micro.scaled_machine(config)
-    engine = Engine(db, machine=machine, workers=workers)
+    engine = Engine(db, machine=machine, workers=workers, backend=backend)
     query = mb.q1(50)
 
     serial = engine.execute(query, "swole", workers=1)
@@ -168,6 +168,14 @@ def main() -> None:
         default="warm",
         help="'warm' reuses compiled plans across a sweep; 'cold' "
         "recompiles at every point",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("instrumented", "vectorized"),
+        default="vectorized",
+        help="execution backend for --quick/--throughput/--serve-bench "
+        "(figures always use the instrumented backend: their y-axis is "
+        "the paper's simulated seconds)",
     )
     parser.add_argument(
         "--quick",
@@ -281,6 +289,7 @@ def main() -> None:
                 requests_per_client=min(args.requests, 10),
                 deadline=args.deadline,
                 rounds=args.rounds if args.rounds is not None else 1,
+                backend=args.backend,
                 connect=args.connect,
                 connect_workload=args.serve_workload,
                 out_path=args.out or "BENCH_serving.json",
@@ -296,6 +305,7 @@ def main() -> None:
                 requests_per_client=args.requests,
                 deadline=args.deadline,
                 rounds=args.rounds if args.rounds is not None else 3,
+                backend=args.backend,
                 connect=args.connect,
                 connect_workload=args.serve_workload,
                 out_path=args.out or "BENCH_serving.json",
@@ -313,6 +323,7 @@ def main() -> None:
                 iterations=min(args.iters, 10),
                 baseline_iterations=40,
                 seed=args.seed,
+                backend=args.backend,
                 out_path=out,
             )
         else:
@@ -322,11 +333,12 @@ def main() -> None:
                 workers=max(args.workers, 4),
                 iterations=args.iters,
                 seed=args.seed,
+                backend=args.backend,
                 out_path=out,
             )
         return
     if args.quick:
-        run_quick(max(args.workers, 4))
+        run_quick(max(args.workers, 4), backend=args.backend)
         return
     figures = args.figures
     if not figures:

@@ -103,7 +103,10 @@ def run_strategies(
     amortise compilation through its plan cache across calls.
     """
     if engine is None:
-        engine = Engine(db, machine=machine, workers=workers)
+        # Simulated-cycle figures are the instrumented backend's job.
+        engine = Engine(
+            db, machine=machine, workers=workers, backend="instrumented"
+        )
     out: Dict[str, float] = {}
     for strategy in strategies:
         result = engine.execute(query, strategy, workers=workers)
@@ -121,7 +124,9 @@ def _sweep(
     workers: int = 1,
     plan_cache: str = "warm",
 ) -> SweepResult:
-    engine = Engine(db, machine=machine, workers=workers)
+    engine = Engine(
+        db, machine=machine, workers=workers, backend="instrumented"
+    )
     result = SweepResult(title=title, x_label="sel%", workers=workers)
     for sel in selectivities:
         if plan_cache == "cold":

@@ -286,9 +286,11 @@ def run_serial_baseline(
     *,
     requests: int,
     workload: str,
+    backend: Optional[str] = None,
 ) -> LoadgenResult:
     """The un-served baseline: the same request stream as sequential
-    ``engine.execute`` calls on one thread (workers=1, no queue)."""
+    ``engine.execute`` calls on one thread (workers=1, no queue).
+    ``backend`` overrides the engine's default execution backend."""
     from ..server.protocol import parse_query_spec
 
     result = LoadgenResult(
@@ -300,11 +302,14 @@ def run_serial_baseline(
         queue_depth=0,
     )
     queries = [parse_query_spec(spec) for _, spec in mix]
-    engine.execute(queries[0], strategy, workers=1)  # warm the plan cache
+    # Warm the plan cache outside the measured loop.
+    engine.execute(queries[0], strategy, workers=1, backend=backend)
     begin = time.perf_counter()
     for i in range(requests):
         start = time.perf_counter()
-        engine.execute(queries[i % len(queries)], strategy, workers=1)
+        engine.execute(
+            queries[i % len(queries)], strategy, workers=1, backend=backend
+        )
         result.latencies.append(time.perf_counter() - start)
         result.issued += 1
         result.ok += 1
@@ -312,10 +317,17 @@ def run_serial_baseline(
     return result
 
 
-def service_issue_fn(service: QueryService) -> IssueFn:
+def service_issue_fn(
+    service: QueryService, backend: Optional[str] = None
+) -> IssueFn:
     def issue(spec, strategy, deadline):
         return service.execute(
-            QueryRequest(query=spec, strategy=strategy, deadline=deadline),
+            QueryRequest(
+                query=spec,
+                strategy=strategy,
+                deadline=deadline,
+                backend=backend,
+            ),
             timeout=60.0,
         )
 
@@ -334,9 +346,11 @@ def run_service_scenario(
     queue_depth: int,
     requests_per_client: int,
     deadline: Optional[float],
+    backend: Optional[str] = None,
 ) -> Tuple[LoadgenResult, dict]:
     """One in-process served scenario; returns the loadgen view and the
-    service's own stats snapshot."""
+    service's own stats snapshot. ``backend`` pins every request's
+    execution backend (``None`` serves the engine's default)."""
     result = LoadgenResult(
         scenario=scenario,
         workload=workload,
@@ -350,7 +364,7 @@ def run_service_scenario(
     ) as service:
         # Warm the plan cache outside the measured loop (one request
         # per mix entry), as the throughput bench does.
-        issue = service_issue_fn(service)
+        issue = service_issue_fn(service, backend)
         for _, spec in mix:
             issue(spec, strategy, None)
         drive_load(
@@ -379,13 +393,20 @@ def run_serving_bench(
     deadline: float = DEFAULT_DEADLINE,
     rounds: int = DEFAULT_ROUNDS,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    backend: str = "vectorized",
     out_path: Optional[str] = DEFAULT_OUT,
     cache: Optional[DatasetCache] = None,
     connect: Optional[str] = None,
     connect_workload: str = "tpch-q1q6",
     verbose: bool = True,
 ) -> dict:
-    """Run the serving suite; return (and optionally write) the report."""
+    """Run the serving suite; return (and optionally write) the report.
+
+    ``backend`` is the execution backend the whole suite runs on:
+    in-process engines are built with it, and over TCP every request
+    carries it so the measurement does not depend on the remote
+    server's default.
+    """
     say = print if verbose else (lambda *_a, **_k: None)
     if rounds < 1:
         raise ReproError(f"rounds must be at least 1, got {rounds}")
@@ -398,6 +419,7 @@ def run_serving_bench(
             requests_per_client=requests_per_client,
             deadline=deadline,
             rounds=rounds,
+            backend=backend,
             say=say,
         )
     else:
@@ -413,6 +435,7 @@ def run_serving_bench(
             deadline=deadline,
             rounds=rounds,
             strategies=strategies,
+            backend=backend,
             cache=cache or dataset_cache(),
             say=say,
         )
@@ -441,6 +464,7 @@ def _run_in_process(
     deadline: float,
     rounds: int,
     strategies: Sequence[str],
+    backend: str,
     cache: DatasetCache,
     say,
 ) -> dict:
@@ -484,7 +508,9 @@ def _run_in_process(
     round_failures = 0
     for workload, (db, machine) in databases.items():
         mix = WORKLOADS[workload]
-        with Engine(db, machine=machine, workers=engine_workers) as engine:
+        with Engine(
+            db, machine=machine, workers=engine_workers, backend=backend
+        ) as engine:
             for strategy in strategies:
                 serial_rounds: List[LoadgenResult] = []
                 served_rounds: List[LoadgenResult] = []
@@ -552,6 +578,7 @@ def _run_in_process(
         databases["micro-q1q2"],
         clients=max(clients, 8),
         requests_per_client=requests_per_client,
+        backend=backend,
         say=say,
     )
 
@@ -571,6 +598,7 @@ def _run_in_process(
             "deadline": deadline,
             "rounds": rounds,
             "strategies": list(strategies),
+            "backend": backend,
             "transport": "in-process",
         },
         "dataset_cache": {
@@ -587,14 +615,19 @@ def _run_in_process(
 
 
 def _run_shedding_demo(
-    db_machine, *, clients: int, requests_per_client: int, say
+    db_machine,
+    *,
+    clients: int,
+    requests_per_client: int,
+    backend: str,
+    say,
 ) -> dict:
     """Deliberately undersized service under the full client fleet: the
     point is structured ``queue_full`` rejections with retry hints —
     not crashes, not hangs — and a queue that never exceeds its bound."""
     db, machine = db_machine
     mix = WORKLOADS["micro-q1q2"]
-    with Engine(db, machine=machine, workers=1) as engine:
+    with Engine(db, machine=machine, workers=1, backend=backend) as engine:
         result, stats = run_service_scenario(
             engine,
             mix,
@@ -625,9 +658,12 @@ def _run_connect(
     requests_per_client: int,
     deadline: float,
     rounds: int,
+    backend: str,
     say,
 ) -> dict:
-    """Drive a remote ``python -m repro.server`` over TCP."""
+    """Drive a remote ``python -m repro.server`` over TCP. Every
+    request carries ``backend`` explicitly, so the measurement holds
+    regardless of the remote server's ``--backend`` default."""
     host, _, port_text = address.partition(":")
     try:
         port = int(port_text)
@@ -649,7 +685,7 @@ def _run_connect(
         # the first client retries until the server is listening.
         warm = ServiceClient(host, port, connect_retry_window=30.0)
         for _, spec in mix:
-            warm.request(spec, strategy=strategy)
+            warm.request(spec, strategy=strategy, backend=backend)
         warm.close()
 
         serial_rounds: List[LoadgenResult] = []
@@ -666,7 +702,7 @@ def _run_connect(
             with ServiceClient(host, port) as client:
                 drive_load(
                     lambda spec, strat, dl: client.request(
-                        spec, strategy=strat, deadline=dl
+                        spec, strategy=strat, deadline=dl, backend=backend
                     ),
                     mix,
                     strategy,
@@ -694,7 +730,9 @@ def _run_connect(
                     conn = getattr(local, "conn", None)
                     if conn is None:
                         conn = local.conn = _stack.pop()
-                    return conn.request(spec, strategy=strat, deadline=dl)
+                    return conn.request(
+                        spec, strategy=strat, deadline=dl, backend=backend
+                    )
 
                 drive_load(
                     issue,
@@ -746,6 +784,7 @@ def _run_connect(
             "deadline": deadline,
             "rounds": rounds,
             "strategies": list(strategies),
+            "backend": backend,
             "transport": "tcp",
         },
         "scenarios": scenarios,

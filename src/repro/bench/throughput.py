@@ -34,8 +34,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..datagen import microbench as mb
 from ..datagen import tpch as tpchgen
 from ..datagen.cache import DatasetCache, dataset_cache
-from ..engine import Engine
+from ..engine import Engine, ExecutionKnobs
 from ..engine.machine import PAPER_MACHINE
+from ..engine.program import results_equal
+from ..errors import ReproError
 from ..tpch import logical_plan
 
 #: Strategies measured by default (the paper's main series).
@@ -60,7 +62,7 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass
 class WorkloadResult:
-    """Throughput of one (workload, strategy) closed loop."""
+    """Throughput of one (workload, strategy, backend) closed loop."""
 
     workload: str
     strategy: str
@@ -71,6 +73,7 @@ class WorkloadResult:
     latencies: List[float] = field(default_factory=list, repr=False)
     plan_cache: Dict[str, float] = field(default_factory=dict)
     pooled: bool = True
+    backend: str = "vectorized"
 
     @property
     def qps(self) -> float:
@@ -88,6 +91,7 @@ class WorkloadResult:
         return {
             "workload": self.workload,
             "strategy": self.strategy,
+            "backend": self.backend,
             "workers": self.workers,
             "iterations": self.iterations,
             "queries": self.queries,
@@ -102,6 +106,7 @@ class WorkloadResult:
     def format_row(self) -> str:
         return (
             f"{self.workload:<14s} {self.strategy:<12s} "
+            f"{self.backend:<12s} "
             f"{self.qps:>9.1f} q/s  p50 {self.p50_ms:>7.2f} ms  "
             f"p95 {self.p95_ms:>7.2f} ms  "
             f"plan-cache hit rate {self.plan_cache.get('hit_rate', 0.0):.2f}"
@@ -117,24 +122,26 @@ def run_workload(
     iterations: int,
     warmup: int = 2,
     workload: str = "workload",
+    backend: Optional[str] = None,
 ) -> WorkloadResult:
     """Drive ``engine`` in a closed loop over the query mix.
 
     One *iteration* issues every query in the mix once. ``warmup``
     iterations run first (filling the plan cache and starting the
     pool); plan-cache counters are snapshotted over the measured loop
-    only.
+    only. ``backend`` pins the execution backend per call (``None``
+    uses the engine's default).
     """
     for _ in range(max(warmup, 0)):
         for _, query in queries:
-            engine.execute(query, strategy, workers=workers)
+            engine.execute(query, strategy, workers=workers, backend=backend)
     before = engine.cache_stats.snapshot()
     latencies: List[float] = []
     begin = time.perf_counter()
     for _ in range(iterations):
         for _, query in queries:
             start = time.perf_counter()
-            engine.execute(query, strategy, workers=workers)
+            engine.execute(query, strategy, workers=workers, backend=backend)
             latencies.append(time.perf_counter() - start)
     total = time.perf_counter() - begin
     after = engine.cache_stats.snapshot()
@@ -154,6 +161,7 @@ def run_workload(
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         },
         pooled=engine.pool is not None,
+        backend=backend if backend is not None else engine.knobs.backend,
     )
 
 
@@ -166,6 +174,7 @@ def pool_vs_spawn(
     rounds: int = 4,
     query: str = "Q6",
     strategy: str = "swole",
+    backend: str = "vectorized",
 ) -> dict:
     """Repeated-``query`` throughput: persistent pool vs spawn-per-query.
 
@@ -181,8 +190,21 @@ def pool_vs_spawn(
     per_round = max(iterations // rounds, 1)
     plan = logical_plan(query) if isinstance(query, str) else query
     round_seconds: Dict[str, List[float]] = {"pool": [], "spawn": []}
-    with Engine(db, machine=machine, workers=workers) as pooled:
-        spawn = Engine(db, machine=machine, workers=workers, use_pool=False)
+    # Pin the morsel size: the vectorized backend's fan-out floor would
+    # otherwise run this deliberately short query serially on both
+    # engines, and a comparison of thread lifecycles needs threads.
+    knobs = ExecutionKnobs(morsel_rows=4096)
+    with Engine(
+        db, machine=machine, workers=workers, backend=backend, knobs=knobs
+    ) as pooled:
+        spawn = Engine(
+            db,
+            machine=machine,
+            workers=workers,
+            use_pool=False,
+            backend=backend,
+            knobs=knobs,
+        )
         for engine in (pooled, spawn):  # warm plans + pool threads
             for _ in range(3):
                 engine.execute(plan, strategy, workers=workers)
@@ -199,6 +221,7 @@ def pool_vs_spawn(
     return {
         "workload": f"repeated-{query}",
         "strategy": strategy,
+        "backend": backend,
         "workers": workers,
         "rounds": rounds,
         "queries_per_mode": per_round * rounds,
@@ -224,6 +247,8 @@ def run_throughput(
     baseline_sf: float = SHORT_QUERY_SF,
     baseline_iterations: Optional[int] = None,
     seed: Optional[int] = None,
+    backend: str = "vectorized",
+    compare_backends: bool = True,
     verbose: bool = True,
 ) -> dict:
     """Run the full throughput suite; return (and optionally write) the
@@ -233,6 +258,13 @@ def run_throughput(
     each generator's own default), making a run byte-for-byte
     reproducible: the same seed yields the same fingerprints, datasets,
     and query answers.
+
+    ``backend`` is the headline backend (the ``workloads`` section and
+    the pool-vs-spawn isolation run on it). With ``compare_backends``
+    (the default) every (workload, strategy) cell additionally runs on
+    the *other* backend, and the report carries a ``backend_speedup``
+    section: vectorized over instrumented qps per cell, with a
+    byte-equality check of the two backends' answers on the way in.
     """
     cache = cache or dataset_cache()
     say = print if verbose else (lambda *_args, **_kw: None)
@@ -263,7 +295,61 @@ def run_throughput(
     micro_machine = PAPER_MACHINE.scaled(micro_config.scale_factor)
     tpch_machine = PAPER_MACHINE.scaled(tpch_config.machine_scale)
 
+    measured_backends = [backend]
+    if compare_backends:
+        measured_backends.append(
+            "instrumented" if backend == "vectorized" else "vectorized"
+        )
+
     workloads: List[WorkloadResult] = []
+    comparison: List[WorkloadResult] = []
+    backend_speedup: List[dict] = []
+
+    def measure(engine: Engine, mix, workload_name: str) -> None:
+        for strategy in strategies:
+            by_backend: Dict[str, WorkloadResult] = {}
+            for bend in measured_backends:
+                result = run_workload(
+                    engine, mix, strategy,
+                    workers=workers, iterations=iterations, warmup=warmup,
+                    workload=workload_name, backend=bend,
+                )
+                by_backend[bend] = result
+                (workloads if bend == backend else comparison).append(result)
+                say(result.format_row())
+            if len(by_backend) < 2:
+                continue
+            # The speed comparison is only meaningful if the two
+            # backends agree bit for bit; check before reporting.
+            for query_name, query in mix:
+                pair = [
+                    engine.execute(
+                        query, strategy, workers=workers, backend=bend
+                    )
+                    for bend in ("instrumented", "vectorized")
+                ]
+                if not results_equal(pair[0], pair[1]):
+                    raise ReproError(
+                        f"backend answers diverged on {workload_name}/"
+                        f"{query_name} under {strategy}"
+                    )
+            inst = by_backend["instrumented"]
+            vec = by_backend["vectorized"]
+            speedup = vec.qps / inst.qps if inst.qps else 0.0
+            backend_speedup.append(
+                {
+                    "workload": workload_name,
+                    "strategy": strategy,
+                    "instrumented_qps": inst.qps,
+                    "vectorized_qps": vec.qps,
+                    "speedup": speedup,
+                }
+            )
+            say(
+                f"  vectorized over instrumented ({workload_name}, "
+                f"{strategy}): {speedup:.2f}x"
+            )
+
     tpch_mix = [("Q1", logical_plan("Q1")), ("Q6", logical_plan("Q6"))]
     micro_mix = [
         ("uQ1-mul", mb.q1(30, "mul")),
@@ -271,23 +357,9 @@ def run_throughput(
         ("uQ2", mb.q2(30)),
     ]
     with Engine(tpch_db, machine=tpch_machine, workers=workers) as engine:
-        for strategy in strategies:
-            result = run_workload(
-                engine, tpch_mix, strategy,
-                workers=workers, iterations=iterations, warmup=warmup,
-                workload="tpch-q1q6",
-            )
-            workloads.append(result)
-            say(result.format_row())
+        measure(engine, tpch_mix, "tpch-q1q6")
     with Engine(micro_db, machine=micro_machine, workers=workers) as engine:
-        for strategy in strategies:
-            result = run_workload(
-                engine, micro_mix, strategy,
-                workers=workers, iterations=iterations, warmup=warmup,
-                workload="micro-q1q2",
-            )
-            workloads.append(result)
-            say(result.format_row())
+        measure(engine, micro_mix, "micro-q1q2")
 
     baseline = pool_vs_spawn(
         short_db,
@@ -298,6 +370,7 @@ def run_throughput(
             if baseline_iterations is not None
             else max(iterations * 4, 40)
         ),
+        backend=backend,
     )
     say(
         f"pool vs spawn ({baseline['workload']}, "
@@ -322,6 +395,8 @@ def run_throughput(
             "warmup": warmup,
             "seed": seed,
             "strategies": list(strategies),
+            "backend": backend,
+            "compare_backends": compare_backends,
         },
         "dataset_cache": {
             "sources": sources,
@@ -329,6 +404,8 @@ def run_throughput(
             "dir": str(cache.cache_dir),
         },
         "workloads": [w.to_dict() for w in workloads],
+        "backend_comparison": [w.to_dict() for w in comparison],
+        "backend_speedup": backend_speedup,
         "pool_vs_spawn": baseline,
     }
     if out_path:

@@ -111,7 +111,10 @@ def run_fig6(
     if db is None:
         db = load_dataset("tpch", config)
     machine = PAPER_MACHINE.scaled(config.machine_scale)
-    engine = Engine(db, machine=machine, workers=workers)
+    # Figure 6 reports simulated seconds: instrumented backend only.
+    engine = Engine(
+        db, machine=machine, workers=workers, backend="instrumented"
+    )
     report = TpchReport(scale_factor=config.scale_factor, workers=workers)
     for name in queries or query_names():
         if plan_cache == "cold":

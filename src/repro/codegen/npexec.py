@@ -1,0 +1,293 @@
+"""Runtime library for the vectorized NumPy execution backend.
+
+The generated kernels (:mod:`repro.codegen.vectorize`) are ``exec``'d
+with this module's helpers bound into their globals. Everything here is
+plain NumPy over whole columns — no event emission, no simulated-cost
+accounting — but every helper is written to be *byte-identical* to the
+instrumented executor's semantics (:mod:`repro.codegen.physexec`):
+
+- grouped results are ``{"keys": int64 ascending, "aggs": int64 2-D}``,
+  exactly what ``HashTable.items()`` + ``grouped_result`` produce;
+- arithmetic happens at int64 width with ndarray-only casts and the
+  same floor-division / zero-check behaviour as ``Arith.evaluate``;
+- scalar aggregates come back as Python ints.
+
+Joins become sorted-array membership (``np.searchsorted``) instead of
+hash probes, and grouping becomes argsort + ``np.add.reduceat`` instead
+of scatter adds into a hash table — int64-exact in both cases, so the
+answers match the instrumented backend bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+
+__all__ = [
+    "VectorizedProgram",
+    "group_sorted",
+    "member",
+    "count_by",
+    "distribution",
+    "i64",
+    "int_div",
+    "rows_of",
+    "RUNTIME_ENV",
+]
+
+
+def rows_of(view: Dict[str, np.ndarray]) -> int:
+    """Row count of a column dict (any column — they are aligned)."""
+    return int(next(iter(view.values())).shape[0])
+
+
+def i64(value):
+    """``Arith``'s operand widening: ndarrays go to int64, scalars stay.
+
+    ``np.int64`` scalars (what ``Const.evaluate`` returns) are *not*
+    ndarrays and pass through untouched, matching the instrumented
+    expression evaluator exactly.
+    """
+    if isinstance(value, np.ndarray):
+        return value.astype(np.int64, copy=False)
+    return value
+
+
+def int_div(lhs, rhs):
+    """``Arith(op="div")``: zero-checked int64 floor division."""
+    if isinstance(lhs, np.ndarray):
+        lhs = lhs.astype(np.int64, copy=False)
+    if isinstance(rhs, np.ndarray):
+        rhs = rhs.astype(np.int64, copy=False)
+    rhs_array = np.asarray(rhs)
+    if rhs_array.size and (rhs_array == 0).any():
+        raise PlanError("division by zero in expression")
+    return np.floor_divide(lhs, rhs)
+
+
+def member(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Membership of int64 ``values`` in a *sorted unique* key array.
+
+    The vectorized replacement for a hash-set semijoin probe: binary
+    search + one equality check per probe value.
+    """
+    if table.size == 0:
+        return np.zeros(values.shape[0], dtype=bool)
+    pos = np.searchsorted(table, values)
+    pos[pos == table.size] = table.size - 1
+    return table[pos] == values
+
+
+#: Dense-code grouping applies while every 32-bit partial sum stays
+#: exactly representable in float64 (``n * 2**32 < 2**53``).
+_BINCOUNT_MAX_ROWS = 1 << 21
+
+_LO_MASK = np.int64(0xFFFFFFFF)
+_HI_SCALE = np.int64(1 << 32)
+
+
+def _dense_codes(keys: np.ndarray):
+    """``(codes, base_keys)`` when the key range is narrow enough for
+    counting-sort grouping, else ``None`` (caller falls back to sort).
+
+    The spread bound keeps the ``np.bincount`` tables O(n): dense keys
+    (dictionary codes, group expressions, FK ids) qualify; sparse ones
+    (hashes, wide surrogate keys) take the argsort path.
+    """
+    if keys.size == 0 or keys.size >= _BINCOUNT_MAX_ROWS:
+        return None
+    kmin = int(keys.min())
+    spread = int(keys.max()) - kmin
+    if spread > max(65536, 4 * keys.size):
+        return None
+    codes = (keys - np.int64(kmin)).astype(np.intp, copy=False)
+    base = np.arange(spread + 1, dtype=np.int64) + np.int64(kmin)
+    return codes, base
+
+
+def _bincount_i64(codes: np.ndarray, delta: np.ndarray, length: int):
+    """Exact int64 per-code sums via two float64 bincounts.
+
+    ``np.bincount`` only sums float64 weights, so the int64 deltas are
+    split into a signed high half and an unsigned low half; both
+    partial sums stay below 2**53 (guaranteed by ``_BINCOUNT_MAX_ROWS``)
+    and therefore exact, and the recombination wraps mod 2**64 exactly
+    like the int64 adds of the sort path.
+    """
+    hi = delta >> 32
+    lo = delta & _LO_MASK
+    hs = np.bincount(codes, weights=hi, minlength=length)
+    ls = np.bincount(codes, weights=lo, minlength=length)
+    return hs.astype(np.int64) * _HI_SCALE + ls.astype(np.int64)
+
+
+def group_sorted(
+    keys: np.ndarray,
+    deltas: List[np.ndarray],
+    mask: Optional[np.ndarray] = None,
+) -> Dict[str, np.ndarray]:
+    """Group int64 ``deltas`` columns by int64 ``keys``; keys ascending.
+
+    Dense key ranges group by counting (``np.bincount`` over shifted
+    codes, int64-exact via the hi/lo split); sparse ranges fall back to
+    a stable argsort plus one ``np.add.reduceat`` per run boundary.
+    Both are bit-identical to the hash-table scatter-add path.
+
+    ``mask`` selects the rows to group (the generated kernels pass the
+    selection vector straight through): the dense path diverts the
+    unselected rows into a sentinel bucket that never reaches the
+    output, which beats materialising ``keys[mask]`` plus one boolean
+    subset copy per delta column.
+    """
+    naggs = max(len(deltas), 1)
+    if keys.size == 0:
+        return {
+            "keys": np.empty(0, dtype=np.int64),
+            "aggs": np.zeros((0, naggs), dtype=np.int64),
+        }
+    dense = _dense_codes(keys)
+    if dense is not None:
+        codes, base = dense
+        length = base.size
+        if mask is not None:
+            # Unselected rows land in bucket ``base.size`` — counted,
+            # summed, and then sliced away with everything past it.
+            codes = np.where(mask, codes, length)
+            length += 1
+        occupancy = np.bincount(codes, minlength=length)[: base.size]
+        present = np.flatnonzero(occupancy)
+        if deltas:
+            cols = [
+                _bincount_i64(
+                    codes, np.asarray(d, dtype=np.int64), length
+                )[: base.size][present]
+                for d in deltas
+            ]
+            aggs = np.stack(cols, axis=1)
+        else:
+            aggs = np.zeros((present.size, 1), dtype=np.int64)
+        return {"keys": base[present], "aggs": aggs}
+    if mask is not None:
+        keys = keys[mask]
+        deltas = [np.asarray(d)[mask] for d in deltas]
+        if keys.size == 0:
+            return {
+                "keys": np.empty(0, dtype=np.int64),
+                "aggs": np.zeros((0, naggs), dtype=np.int64),
+            }
+    stacked = np.stack(
+        [np.asarray(d, dtype=np.int64) for d in deltas], axis=1
+    ) if deltas else np.zeros((keys.shape[0], 1), dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    )
+    aggs = np.add.reduceat(stacked[order], starts, axis=0)
+    return {"keys": sorted_keys[starts], "aggs": aggs}
+
+
+def count_by(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-key row counts, keys ascending (outer groupjoin's state)."""
+    dense = _dense_codes(keys)
+    if dense is not None:
+        codes, base = dense
+        occupancy = np.bincount(codes, minlength=base.size)
+        present = np.flatnonzero(occupancy)
+        return base[present], occupancy[present].astype(np.int64)
+    uniq, counts = np.unique(keys, return_counts=True)
+    return uniq.astype(np.int64, copy=False), counts.astype(np.int64)
+
+
+def distribution(per_key: np.ndarray, missing: int) -> Dict[str, np.ndarray]:
+    """Count-of-counts over per-key counts, folding ``missing`` build
+    keys (rows the outer join never matched) into the zero bucket."""
+    values, counts = np.unique(per_key, return_counts=True)
+    values = values.astype(np.int64, copy=False)
+    counts = counts.astype(np.int64)
+    if missing:
+        if values.size and values[0] == 0:
+            counts[0] += missing
+        else:
+            values = np.concatenate(
+                (np.zeros(1, dtype=np.int64), values)
+            )
+            counts = np.concatenate(
+                (np.asarray([missing], dtype=np.int64), counts)
+            )
+    return {"keys": values, "aggs": counts.reshape(-1, 1)}
+
+
+#: Globals every generated kernel is ``exec``'d with (the expression
+#: compiler adds per-kernel ``_E*`` / ``_C*`` / ``_FK*`` bindings on
+#: top of a copy of this).
+RUNTIME_ENV: Dict[str, Any] = {
+    "np": np,
+    "_rows": rows_of,
+    "_member": member,
+    "_group": group_sorted,
+    "_count_by": count_by,
+    "_distribution": distribution,
+    "_i64": i64,
+    "_div": int_div,
+}
+
+
+class VectorizedProgram:
+    """A compiled physical plan as a list of executable column kernels.
+
+    ``kernels`` pairs each pipeline with its generated function
+    ``fn(view, state, lo) -> result | None``; ``data`` caches the base
+    columns per pipeline so the serving path does no per-query dict
+    rebuilding. ``source`` is the full generated Python text (the
+    vectorized analogue of the instrumented backend's pseudo-C).
+    """
+
+    def __init__(
+        self,
+        kernels: List[Tuple[Any, Callable]],
+        data: List[Dict[str, np.ndarray]],
+        source: str,
+        finalize: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    ) -> None:
+        if not kernels:
+            raise PlanError("vectorized program needs at least one pipeline")
+        self.kernels = kernels
+        self.data = data
+        self.source = source
+        #: Post-merge cleanup applied once to the final (serial) or
+        #: merged (parallel) result — eager aggregation's victim-key
+        #: deletion lives here so morsel partials stay mergeable.
+        self.finalize = finalize
+
+    def execute(self) -> Dict[str, Any]:
+        """Run every pipeline in order; the last one yields the answer."""
+        state: Dict[str, Dict[str, Any]] = {}
+        result: Optional[Dict[str, Any]] = None
+        for (pipe, fn), view in zip(self.kernels, self.data):
+            result = fn(view, state, 0)
+        if result is None:
+            raise PlanError("physical plan produced no result")
+        if self.finalize is not None:
+            result = self.finalize(result)
+        return result
+
+    def run_setup(self) -> Dict[str, Dict[str, Any]]:
+        """Run the build pipelines (all but the last) into fresh state."""
+        state: Dict[str, Dict[str, Any]] = {}
+        for (pipe, fn), view in zip(self.kernels[:-1], self.data[:-1]):
+            fn(view, state, 0)
+        return state
+
+    def run_final(
+        self,
+        view: Dict[str, np.ndarray],
+        state: Optional[Dict[str, Dict[str, Any]]],
+        lo: int,
+    ) -> Dict[str, Any]:
+        """Run the final pipeline over one morsel's row-range view."""
+        _, fn = self.kernels[-1]
+        return fn(view, state if state is not None else {}, lo)

@@ -106,10 +106,16 @@ class MorselExecutor:
             # token at every morsel claim.
             cancel.check(label)
         started = time.perf_counter()
+        serial_limit = MIN_MORSEL_ROWS
+        if plan is not None and session.knobs.morsel_rows is None:
+            # A backend may declare a higher fan-out floor (the
+            # vectorized kernels outrun thread dispatch on small
+            # scans); an explicitly pinned morsel size overrides it.
+            serial_limit = max(serial_limit, plan.min_parallel_rows)
         if (
             self.workers <= 1
             or plan is None
-            or plan.n_rows <= MIN_MORSEL_ROWS
+            or plan.n_rows <= serial_limit
         ):
             # A serial run is a single morsel spanning the whole scan:
             # morsel_rows is that morsel's size and scan_rows the scan

@@ -42,6 +42,12 @@ from .session import ExecutionKnobs, Session
 #: (SWOLE itself falls back to hybrid whenever a pullup would not pay).
 AUTO_STRATEGY = "swole"
 
+#: Execution backends a query can be compiled for. ``vectorized`` is
+#: the serving default (generated whole-column NumPy kernels);
+#: ``instrumented`` replays the plan through the event-priced
+#: interpreter and remains the authority for costing and explain.
+BACKENDS = ("instrumented", "vectorized")
+
 
 class Engine:
     """A database bound to a machine model, a plan cache, and workers.
@@ -68,6 +74,12 @@ class Engine:
         across queries. When False, every query spawns fresh threads
         (the pre-pool baseline; kept for the throughput benchmark).
         Results and simulated cycles are identical either way.
+    backend:
+        Default execution backend for this engine's compilations:
+        ``"vectorized"`` (default — generated whole-column NumPy
+        kernels) or ``"instrumented"`` (the event-priced interpreter;
+        the costing authority). Overrides ``knobs.backend`` when given;
+        every query-taking method also accepts a per-call ``backend=``.
     registry:
         The :class:`~repro.obs.MetricsRegistry` this engine reports
         into (default: the process-wide registry). The engine registers
@@ -91,6 +103,7 @@ class Engine:
         knobs: Optional[ExecutionKnobs] = None,
         use_pool: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ReproError("Engine needs at least one worker")
@@ -99,6 +112,13 @@ class Engine:
         self.workers = workers
         self.tile = tile
         self.knobs = knobs if knobs is not None else ExecutionKnobs()
+        if backend is not None:
+            self.knobs.backend = backend
+        if self.knobs.backend not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {self.knobs.backend!r}; "
+                f"have {list(BACKENDS)}"
+            )
         self.plan_cache = PlanCache(capacity=plan_cache_size)
         self.pool: Optional[WorkerPool] = (
             WorkerPool(workers) if use_pool else None
@@ -143,7 +163,8 @@ class Engine:
     # -- compilation -----------------------------------------------------
 
     def compile(
-        self, query, strategy: str = "auto"
+        self, query, strategy: str = "auto", *,
+        backend: Optional[str] = None,
     ) -> CompiledQuery:
         """Compile ``query`` (cache-aware) and return the program.
 
@@ -151,12 +172,25 @@ class Engine:
         tree, a legacy microbench :class:`~repro.plan.logical.Query`,
         or — deprecated — a TPC-H query name string. ``strategy`` is
         any registered strategy name, or ``"auto"`` for the
-        planner-driven SWOLE strategy.
+        planner-driven SWOLE strategy. ``backend`` overrides the
+        engine's default execution backend for this call.
         """
-        compiled, _, _, _ = self._compile_cached(query, strategy)
+        compiled, _, _, _, _ = self._compile_cached(
+            query, strategy, backend
+        )
         return compiled
 
-    def _compile_cached(self, query, strategy: str):
+    def _resolve_backend(self, backend: Optional[str]) -> str:
+        resolved = backend if backend is not None else self.knobs.backend
+        if resolved not in BACKENDS:
+            raise ReproError(
+                f"unknown backend {resolved!r}; have {list(BACKENDS)}"
+            )
+        return resolved
+
+    def _compile_cached(
+        self, query, strategy: str, backend: Optional[str] = None
+    ):
         if isinstance(query, str):
             warnings.warn(
                 "addressing queries by TPC-H name string is deprecated; "
@@ -167,18 +201,24 @@ class Engine:
                 stacklevel=3,
             )
         resolved = AUTO_STRATEGY if strategy == "auto" else strategy
-        key = plan_key(query, resolved, self.machine, self.tile)
+        chosen = self._resolve_backend(backend)
+        key = plan_key(query, resolved, self.machine, self.tile, chosen)
 
         def timed_compile() -> CompiledQuery:
-            with span("compile", self.registry, strategy=resolved):
-                return self._compile(query, resolved)
+            with span(
+                "compile", self.registry,
+                strategy=resolved, backend=chosen,
+            ):
+                return self._compile(query, resolved, chosen)
 
         compiled, was_hit = self.plan_cache.get_or_compile(
             key, timed_compile
         )
-        return compiled, was_hit, resolved, key
+        return compiled, was_hit, resolved, chosen, key
 
-    def _compile(self, query, strategy: str) -> CompiledQuery:
+    def _compile(
+        self, query, strategy: str, backend: str
+    ) -> CompiledQuery:
         from ..plan.ops import LogicalPlan
 
         if isinstance(query, str):
@@ -190,6 +230,7 @@ class Engine:
                 self.db,
                 machine=self.machine,
                 registry=self.registry,
+                backend=backend,
             )
         if isinstance(query, LogicalPlan):
             from ..codegen.pipeline import compile_pipeline
@@ -200,6 +241,26 @@ class Engine:
                 strategy,
                 machine=self.machine,
                 registry=self.registry,
+                backend=backend,
+            )
+        if backend == "vectorized" and strategy in (
+            "interpreter", "datacentric", "hybrid", "swole"
+        ):
+            # Legacy microbench Query objects have no hand-written
+            # vectorized programs; their operator-tree conversion
+            # compiles through the staged pipeline instead (results
+            # pinned byte-identical to the hand-coded programs by the
+            # backend equivalence sweep).
+            from ..codegen.pipeline import compile_pipeline
+            from ..plan.ops import from_query
+
+            return compile_pipeline(
+                from_query(query),
+                self.db,
+                strategy,
+                machine=self.machine,
+                registry=self.registry,
+                backend=backend,
             )
         if strategy == "swole":
             from ..core.swole import compile_swole
@@ -209,18 +270,27 @@ class Engine:
 
         return compile_query(query, self.db, strategy)
 
-    def explain(self, query, strategy: str = "auto") -> str:
+    def explain(
+        self, query, strategy: str = "auto", *,
+        backend: Optional[str] = None,
+    ) -> str:
         """The staged lowering pipeline's rendering of ``query``.
 
         Shows the logical plan, every strategy pass with its cost-model
-        estimates, and the physical plan. Hand-coded programs (TPC-H
-        queries without an operator tree) have no staged rendering;
-        their emitted source is returned instead.
+        estimates, the physical plan, and the execution backend the
+        compiled program runs on. Hand-coded programs (TPC-H queries
+        without an operator tree) have no staged rendering; their
+        emitted source is returned instead.
         """
-        compiled = self.compile(query, strategy)
+        compiled = self.compile(query, strategy, backend=backend)
         explain = compiled.notes.get("explain")
         if explain is not None:
-            return explain
+            chosen = compiled.notes.get("backend", "instrumented")
+            lines = [explain, "", "== Backend ==", chosen]
+            fallback = compiled.notes.get("backend_fallback")
+            if fallback:
+                lines.append(f"(fallback from vectorized: {fallback})")
+            return "\n".join(lines)
         return (
             f"// hand-coded {compiled.strategy} program for "
             f"{compiled.name} (no staged lowering)\n" + compiled.source
@@ -237,6 +307,7 @@ class Engine:
         session: Optional[Session] = None,
         deadline: Optional[float] = None,
         cancel: Optional[CancelToken] = None,
+        backend: Optional[str] = None,
     ) -> QueryResult:
         """Compile (or fetch from the plan cache) and run ``query``.
 
@@ -262,8 +333,8 @@ class Engine:
                     "pass either deadline= or cancel=, not both"
                 )
             cancel = CancelToken.after(deadline)
-        compiled, was_hit, resolved, key = self._compile_cached(
-            query, strategy
+        compiled, was_hit, resolved, chosen, key = self._compile_cached(
+            query, strategy, backend
         )
         n_workers = workers if workers is not None else self.workers
         if session is None:
@@ -274,19 +345,29 @@ class Engine:
         result = executor.execute(compiled, session, cancel=cancel)
         metrics = result.report.metrics
         metrics.plan_cache = "hit" if was_hit else "miss"
-        self._record_run(key[0], resolved, metrics)
+        # Label telemetry by the backend the program actually runs on
+        # (a vectorized request can fall back to instrumented).
+        effective = compiled.notes.get("backend", "instrumented")
+        self._record_run(key[0], resolved, effective, metrics)
         return result
 
-    def _record_run(self, fingerprint: str, strategy: str, metrics) -> None:
+    def _record_run(
+        self, fingerprint: str, strategy: str, backend: str, metrics
+    ) -> None:
         """Telemetry for one completed execution: the execute span, the
         per-strategy branch / access-pattern event counters the SWOLE
         heuristics reason about, and — past the threshold — a
         slow-query log entry keyed by the plan fingerprint."""
         reg = self.registry
         reg.histogram(
-            "span_seconds", stage="execute", strategy=strategy
+            "span_seconds",
+            stage="execute",
+            strategy=strategy,
+            backend=backend,
         ).observe(metrics.wall_seconds)
-        reg.counter("queries_total", strategy=strategy).inc()
+        reg.counter(
+            "queries_total", strategy=strategy, backend=backend
+        ).inc()
         reg.counter(
             "plan_cache_lookups_total",
             strategy=strategy,
@@ -300,6 +381,8 @@ class Engine:
             fingerprint=fingerprint,
             strategy=strategy,
             wall_seconds=metrics.wall_seconds,
+            wall_nanos=int(metrics.wall_seconds * 1e9),
+            backend=backend,
             plan_cache=metrics.plan_cache,
             workers=metrics.workers,
             morsels=metrics.morsels,

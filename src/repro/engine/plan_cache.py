@@ -27,6 +27,15 @@ from .machine import MachineModel
 from .program import CompiledQuery
 
 
+#: ``id(query) -> (query, fingerprint)`` memo. The strong reference to
+#: the query pins its id so a recycled address can never alias a dead
+#: object; the identity check on lookup makes staleness impossible even
+#: if one does. Bounded: a serving workload cycles a small set of
+#: long-lived query objects, so the occasional full reset is free.
+_FINGERPRINT_MEMO: Dict[int, Tuple[object, str]] = {}
+_FINGERPRINT_MEMO_CAP = 1024
+
+
 def query_fingerprint(query) -> str:
     """Stable fingerprint of whatever the engine can compile.
 
@@ -37,16 +46,41 @@ def query_fingerprint(query) -> str:
     via :func:`~repro.plan.ops.from_query`, and migrated TPC-H names via
     their registered plan. Hand-coded TPC-H programs that have no tree
     yet stay addressed by name (``tpch:`` prefix).
+
+    Memoized per query *object*: the fingerprint is recomputed on every
+    ``Engine.execute`` for the plan key, and walking the operator tree
+    is a measurable per-request cost for sub-millisecond queries. Query
+    objects are immutable (frozen dataclasses / strings), so identity
+    implies an unchanged fingerprint.
     """
+    if isinstance(query, str):
+        return _name_fingerprint(query)
+    memo_key = id(query)
+    hit = _FINGERPRINT_MEMO.get(memo_key)
+    if hit is not None and hit[0] is query:
+        return hit[1]
+    fingerprint = _object_fingerprint(query)
+    if len(_FINGERPRINT_MEMO) >= _FINGERPRINT_MEMO_CAP:
+        _FINGERPRINT_MEMO.clear()
+    _FINGERPRINT_MEMO[memo_key] = (query, fingerprint)
+    return fingerprint
+
+
+@lru_cache(maxsize=128)
+def _name_fingerprint(name: str) -> str:
+    from ..tpch.plans import PIPELINE_QUERIES, logical_plan
+
+    if name in PIPELINE_QUERIES:
+        from ..plan.ops import plan_fingerprint
+
+        return plan_fingerprint(logical_plan(name))
+    return f"tpch:{name}"
+
+
+def _object_fingerprint(query) -> str:
     from ..plan.logical import Query
     from ..plan.ops import LogicalPlan, from_query, plan_fingerprint
 
-    if isinstance(query, str):
-        from ..tpch.plans import PIPELINE_QUERIES, logical_plan
-
-        if query in PIPELINE_QUERIES:
-            return plan_fingerprint(logical_plan(query))
-        return f"tpch:{query}"
     if isinstance(query, LogicalPlan):
         return plan_fingerprint(query)
     if isinstance(query, Query):
@@ -72,13 +106,20 @@ def plan_key(
     strategy: str,
     machine: MachineModel,
     tile: int,
-) -> Tuple[str, str, str, int]:
-    """The full cache key of one compilation."""
+    backend: str = "instrumented",
+) -> Tuple[str, str, str, int, str]:
+    """The full cache key of one compilation.
+
+    The backend is part of the key: a kernel generated for the
+    vectorized backend must never be served to a request that asked
+    for the instrumented (costed) one, or vice versa.
+    """
     return (
         query_fingerprint(query),
         strategy,
         machine_fingerprint(machine),
         tile,
+        backend,
     )
 
 

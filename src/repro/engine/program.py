@@ -37,6 +37,12 @@ class ParallelPlan:
     its result is passed to every ``partial`` as read-only shared state;
     ``finalize`` runs once on the merged value (e.g. eager aggregation's
     cleanup scan).
+
+    ``min_parallel_rows`` (0 = the executor's default) lets a backend
+    raise the scan size below which fanning out is a loss: the
+    vectorized kernels finish small scans faster than threads can be
+    dispatched. Pinning ``ExecutionKnobs.morsel_rows`` overrides the
+    raised floor — the explicit knob exists to force the parallel path.
     """
 
     table: str
@@ -46,6 +52,7 @@ class ParallelPlan:
     finalize: Optional[
         Callable[[Session, Dict[str, Any], Any], Dict[str, Any]]
     ] = None
+    min_parallel_rows: int = 0
 
 
 def merge_partials(parts: List[Dict[str, Any]]) -> Dict[str, Any]:

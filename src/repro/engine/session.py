@@ -20,10 +20,16 @@ class ExecutionKnobs:
         Row-range size of one morsel for the parallel executor. ``None``
         lets the executor pick a size from the scan length and worker
         count.
+    backend:
+        Execution backend compiled programs run on: ``"vectorized"``
+        (generated whole-column NumPy kernels, the serving default) or
+        ``"instrumented"`` (the event-priced interpreter that remains
+        the authority for costing and explain output).
     """
 
     ht_prefetch: bool = False
     morsel_rows: int | None = None
+    backend: str = "vectorized"
 
 
 class Session:

@@ -33,6 +33,7 @@ from ..datagen import microbench as mb
 from ..datagen import tpch as tpchgen
 from ..datagen.cache import load_dataset
 from ..engine import Engine
+from ..engine.facade import BACKENDS
 from ..engine.machine import PAPER_MACHINE
 from ..obs import MetricsRegistry
 from .service import QueryService
@@ -85,7 +86,9 @@ def build_engine(args) -> Engine:
         config = mb.MicrobenchConfig(num_rows=args.rows, seed=args.seed)
         machine = PAPER_MACHINE.scaled(config.scale_factor)
     db = load_dataset(args.dataset, config)
-    return Engine(db, machine=machine, workers=args.workers)
+    return Engine(
+        db, machine=machine, workers=args.workers, backend=args.backend
+    )
 
 
 def main(argv=None) -> None:
@@ -119,6 +122,13 @@ def main(argv=None) -> None:
         type=int,
         default=1,
         help="engine worker threads per query (morsel parallelism)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="vectorized",
+        help="execution backend served by default; per-request "
+        "'backend' fields override it",
     )
     parser.add_argument(
         "--concurrency",
@@ -189,7 +199,8 @@ def main(argv=None) -> None:
         )
     print(
         f"serving {args.dataset} on {server.host}:{server.port} "
-        f"(engine workers={args.workers}, concurrency={args.concurrency}, "
+        f"(backend={args.backend}, engine workers={args.workers}, "
+        f"concurrency={args.concurrency}, "
         f"queue depth={args.queue_depth}, "
         f"deadline={args.deadline if args.deadline is not None else 'none'}"
         f"{metrics_note})",

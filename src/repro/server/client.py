@@ -68,6 +68,7 @@ class ServiceClient:
         strategy: str = "auto",
         workers: Optional[int] = None,
         deadline: Optional[float] = None,
+        backend: Optional[str] = None,
         id: Optional[str] = None,
     ) -> QueryResponse:
         """Send one request and block for its response.
@@ -76,7 +77,9 @@ class ServiceClient:
         structural JSON plus its IR fingerprint), a TPC-H name, or a
         microbench spec dict. Legacy logical ``Query`` objects are
         in-process only and cannot cross the wire. Addressing TPC-H
-        queries by bare name is deprecated — send the plan.
+        queries by bare name is deprecated — send the plan. ``backend``
+        pins the execution backend (``"instrumented"`` /
+        ``"vectorized"``) instead of the server's default.
         """
         if isinstance(query, str):
             warnings.warn(
@@ -93,6 +96,7 @@ class ServiceClient:
             strategy=strategy,
             workers=workers,
             deadline=deadline,
+            backend=backend,
             **kwargs,
         )
         return self.call(req)

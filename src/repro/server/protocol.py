@@ -157,7 +157,9 @@ class QueryRequest:
     ``deadline`` is a relative budget in seconds, measured from
     *admission* (queue wait counts against it — that is what the client
     experiences). ``workers`` overrides the engine's worker count for
-    this request; ``id`` is echoed on the response (auto-generated when
+    this request; ``backend`` pins the execution backend
+    (``"instrumented"`` or ``"vectorized"``) instead of the serving
+    default; ``id`` is echoed on the response (auto-generated when
     omitted).
     """
 
@@ -165,6 +167,7 @@ class QueryRequest:
     strategy: str = "auto"
     workers: Optional[int] = None
     deadline: Optional[float] = None
+    backend: Optional[str] = None
     id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
 
     def to_wire(self) -> dict:
@@ -188,6 +191,8 @@ class QueryRequest:
             wire["workers"] = self.workers
         if self.deadline is not None:
             wire["deadline"] = self.deadline
+        if self.backend is not None:
+            wire["backend"] = self.backend
         return wire
 
     @classmethod
@@ -209,6 +214,15 @@ class QueryRequest:
             if not isinstance(deadline, (int, float)) or deadline <= 0:
                 raise ProtocolError("'deadline' must be positive seconds")
             deadline = float(deadline)
+        backend = wire.get("backend")
+        if backend is not None:
+            from ..engine.facade import BACKENDS
+
+            if backend not in BACKENDS:
+                raise ProtocolError(
+                    f"unknown backend {backend!r}; "
+                    f"known: {list(BACKENDS)}"
+                )
         req_id = wire.get("id")
         kwargs = {} if req_id is None else {"id": str(req_id)}
         return cls(
@@ -216,6 +230,7 @@ class QueryRequest:
             strategy=strategy,
             workers=workers,
             deadline=deadline,
+            backend=backend,
             **kwargs,
         )
 

@@ -24,8 +24,9 @@ The control loop enforces three serving policies:
   dequeued are answered ``deadline_exceeded`` without executing at all
   — the classic queue-expiry optimisation.
 * **Request coalescing** (singleflight) — when a request is dequeued,
-  waiting requests for the identical ``(query, strategy, workers)`` are
-  pulled out with it and answered from the same execution. This is
+  waiting requests for the identical ``(query, strategy, workers,
+  backend)`` are pulled out with it and answered from the same
+  execution. This is
   sound because an :class:`Engine` binds one immutable database: the
   same query under the same strategy always produces the same answer.
   Coalescing happens at *dequeue*, never at admission, so the queue
@@ -435,7 +436,9 @@ class QueryService:
                 return None
         else:
             return None
-        return (spec_key, request.strategy, request.workers)
+        return (
+            spec_key, request.strategy, request.workers, request.backend
+        )
 
     def _take_duplicates(self, pending: PendingQuery) -> List[PendingQuery]:
         # Caller holds self._cond. Pull queued requests identical to the
@@ -602,6 +605,7 @@ class QueryService:
                 query,
                 request.strategy,
                 workers=request.workers,
+                backend=request.backend,
                 cancel=token,
             )
         except QueryTimeout as exc:

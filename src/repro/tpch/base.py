@@ -45,14 +45,16 @@ def compile_tpch(
     db: Database,
     machine=None,
     registry=None,
+    backend: str = "instrumented",
 ) -> CompiledQuery:
     """Compile TPC-H query ``name`` under ``strategy`` against ``db``.
 
     Queries with a logical operator tree (:data:`~repro.tpch.plans.
     PIPELINE_QUERIES`) go through the generic staged lowering pipeline;
-    the rest still use their hand-coded strategy modules. ``machine``
-    and ``registry`` only affect the pipeline path (cost-model decisions
-    and compile-stage spans).
+    the rest still use their hand-coded strategy modules. ``machine``,
+    ``registry``, and ``backend`` only affect the pipeline path
+    (cost-model decisions, compile-stage spans, and the execution layer
+    the program runs on); hand-coded programs are always instrumented.
     """
     try:
         module = QUERY_MODULES[name]
@@ -74,6 +76,7 @@ def compile_tpch(
             strategy,
             machine=machine,
             registry=registry,
+            backend=backend,
         )
     return oracle_tpch(name, strategy, db)
 

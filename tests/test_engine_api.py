@@ -55,11 +55,20 @@ class TestEngineExecute:
         assert warm.metrics.plan_cache == "hit"
         assert results_equal(cold, warm)
 
-    def test_worker_override_per_call(self, engine):
-        serial = engine.execute(mb.q1(40), workers=1)
-        assert serial.metrics.workers == 1
-        default = engine.execute(mb.q1(40))
-        assert default.metrics.workers == 4
+    def test_worker_override_per_call(self, micro_db):
+        # Pin the morsel size: the vectorized backend prefers serial
+        # below its fan-out floor, and this test is about the worker
+        # override reaching the executor, not that policy.
+        engine = Engine(
+            db=micro_db,
+            workers=4,
+            knobs=ExecutionKnobs(morsel_rows=4096),
+        )
+        with engine:
+            serial = engine.execute(mb.q1(40), workers=1)
+            assert serial.metrics.workers == 1
+            default = engine.execute(mb.q1(40))
+            assert default.metrics.workers == 4
 
     def test_strategies_agree_through_engine(self, engine):
         results = [

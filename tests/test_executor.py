@@ -11,7 +11,7 @@ as ``workers=1``.
 import pytest
 
 from repro.datagen import microbench as mb
-from repro.engine import Engine, MorselExecutor
+from repro.engine import Engine, ExecutionKnobs, MorselExecutor
 from repro.engine.executor import MIN_MORSEL_ROWS
 from repro.engine.program import results_equal
 from repro.tpch import query_names
@@ -33,6 +33,16 @@ MICRO_QUERIES = {
 @pytest.fixture(scope="module")
 def micro_engine(micro_db):
     return Engine(db=micro_db, workers=4)
+
+
+@pytest.fixture(scope="module")
+def forced_parallel_engine(micro_db):
+    # Pinning the morsel size overrides the vectorized backend's
+    # fan-out floor, so workers>1 genuinely runs the morsel path even
+    # at this test-sized table.
+    return Engine(
+        db=micro_db, workers=4, knobs=ExecutionKnobs(morsel_rows=4096)
+    )
 
 
 @pytest.fixture(scope="module")
@@ -77,8 +87,13 @@ class TestTpchEquivalence:
 
 
 class TestRunMetrics:
+    # Simulated-cycle assertions run on the instrumented backend — the
+    # costing authority; the vectorized serving backend reports zero
+    # cycles by design (covered by test_backend_equivalence).
     def test_parallel_scan_metrics(self, micro_engine):
-        result = micro_engine.execute(mb.q1(30), "swole", workers=4)
+        result = micro_engine.execute(
+            mb.q1(30), "swole", workers=4, backend="instrumented"
+        )
         metrics = result.metrics
         assert metrics.workers == 4
         assert metrics.morsels > 1
@@ -96,31 +111,37 @@ class TestRunMetrics:
 
     def test_setup_counted_in_critical_path(self, micro_engine):
         # semijoin: bitmap build runs serially once, before the fan-out
-        result = micro_engine.execute(mb.q4(50, 50), "swole", workers=4)
+        result = micro_engine.execute(
+            mb.q4(50, 50), "swole", workers=4, backend="instrumented"
+        )
         metrics = result.metrics
         assert metrics.morsels > 1
         assert metrics.serial_cycles > 0
         assert metrics.critical_path_cycles > metrics.serial_cycles
 
-    def test_eager_groupjoin_runs_parallel(self, micro_engine):
-        compiled = micro_engine.compile(mb.q5(75))
+    def test_eager_groupjoin_runs_parallel(self, forced_parallel_engine):
+        engine = forced_parallel_engine
+        compiled = engine.compile(mb.q5(75))
         assert "eager" in compiled.notes.get("plan", "")
         assert compiled.parallel is not None
-        serial = micro_engine.execute(mb.q5(75), workers=1)
-        parallel = micro_engine.execute(mb.q5(75), workers=4)
+        serial = engine.execute(mb.q5(75), workers=1)
+        parallel = engine.execute(mb.q5(75), workers=4)
         assert results_equal(serial, parallel)
         assert parallel.metrics.morsels > 1
 
     def test_event_counts_recorded(self, micro_engine):
-        result = micro_engine.execute(mb.q1(30), "swole", workers=4)
+        result = micro_engine.execute(
+            mb.q1(30), "swole", workers=4, backend="instrumented"
+        )
         counts = result.metrics.event_counts
         assert counts and all(n > 0 for n in counts.values())
 
-    def test_scan_rows_consistent_across_paths(self, micro_engine):
+    def test_scan_rows_consistent_across_paths(self, forced_parallel_engine):
         # parallel: morsels cover the scan; serial: one morsel spanning
         # it, so morsel_rows == scan_rows in both metric conventions
-        parallel = micro_engine.execute(mb.q1(30), "swole", workers=4)
-        serial = micro_engine.execute(mb.q1(30), "swole", workers=1)
+        engine = forced_parallel_engine
+        parallel = engine.execute(mb.q1(30), "swole", workers=4)
+        serial = engine.execute(mb.q1(30), "swole", workers=1)
         p, s = parallel.metrics, serial.metrics
         assert p.scan_rows == s.scan_rows == 50_000
         assert s.morsel_rows == s.scan_rows

@@ -13,7 +13,7 @@ import pytest
 
 import repro
 from repro.datagen import microbench as mb
-from repro.engine import Engine, Session
+from repro.engine import Engine, ExecutionKnobs, Session
 from repro.engine.program import results_equal
 from repro.plan.ops import from_query, plan_fingerprint
 from repro.tpch import (
@@ -162,7 +162,13 @@ class TestEngineIntegration:
         engine.shutdown()
 
     def test_parallel_run_matches_serial(self, tpch_db):
-        engine = Engine(db=tpch_db, workers=4)
+        # morsel_rows pinned: below the vectorized fan-out floor the
+        # default policy would (correctly) keep this scan serial.
+        engine = Engine(
+            db=tpch_db,
+            workers=4,
+            knobs=ExecutionKnobs(morsel_rows=2048),
+        )
         for name in ("Q1", "Q6"):
             serial = engine.execute(name, "swole", workers=1)
             parallel = engine.execute(name, "swole", workers=4)

@@ -35,7 +35,15 @@ class StubEngine:
         self.calls = []
         self.shutdowns = 0
 
-    def execute(self, query, strategy="auto", *, workers=None, cancel=None):
+    def execute(
+        self,
+        query,
+        strategy="auto",
+        *,
+        workers=None,
+        backend=None,
+        cancel=None,
+    ):
         self.calls.append(query)
         if self.gate is not None:
             assert self.gate.wait(timeout=30.0), "stub gate never opened"

@@ -97,9 +97,13 @@ class TestStats:
         assert "utilization" in sources["pool"]
         assert "queue_depth" in sources["service"]
         assert sources["service"]["completed"] >= 1
-        # The query left per-strategy counters and span timings behind.
+        # The query left per-strategy counters and span timings behind,
+        # labelled with the backend it ran on.
         counters = snapshot["counters"]
-        assert counters["queries_total{strategy=swole}"] >= 1
+        assert (
+            counters["queries_total{backend=vectorized,strategy=swole}"]
+            >= 1
+        )
         hist_keys = list(snapshot["histograms"])
         assert any("stage=serve" in k for k in hist_keys)
         assert any("stage=compile" in k for k in hist_keys)

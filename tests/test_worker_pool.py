@@ -62,7 +62,11 @@ def make_batch(n_morsels=8, workers=2, fail_at=(), knobs=None):
 class TestPoolLifecycle:
     def test_threads_start_lazily_and_are_reused(self, micro_db):
         before = pool_thread_ids()
-        with Engine(db=micro_db, workers=4) as engine:
+        with Engine(
+            db=micro_db,
+            workers=4,
+            knobs=ExecutionKnobs(morsel_rows=4096),
+        ) as engine:
             assert not engine.pool.started
             assert pool_thread_ids() == before
             engine.execute(mb.q1(30), "swole", workers=4)
@@ -74,7 +78,11 @@ class TestPoolLifecycle:
 
     def test_shutdown_idempotent_and_joins_threads(self, micro_db):
         before = pool_thread_ids()
-        engine = Engine(db=micro_db, workers=2)
+        engine = Engine(
+            db=micro_db,
+            workers=2,
+            knobs=ExecutionKnobs(morsel_rows=4096),
+        )
         engine.execute(mb.q1(30), "swole", workers=2)
         assert pool_thread_ids() - before
         engine.shutdown()
@@ -88,7 +96,11 @@ class TestPoolLifecycle:
 
     def test_context_manager_exit_stops_threads(self, micro_db):
         before = pool_thread_ids()
-        with Engine(db=micro_db, workers=2) as engine:
+        with Engine(
+            db=micro_db,
+            workers=2,
+            knobs=ExecutionKnobs(morsel_rows=4096),
+        ) as engine:
             engine.execute(mb.q1(30), "swole", workers=2)
             assert pool_thread_ids() - before
         assert pool_thread_ids() == before
@@ -103,7 +115,11 @@ class TestPoolLifecycle:
 
     def test_pool_grows_for_larger_worker_requests(self, micro_db):
         before = pool_thread_ids()
-        with Engine(db=micro_db, workers=2) as engine:
+        with Engine(
+            db=micro_db,
+            workers=2,
+            knobs=ExecutionKnobs(morsel_rows=4096),
+        ) as engine:
             serial = engine.execute(mb.q2(40), "swole", workers=1)
             wide = engine.execute(mb.q2(40), "swole", workers=6)
             assert len(pool_thread_ids() - before) >= 6
@@ -165,8 +181,11 @@ class TestKnobIsolation:
 
 class TestDeterminism:
     def test_pooled_matches_spawned_bit_for_bit(self, micro_db):
-        pooled_engine = Engine(db=micro_db, workers=4)
-        spawn_engine = Engine(db=micro_db, workers=4, use_pool=False)
+        knobs = ExecutionKnobs(morsel_rows=4096)
+        pooled_engine = Engine(db=micro_db, workers=4, knobs=knobs)
+        spawn_engine = Engine(
+            db=micro_db, workers=4, use_pool=False, knobs=knobs
+        )
         try:
             for query in (mb.q1(30, "div"), mb.q2(40), mb.q4(50, 50)):
                 pooled = pooled_engine.execute(query, "swole", workers=4)
