@@ -1,0 +1,133 @@
+"""Per-fingerprint explore/exploit strategy selection.
+
+``strategy="auto"`` historically meant "the paper's default"
+(``swole`` on the engine's default backend). With a feedback store
+attached, auto becomes a measurement-driven choice: each query
+fingerprint runs a deterministic epsilon-greedy loop over every
+(strategy, backend) arm, exploiting the arm with the best wall-clock
+EWMA and periodically exploring the others.
+
+Exploration is deterministic by design — every Nth request for a
+fingerprint takes the next arm in a fixed cycle rather than a random
+draw — so a replayed request sequence reproduces the exact same
+choices, recompiles, and explain output (the subsystem's determinism
+guarantee, tested in ``tests/test_adaptive.py``).
+
+The cycle is ordered instrumented-first on the conditional-access
+strategies: only instrumented hybrid / datacentric / interpreter runs
+emit the ``CondRead`` / ``Branch`` events the feedback store measures
+selectivity from, so the explore schedule keeps drift detection fed
+even when the exploited winner is a masked SWOLE plan or a vectorized
+kernel that emits no events at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+from ..errors import ReproError
+from .feedback import Arm, FeedbackStore
+
+#: Strategies whose instrumented runs measure predicate selectivity
+#: (conditional access first), then the masked strategy, then the
+#: event-free vectorized arms.
+ARM_CYCLE: Tuple[Arm, ...] = (
+    ("hybrid", "instrumented"),
+    ("datacentric", "instrumented"),
+    ("swole", "instrumented"),
+    ("interpreter", "instrumented"),
+    ("swole", "vectorized"),
+    ("hybrid", "vectorized"),
+    ("datacentric", "vectorized"),
+    ("interpreter", "vectorized"),
+)
+
+#: What auto means before any feedback exists — mirrors
+#: ``Engine.AUTO_STRATEGY``.
+DEFAULT_ARM_STRATEGY = "swole"
+
+
+class StrategyChooser:
+    """Deterministic epsilon-greedy over strategy × backend arms.
+
+    Every ``explore_every``-th request for a fingerprint (including the
+    very first) explores the next arm in :data:`ARM_CYCLE`; all other
+    requests exploit the feedback store's current best arm. State is
+    two integers per fingerprint, bounded by the same cap as the store.
+    """
+
+    def __init__(
+        self,
+        store: FeedbackStore,
+        *,
+        explore_every: int = 8,
+    ) -> None:
+        if explore_every < 1:
+            raise ReproError("explore_every must be at least 1")
+        self.store = store
+        self.explore_every = explore_every
+        self._lock = threading.Lock()
+        #: fingerprint -> [request_count, next_explore_arm_index]
+        self._state: Dict[str, List[int]] = {}
+
+    def choose(
+        self, fingerprint: str, default_backend: str
+    ) -> Tuple[str, str, bool]:
+        """Pick ``(strategy, backend, explored)`` for one auto request.
+
+        ``default_backend`` is the engine's configured backend — the
+        fallback arm before any observation exists, and the backend of
+        the very first (explore) request so request zero behaves like
+        the non-adaptive engine would.
+        """
+        with self._lock:
+            state = self._state.get(fingerprint)
+            if state is None:
+                if len(self._state) >= self.store.max_fingerprints:
+                    self._state.clear()
+                state = self._state[fingerprint] = [0, 0]
+            count = state[0]
+            state[0] += 1
+            explore = count % self.explore_every == 0
+            arm_index = state[1]
+            if explore and count > 0:
+                state[1] = (arm_index + 1) % len(ARM_CYCLE)
+        if explore:
+            if count == 0:
+                # Request zero is the paper default on the engine's own
+                # backend: an adaptive engine's first answer matches a
+                # static engine's, and the baseline arm is measured
+                # before any alternative. It does not consume an arm
+                # from the cycle.
+                return DEFAULT_ARM_STRATEGY, default_backend, True
+            strategy, backend = ARM_CYCLE[arm_index]
+            return strategy, backend, True
+        best = self.store.best_arm(fingerprint)
+        if best is None:
+            return DEFAULT_ARM_STRATEGY, default_backend, False
+        return best[0], best[1], False
+
+    def requests(self, fingerprint: str) -> int:
+        """How many auto requests this fingerprint has routed."""
+        with self._lock:
+            state = self._state.get(fingerprint)
+            return state[0] if state is not None else 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "explore_every": self.explore_every,
+                "fingerprints": {
+                    fingerprint: {
+                        "requests": state[0],
+                        "next_arm": "/".join(
+                            ARM_CYCLE[state[1] % len(ARM_CYCLE)]
+                        ),
+                    }
+                    for fingerprint, state in self._state.items()
+                },
+            }
+
+
+__all__ = ["ARM_CYCLE", "DEFAULT_ARM_STRATEGY", "StrategyChooser"]

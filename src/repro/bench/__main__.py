@@ -195,6 +195,14 @@ def main() -> None:
         "deadline-miss rates (writes --out, default BENCH_serving.json)",
     )
     parser.add_argument(
+        "--adapt-bench",
+        action="store_true",
+        help="closed-loop adaptation bench: clustered data defeats the "
+        "prefix-sample estimates, a mid-run selectivity shift must "
+        "trigger a drift-driven recompile and recover throughput "
+        "(writes --out, default BENCH_adaptive.json)",
+    )
+    parser.add_argument(
         "--iters",
         type=int,
         default=30,
@@ -272,8 +280,32 @@ def main() -> None:
         parser.error("--iters must be at least 1")
     if args.rounds is not None and args.rounds < 1:
         parser.error("--rounds must be at least 1")
-    if args.throughput and args.serve_bench:
-        parser.error("pick one of --throughput / --serve-bench")
+    if sum((args.throughput, args.serve_bench, args.adapt_bench)) > 1:
+        parser.error(
+            "pick one of --throughput / --serve-bench / --adapt-bench"
+        )
+    if args.adapt_bench:
+        from .adaptive import run_adapt_bench
+
+        if args.quick:
+            run_adapt_bench(
+                rows=args.rows if args.rows is not None else 150_000,
+                seed=args.seed,
+                clients=min(args.clients, 4),
+                requests_per_client=min(args.requests, 24),
+                concurrency=min(args.concurrency, 2),
+                out_path=args.out or "BENCH_adaptive.json",
+            )
+        else:
+            run_adapt_bench(
+                rows=args.rows if args.rows is not None else 400_000,
+                seed=args.seed,
+                clients=min(args.clients, 8),
+                requests_per_client=args.requests,
+                concurrency=args.concurrency,
+                out_path=args.out or "BENCH_adaptive.json",
+            )
+        return
     if args.serve_bench:
         from .serving import run_serving_bench
 

@@ -43,6 +43,48 @@ from .events import (
 from .machine import MachineModel
 
 
+@dataclass(frozen=True)
+class StatsOverride:
+    """Measured cardinalities that replace sampled statistics.
+
+    The pass framework estimates selectivities from a bounded prefix
+    sample of each base table; a clustered column (or a workload whose
+    parameters drifted away from the sample) makes those estimates
+    wrong, and every cost-guided pullup decision inherits the error.
+    The adaptive re-optimizer (:mod:`repro.adaptive`) builds one of
+    these from the feedback store's EWMAs and threads it through
+    :func:`repro.plan.passes.run_passes`, so a recompile prices its
+    candidates with what the engine *measured* instead of what the
+    sample guessed.
+
+    Every field is optional; ``None`` keeps the sampled value.
+
+    selectivity:
+        Measured survival fraction of the probe spine (local filters
+        times semijoin matches) — what the instrumented backend's
+        conditional-read and branch events report.
+    match_fraction:
+        Measured semijoin match fraction, when known separately from
+        the local selectivity.
+    group_cardinality:
+        Measured distinct group count of the terminal aggregation.
+    """
+
+    selectivity: Optional[float] = None
+    match_fraction: Optional[float] = None
+    group_cardinality: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = []
+        if self.selectivity is not None:
+            parts.append(f"selectivity={self.selectivity:.6f}")
+        if self.match_fraction is not None:
+            parts.append(f"match_fraction={self.match_fraction:.6f}")
+        if self.group_cardinality is not None:
+            parts.append(f"group_cardinality={self.group_cardinality}")
+        return ", ".join(parts) if parts else "(empty)"
+
+
 class CostAccountant:
     """Prices individual events in simulated cycles."""
 

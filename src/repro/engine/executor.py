@@ -110,8 +110,14 @@ class MorselExecutor:
         if plan is not None and session.knobs.morsel_rows is None:
             # A backend may declare a higher fan-out floor (the
             # vectorized kernels outrun thread dispatch on small
-            # scans); an explicitly pinned morsel size overrides it.
-            serial_limit = max(serial_limit, plan.min_parallel_rows)
+            # scans); the session knob — set explicitly or seeded from
+            # the feedback store's measured serial-vs-parallel
+            # crossover — overrides the program's declared floor, and
+            # an explicitly pinned morsel size overrides both.
+            floor = session.knobs.min_parallel_rows
+            if floor is None:
+                floor = plan.min_parallel_rows
+            serial_limit = max(serial_limit, floor)
         if (
             self.workers <= 1
             or plan is None

@@ -86,6 +86,25 @@ class Engine:
         its plan cache and worker pool as stat sources, times
         compile/execute spans, bumps per-strategy access-pattern and
         branch event counters, and feeds the registry's slow-query log.
+    adaptive:
+        Closed-loop re-optimization from production telemetry. ``None``
+        / ``False`` (default) keeps the engine fully static. ``True``
+        enables the loop with default policy; pass an
+        :class:`~repro.adaptive.AdaptivePolicy` to tune it, or a ready
+        :class:`~repro.adaptive.AdaptiveController` to share one loop
+        across engines. With adaptivity on, every run's measured
+        statistics feed the feedback store, drift past the policy
+        threshold invalidates and recompiles the drifted plan with
+        measured cardinalities, and ``strategy="auto"`` requests route
+        through the per-fingerprint explore/exploit chooser instead of
+        pinning SWOLE.
+    min_parallel_rows:
+        Thread fan-out floor: scan length below which partitionable
+        programs run serial. ``None`` (default) defers to each compiled
+        program's declared floor (``VECTORIZED_MIN_PARALLEL_ROWS`` for
+        vectorized programs) — unless an adaptive engine has measured
+        the host's actual serial-vs-parallel crossover, which then
+        seeds new sessions automatically.
 
     The engine is a context manager; ``with Engine(db) as engine:``
     shuts the pool down on exit, and an ``atexit`` hook covers engines
@@ -104,6 +123,8 @@ class Engine:
         use_pool: bool = True,
         registry: Optional[MetricsRegistry] = None,
         backend: Optional[str] = None,
+        adaptive=None,
+        min_parallel_rows: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ReproError("Engine needs at least one worker")
@@ -114,6 +135,8 @@ class Engine:
         self.knobs = knobs if knobs is not None else ExecutionKnobs()
         if backend is not None:
             self.knobs.backend = backend
+        if min_parallel_rows is not None:
+            self.knobs.min_parallel_rows = min_parallel_rows
         if self.knobs.backend not in BACKENDS:
             raise ReproError(
                 f"unknown backend {self.knobs.backend!r}; "
@@ -133,6 +156,16 @@ class Engine:
         )
         if self.pool is not None:
             self.registry.register_source("pool", self.pool.snapshot)
+        # Lazy import: repro.adaptive imports engine modules, and
+        # ``repro.engine.__init__`` imports this facade.
+        from ..adaptive import resolve_adaptive
+
+        self.adaptive = resolve_adaptive(adaptive)
+        if self.adaptive is not None:
+            self.adaptive.attach(self.plan_cache, self.registry)
+            self.registry.register_source(
+                "adaptive", self.adaptive.snapshot
+            )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -152,12 +185,23 @@ class Engine:
     # -- sessions --------------------------------------------------------
 
     def session(self, *, workers: Optional[int] = None) -> Session:
-        """A fresh session configured like this engine."""
+        """A fresh session configured like this engine.
+
+        An adaptive engine whose feedback store has measured this
+        host's serial-vs-parallel crossover seeds the session's
+        ``min_parallel_rows`` from the measurement — unless the knob
+        was set explicitly, which always wins.
+        """
+        knobs = replace(self.knobs)
+        if knobs.min_parallel_rows is None and self.adaptive is not None:
+            measured = self.adaptive.min_parallel_rows()
+            if measured is not None:
+                knobs.min_parallel_rows = measured
         return Session(
             machine=self.machine,
             tile=self.tile,
             workers=workers if workers is not None else self.workers,
-            knobs=replace(self.knobs),
+            knobs=knobs,
         )
 
     # -- compilation -----------------------------------------------------
@@ -221,6 +265,13 @@ class Engine:
     ) -> CompiledQuery:
         from ..plan.ops import LogicalPlan
 
+        overrides = None
+        if self.adaptive is not None:
+            from .plan_cache import query_fingerprint
+
+            overrides = self.adaptive.override_for(
+                query_fingerprint(query)
+            )
         if isinstance(query, str):
             from ..tpch import compile_tpch
 
@@ -231,6 +282,7 @@ class Engine:
                 machine=self.machine,
                 registry=self.registry,
                 backend=backend,
+                overrides=overrides,
             )
         if isinstance(query, LogicalPlan):
             from ..codegen.pipeline import compile_pipeline
@@ -242,6 +294,7 @@ class Engine:
                 machine=self.machine,
                 registry=self.registry,
                 backend=backend,
+                overrides=overrides,
             )
         if backend == "vectorized" and strategy in (
             "interpreter", "datacentric", "hybrid", "swole"
@@ -261,6 +314,7 @@ class Engine:
                 machine=self.machine,
                 registry=self.registry,
                 backend=backend,
+                overrides=overrides,
             )
         if strategy == "swole":
             from ..core.swole import compile_swole
@@ -290,11 +344,27 @@ class Engine:
             fallback = compiled.notes.get("backend_fallback")
             if fallback:
                 lines.append(f"(fallback from vectorized: {fallback})")
+            lines.extend(self._explain_feedback(query, compiled))
             return "\n".join(lines)
         return (
             f"// hand-coded {compiled.strategy} program for "
             f"{compiled.name} (no staged lowering)\n" + compiled.source
         )
+
+    def _explain_feedback(self, query, compiled: CompiledQuery) -> list:
+        """``== Feedback ==`` explain lines: estimated vs observed
+        cycles and selectivity, the measured-best arm, and any active
+        override. Empty until the adaptive loop has at least one
+        observation for the fingerprint, so a static engine's explain
+        output — including the committed snapshots — is unchanged."""
+        if self.adaptive is None:
+            return []
+        from .plan_cache import query_fingerprint
+
+        feedback = self.adaptive.explain_feedback(
+            query_fingerprint(query), compiled.notes
+        )
+        return [""] + feedback if feedback else []
 
     # -- execution -------------------------------------------------------
 
@@ -333,6 +403,18 @@ class Engine:
                     "pass either deadline= or cancel=, not both"
                 )
             cancel = CancelToken.after(deadline)
+        if strategy == "auto" and self.adaptive is not None:
+            # Adaptive routing: auto means "the measured-best arm",
+            # with deterministic periodic exploration keeping every
+            # arm — and the instrumented selectivity telemetry —
+            # sampled. A per-call ``backend=`` is honoured as the
+            # exploit default but exploration may still try the other
+            # backend; pass an explicit strategy to opt a call out.
+            from .plan_cache import query_fingerprint
+
+            strategy, backend = self.adaptive.choose(
+                query_fingerprint(query), self._resolve_backend(backend)
+            )
         compiled, was_hit, resolved, chosen, key = self._compile_cached(
             query, strategy, backend
         )
@@ -349,6 +431,16 @@ class Engine:
         # (a vectorized request can fall back to instrumented).
         effective = compiled.notes.get("backend", "instrumented")
         self._record_run(key[0], resolved, effective, metrics)
+        if self.adaptive is not None:
+            from ..adaptive import observation_from_run
+
+            self.adaptive.observe(
+                key[0],
+                resolved,
+                effective,
+                observation_from_run(result.report, metrics),
+                estimated_stats=compiled.notes.get("estimated_stats"),
+            )
         return result
 
     def _record_run(

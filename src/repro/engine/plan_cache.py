@@ -267,11 +267,40 @@ class PlanCache:
         flight.event.set()
         return compiled, False
 
-    def invalidate(self) -> None:
-        """Drop every entry (data changed / database swapped)."""
+    def invalidate(self, fingerprint: Optional[str] = None) -> int:
+        """Drop cached plans; returns how many entries were dropped.
+
+        Without an argument, every entry goes (data changed / database
+        swapped) and the invalidation counter ticks once, as before.
+        With a query ``fingerprint`` (``plan_key(...)[0]``), only that
+        query's compilations are dropped — every strategy / machine /
+        tile / backend cell — and the counter ticks once per dropped
+        entry. The adaptive re-optimizer uses the targeted form so a
+        drifted plan recompiles without cooling every other query.
+        """
+        if fingerprint is not None:
+            return self.invalidate_where(
+                lambda key: isinstance(key, tuple)
+                and bool(key)
+                and key[0] == fingerprint
+            )
         with self._lock:
+            dropped = len(self._entries)
             self._entries.clear()
             self.stats.invalidations += 1
+            return dropped
+
+    def invalidate_where(self, pred: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``pred``; returns the
+        count. The invalidation counter ticks once per dropped entry.
+        ``pred`` runs under the cache lock — keep it cheap and never
+        have it touch the cache."""
+        with self._lock:
+            doomed = [key for key in self._entries if pred(key)]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def keys(self):
         """Current keys, LRU first (tests / introspection)."""

@@ -25,11 +25,21 @@ class ExecutionKnobs:
         (generated whole-column NumPy kernels, the serving default) or
         ``"instrumented"`` (the event-priced interpreter that remains
         the authority for costing and explain output).
+    min_parallel_rows:
+        Scan length below which partitionable programs run serial
+        anyway (the thread fan-out floor). ``None`` defers to the
+        compiled program's own declared floor (the vectorized backend
+        declares ``VECTORIZED_MIN_PARALLEL_ROWS``; the instrumented one
+        declares no floor). Set explicitly — or let an adaptive engine
+        seed it from the feedback store's measured serial-vs-parallel
+        crossover — to override the built-in constant per host. A
+        pinned ``morsel_rows`` disables the floor entirely, as before.
     """
 
     ht_prefetch: bool = False
     morsel_rows: int | None = None
     backend: str = "vectorized"
+    min_parallel_rows: int | None = None
 
 
 class Session:

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..core import cost_models as cm
 from ..core import planner as P
+from ..engine.costing import StatsOverride
 from ..engine.machine import MachineModel
 from ..errors import PlanError, StorageError
 from ..plan.expressions import (
@@ -114,6 +115,21 @@ class PassNote:
             text += f" (est cycles: {costs})"
         return text
 
+    @property
+    def estimated_cycles(self) -> Optional[float]:
+        """Cycle estimate of the candidate this pass chose.
+
+        Cost-guided passes record every candidate's estimate; the
+        chooser always picks the cheapest, so the minimum is the cycles
+        the plan was priced with. ``None`` for passes without estimates
+        (binding, unconditional rewrites). The adaptive loop pairs this
+        with the observed cycles in ``Engine.explain()`` once feedback
+        exists.
+        """
+        if not self.estimates:
+            return None
+        return min(value for _, value in self.estimates)
+
 
 @dataclass
 class Decisions:
@@ -126,6 +142,11 @@ class Decisions:
     outer_mode: str = CONDITIONAL  # OuterGroupJoin count-delta mode
     has_outer: bool = False
     group_cardinality: int = 1
+    #: Statistics the root decisions were priced with (after any
+    #: :class:`~repro.engine.costing.StatsOverride`); the adaptive
+    #: re-optimizer compares these against measured values to detect
+    #: drift. Informational — :meth:`describe` does not render them.
+    estimated_stats: Dict[str, float] = field(default_factory=dict)
 
     def describe(self) -> str:
         parts = [f"aggregation={self.agg_mode}"]
@@ -381,6 +402,35 @@ def spine_stats(node: PlanNode, db: Database) -> SpineStats:
     )
 
 
+def _override_stats(
+    stats: SpineStats, overrides: Optional[StatsOverride]
+) -> SpineStats:
+    """Replace sampled spine statistics with measured ones, when given.
+
+    A measured ``selectivity`` is the observed survival of the probe
+    spine, so it substitutes for the sampled local selectivity (the
+    match fraction stays unless measured separately).
+    """
+    if overrides is None:
+        return stats
+    local = (
+        overrides.selectivity
+        if overrides.selectivity is not None
+        else stats.local_selectivity
+    )
+    match = (
+        overrides.match_fraction
+        if overrides.match_fraction is not None
+        else stats.match_fraction
+    )
+    return SpineStats(
+        table=stats.table,
+        num_rows=stats.num_rows,
+        local_selectivity=local,
+        match_fraction=match,
+    )
+
+
 def _disjunct_match_fraction(join: DisjunctJoin, db: Database) -> float:
     """Sampled probability a probe row survives some disjunct."""
     build_sample = _sample(db, base_table(join.build))
@@ -553,6 +603,7 @@ def _pass_bitmap_semijoins(
     machine: MachineModel,
     decisions: Decisions,
     notes: List[PassNote],
+    overrides: Optional[StatsOverride] = None,
 ) -> None:
     """§III-D: replace hash semijoins with positional bitmaps.
 
@@ -626,13 +677,14 @@ def _pass_groupjoin(
     machine: MachineModel,
     decisions: Decisions,
     notes: List[PassNote],
+    overrides: Optional[StatsOverride] = None,
 ) -> None:
     """§III-E: eager-aggregation rewrite of the terminal groupjoin."""
     if not is_groupjoin(root):
         return
     joins = spine_joins(root.child)
     target = joins[-1]
-    probe = spine_stats(root.child, db)
+    probe = _override_stats(spine_stats(root.child, db), overrides)
     build = spine_stats(target.build, db)
     if not _build_is_filtered_scan(target.build):
         decisions.groupjoin_mode = P.GROUPJOIN
@@ -697,6 +749,7 @@ def _pass_aggregation(
     machine: MachineModel,
     decisions: Decisions,
     notes: List[PassNote],
+    overrides: Optional[StatsOverride] = None,
 ) -> None:
     """§III-A/§III-B: masked aggregation vs the hybrid fallback."""
     if decisions.groupjoin_mode is not None:
@@ -710,8 +763,12 @@ def _pass_aggregation(
         # outer-groupjoin pass owns.
         decisions.agg_mode = GATHERED
         return
-    stats = spine_stats(root.child, db)
+    stats = _override_stats(spine_stats(root.child, db), overrides)
     inputs = _root_model_inputs(root, db, stats)
+    if overrides is not None and overrides.group_cardinality is not None:
+        inputs = replace(
+            inputs, group_cardinality=max(overrides.group_cardinality, 1)
+        )
     decisions.group_cardinality = inputs.group_cardinality
     carried = _carried_columns(root)
     if root.key is None:
@@ -775,6 +832,7 @@ def _pass_access_merging(
     machine: MachineModel,
     decisions: Decisions,
     notes: List[PassNote],
+    overrides: Optional[StatsOverride] = None,
 ) -> None:
     """§III-C: share reads between the prepass and the aggregation."""
     if decisions.agg_mode not in (VALUE_MASK, KEY_MASK):
@@ -799,6 +857,7 @@ def _pass_exists(
     machine: MachineModel,
     decisions: Decisions,
     notes: List[PassNote],
+    overrides: Optional[StatsOverride] = None,
 ) -> None:
     """Existential/anti semijoin (Q4): positional bitmap over the probe.
 
@@ -854,6 +913,7 @@ def _pass_outer_groupjoin(
     machine: MachineModel,
     decisions: Decisions,
     notes: List[PassNote],
+    overrides: Optional[StatsOverride] = None,
 ) -> None:
     """Outer groupjoin (Q13): masked count deltas vs selective counts.
 
@@ -905,6 +965,7 @@ def _pass_disjunct(
     machine: MachineModel,
     decisions: Decisions,
     notes: List[PassNote],
+    overrides: Optional[StatsOverride] = None,
 ) -> None:
     """Disjunctive join filter (Q19): N bitmaps from one build scan.
 
@@ -977,8 +1038,15 @@ def run_passes(
     db: Database,
     machine: MachineModel,
     strategy: str,
+    overrides: Optional[StatsOverride] = None,
 ) -> Tuple[LogicalPlan, Decisions, List[PassNote]]:
     """Run the strategy's pass pipeline over ``plan``.
+
+    ``overrides`` replaces the prefix-sampled statistics of the probe
+    spine with measured ones (the adaptive re-optimizer's hook): every
+    cost-guided pass prices its candidates with the measured values,
+    and ``decisions.estimated_stats`` records what the plan was priced
+    with so later drift checks compare against it.
 
     Returns the bound plan, the lowering decisions, and the pass notes.
     """
@@ -997,11 +1065,20 @@ def run_passes(
     decisions.group_cardinality = _group_cardinality(
         root, db, base_table(root.child)
     )
+    if overrides is not None and overrides.group_cardinality is not None:
+        decisions.group_cardinality = max(overrides.group_cardinality, 1)
     if is_groupjoin(root):
         decisions.groupjoin_mode = P.GROUPJOIN
     decisions.has_outer = any(
         isinstance(step, OuterGroupJoin) for step in spine(root.child)
     )
+    stats = _override_stats(spine_stats(root.child, db), overrides)
+    decisions.estimated_stats = {
+        "local_selectivity": stats.local_selectivity,
+        "match_fraction": stats.match_fraction,
+        "survival": stats.survival,
+        "group_cardinality": float(decisions.group_cardinality),
+    }
 
     if strategy in ("interpreter", "datacentric"):
         decisions.agg_mode = CONDITIONAL
@@ -1032,7 +1109,7 @@ def run_passes(
         )
     elif strategy == "swole":
         for pass_fn in _SWOLE_PASSES:
-            pass_fn(root, db, machine, decisions, notes)
+            pass_fn(root, db, machine, decisions, notes, overrides)
     else:
         raise PlanError(f"unknown strategy {strategy!r}")
     return bound, decisions, notes

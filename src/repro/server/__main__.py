@@ -87,7 +87,11 @@ def build_engine(args) -> Engine:
         machine = PAPER_MACHINE.scaled(config.scale_factor)
     db = load_dataset(args.dataset, config)
     return Engine(
-        db, machine=machine, workers=args.workers, backend=args.backend
+        db,
+        machine=machine,
+        workers=args.workers,
+        backend=args.backend,
+        adaptive=args.adaptive,
     )
 
 
@@ -129,6 +133,15 @@ def main(argv=None) -> None:
         default="vectorized",
         help="execution backend served by default; per-request "
         "'backend' fields override it",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable closed-loop re-optimization: measured run "
+        "statistics feed back into planning, drifted plans recompile "
+        "with production cardinalities, and strategy='auto' requests "
+        "route through the per-fingerprint explore/exploit chooser "
+        "(loop state appears under 'adaptive' in the stats wire op)",
     )
     parser.add_argument(
         "--concurrency",
@@ -199,7 +212,9 @@ def main(argv=None) -> None:
         )
     print(
         f"serving {args.dataset} on {server.host}:{server.port} "
-        f"(backend={args.backend}, engine workers={args.workers}, "
+        f"(backend={args.backend}, "
+        f"adaptive={'on' if args.adaptive else 'off'}, "
+        f"engine workers={args.workers}, "
         f"concurrency={args.concurrency}, "
         f"queue depth={args.queue_depth}, "
         f"deadline={args.deadline if args.deadline is not None else 'none'}"

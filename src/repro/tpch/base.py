@@ -46,15 +46,18 @@ def compile_tpch(
     machine=None,
     registry=None,
     backend: str = "instrumented",
+    overrides=None,
 ) -> CompiledQuery:
     """Compile TPC-H query ``name`` under ``strategy`` against ``db``.
 
     Queries with a logical operator tree (:data:`~repro.tpch.plans.
     PIPELINE_QUERIES`) go through the generic staged lowering pipeline;
     the rest still use their hand-coded strategy modules. ``machine``,
-    ``registry``, and ``backend`` only affect the pipeline path
-    (cost-model decisions, compile-stage spans, and the execution layer
-    the program runs on); hand-coded programs are always instrumented.
+    ``registry``, ``backend``, and ``overrides`` (a measured-statistics
+    :class:`~repro.engine.costing.StatsOverride` from the adaptive
+    re-optimizer) only affect the pipeline path (cost-model decisions,
+    compile-stage spans, and the execution layer the program runs on);
+    hand-coded programs are always instrumented.
     """
     try:
         module = QUERY_MODULES[name]
@@ -77,6 +80,7 @@ def compile_tpch(
             machine=machine,
             registry=registry,
             backend=backend,
+            overrides=overrides,
         )
     return oracle_tpch(name, strategy, db)
 
