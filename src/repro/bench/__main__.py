@@ -203,6 +203,20 @@ def main() -> None:
         "(writes --out, default BENCH_adaptive.json)",
     )
     parser.add_argument(
+        "--shard-bench",
+        action="store_true",
+        help="multi-process shard executor bench: byte-equivalence "
+        "sweep vs serial, serial/threads/shards throughput scenarios, "
+        "and an induced worker-crash recovery drill (writes --out, "
+        "default BENCH_shard.json)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="worker processes for --shard-bench",
+    )
+    parser.add_argument(
         "--iters",
         type=int,
         default=30,
@@ -280,10 +294,42 @@ def main() -> None:
         parser.error("--iters must be at least 1")
     if args.rounds is not None and args.rounds < 1:
         parser.error("--rounds must be at least 1")
-    if sum((args.throughput, args.serve_bench, args.adapt_bench)) > 1:
+    if sum((
+        args.throughput, args.serve_bench, args.adapt_bench,
+        args.shard_bench,
+    )) > 1:
         parser.error(
-            "pick one of --throughput / --serve-bench / --adapt-bench"
+            "pick one of --throughput / --serve-bench / --adapt-bench "
+            "/ --shard-bench"
         )
+    if args.shard_bench:
+        from .shard import run_shard_bench
+
+        if args.shards < 1:
+            parser.error("--shards must be at least 1")
+        if args.quick:
+            run_shard_bench(
+                sf=0.002 if args.sf == 0.01 else args.sf,
+                seed=args.seed,
+                shards=args.shards,
+                clients=min(args.clients, 4),
+                requests_per_client=min(args.requests, 8),
+                out_path=args.out or "BENCH_shard.json",
+            )
+        else:
+            run_shard_bench(
+                # Heavier default than the other suites: per-query
+                # compute must dominate the per-morsel pipe round-trip
+                # for core-scaling numbers to measure the executor
+                # rather than the IPC floor.
+                sf=0.05 if args.sf == 0.01 else args.sf,
+                seed=args.seed,
+                shards=args.shards,
+                clients=min(args.clients, 8),
+                requests_per_client=args.requests,
+                out_path=args.out or "BENCH_shard.json",
+            )
+        return
     if args.adapt_bench:
         from .adaptive import run_adapt_bench
 

@@ -206,8 +206,45 @@ class DatasetCache:
                     self.last_source = "generated"
                     db = generate(config)
                     self._store_disk(key, generator, config, db)
+        self._tag(db, key, generator=generator)
         self._remember(key, db)
         return db
+
+    def load_fingerprint(self, key: str) -> Optional[Database]:
+        """Load an existing on-disk entry directly by fingerprint.
+
+        This is how shard worker processes bootstrap: the parent ships
+        only the 24-hex fingerprint over the task protocol and each
+        worker maps the same ``.npy`` files read-only — no column data
+        ever crosses the pipe. Returns ``None`` when the entry is
+        absent (the caller decides whether that is fatal); never
+        generates.
+        """
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.memory_hits += 1
+            self.last_source = "memory"
+            return cached
+        db = self._load_disk(key)
+        if db is None:
+            return None
+        self.stats.disk_hits += 1
+        self.last_source = "disk"
+        self._tag(db, key)
+        self._remember(key, db)
+        return db
+
+    def _tag(
+        self, db: Database, key: str, generator: Optional[str] = None
+    ) -> None:
+        """Stamp dataset provenance onto the loaded database so
+        downstream consumers (the shard executor) can address the same
+        entry from another process."""
+        if generator is not None:
+            db.dataset_generator = generator
+        db.dataset_fingerprint = key
+        db.dataset_cache_dir = str(self.cache_dir)
 
     def _resolve(self, generator: str) -> Tuple[Callable, type]:
         try:
@@ -240,10 +277,17 @@ class DatasetCache:
         Acquired with ``O_CREAT | O_EXCL`` (atomic on every platform and
         on NFS since v3). Locks whose mtime exceeds
         ``_LOCK_STALE_SECONDS`` are presumed orphaned by a crashed
-        holder and broken; if the lock cannot be acquired within
-        ``_LOCK_WAIT_SECONDS`` the caller proceeds *unlocked* —
-        duplicated generation work at worst, since entries only ever
-        appear via an atomic rename.
+        holder and broken — but only after re-checking that the file at
+        the lock path is still the *same* file that was judged stale
+        (see :meth:`_break_stale_lock`): two waiters that both observed
+        staleness must not both unlink, or the second unlink deletes
+        the fresh lock the first breaker just re-acquired and a third
+        process slips in. Only the waiter whose unlink actually removed
+        the stale file retries the claim immediately; everyone else
+        falls back to a normal poll tick. If the lock cannot be
+        acquired within ``_LOCK_WAIT_SECONDS`` the caller proceeds
+        *unlocked* — duplicated generation work at worst, since entries
+        only ever appear via an atomic rename.
         """
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._lock_path(key)
@@ -255,15 +299,15 @@ class DatasetCache:
                 fd = os.open(path, flags)
             except FileExistsError:
                 try:
-                    age = time.time() - path.stat().st_mtime
+                    seen = path.stat()
                 except OSError:
                     continue  # holder just released; retry immediately
-                if age > _LOCK_STALE_SECONDS:
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
-                    continue
+                if time.time() - seen.st_mtime > _LOCK_STALE_SECONDS:
+                    if self._break_stale_lock(path, seen):
+                        continue  # we removed it: claim on the retry
+                    # Another waiter broke it first (or its holder
+                    # released and a fresh lock took the path): honour
+                    # whoever claims next instead of racing the unlink.
                 time.sleep(_LOCK_POLL_SECONDS)
             except OSError:
                 break  # unwritable cache dir: fall through unlocked
@@ -280,6 +324,40 @@ class DatasetCache:
                     path.unlink()
                 except OSError:
                     pass
+
+    @staticmethod
+    def _break_stale_lock(path: Path, seen: os.stat_result) -> bool:
+        """Unlink ``path`` only if it is still the file judged stale.
+
+        Between a waiter's staleness check and its ``unlink`` the stale
+        lock may already have been broken by another waiter *and*
+        replaced by that waiter's fresh lock; a blind unlink would then
+        delete the fresh lock and let a third process claim, defeating
+        the mutual exclusion. Re-stat and compare file identity
+        (``st_ino`` + ``st_mtime_ns``) against the observation that
+        justified the break; mismatch means someone else acted first.
+
+        Returns ``True`` only when *this* caller performed the unlink —
+        the one waiter allowed to retry the claim immediately.
+
+        The residual stat→unlink window is microseconds (versus the
+        300 s staleness horizon) and its worst case is the pre-existing
+        documented fallback: duplicated generation, never corruption.
+        """
+        try:
+            current = path.stat()
+        except OSError:
+            return False  # gone already: someone else broke it
+        if (current.st_ino, current.st_mtime_ns) != (
+            seen.st_ino,
+            seen.st_mtime_ns,
+        ):
+            return False  # a fresh lock replaced the stale one
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        return True
 
     def _store_disk(self, key: str, generator: str, config, db) -> None:
         """Persist ``db`` atomically (write to a temp dir, then rename)."""

@@ -36,6 +36,7 @@ from .program import (
     results_equal,
 )
 from .session import ExecutionKnobs, Session
+from .shard import ShardExecutor, ShardGroup, ShardWorkerDied
 
 __all__ = [
     "Branch",
@@ -66,6 +67,9 @@ __all__ = [
     "SeqRead",
     "SeqWrite",
     "Session",
+    "ShardExecutor",
+    "ShardGroup",
+    "ShardWorkerDied",
     "WorkerPool",
     "WorkerStats",
     "SetAssociativeCache",

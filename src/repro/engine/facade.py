@@ -24,6 +24,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import replace
 from typing import Optional, Union
@@ -105,6 +106,19 @@ class Engine:
         vectorized programs) — unless an adaptive engine has measured
         the host's actual serial-vs-parallel crossover, which then
         seeds new sessions automatically.
+    shards:
+        Default worker-*process* count for the multi-process shard
+        executor (:mod:`repro.engine.shard`): morsels scatter over
+        ``shards`` pre-forked workers mapping the same on-disk columns
+        by dataset fingerprint, and partials gather through the same
+        deterministic merge the thread path uses, so sharded results
+        stay byte-identical to serial. Requires a database loaded
+        through the dataset cache (it carries the fingerprint workers
+        map by); raises :class:`~repro.errors.ReproError` otherwise.
+        Workers fork lazily on the first sharded query — call
+        :meth:`start_shards` to pre-fork (the server does). Queries
+        with no wire form, or scans below the fan-out floor, fall back
+        to the thread executor transparently.
 
     The engine is a context manager; ``with Engine(db) as engine:``
     shuts the pool down on exit, and an ``atexit`` hook covers engines
@@ -125,9 +139,21 @@ class Engine:
         backend: Optional[str] = None,
         adaptive=None,
         min_parallel_rows: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ReproError("Engine needs at least one worker")
+        if shards is not None:
+            if shards < 1:
+                raise ReproError("Engine needs at least one shard")
+            if not getattr(db, "dataset_fingerprint", None):
+                raise ReproError(
+                    "shard execution needs a database loaded through "
+                    "the dataset cache (repro.datagen.cache), so "
+                    "worker processes can map the same on-disk "
+                    "columns by fingerprint; this database carries "
+                    "no provenance"
+                )
         self.db = db
         self.machine = machine
         self.workers = workers
@@ -137,6 +163,10 @@ class Engine:
             self.knobs.backend = backend
         if min_parallel_rows is not None:
             self.knobs.min_parallel_rows = min_parallel_rows
+        if shards is not None:
+            self.knobs.shards = shards
+        self._shard_group = None
+        self._shard_lock = threading.Lock()
         if self.knobs.backend not in BACKENDS:
             raise ReproError(
                 f"unknown backend {self.knobs.backend!r}; "
@@ -170,11 +200,41 @@ class Engine:
     # -- lifecycle -------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop the worker pool's threads (idempotent). The engine
-        remains usable — the pool restarts lazily on the next parallel
-        query."""
+        """Stop the worker pool's threads and any shard worker
+        processes (idempotent). The engine remains usable — the pool
+        restarts lazily on the next parallel query, and the shard
+        group re-forks on the next sharded one."""
         if self.pool is not None:
             self.pool.shutdown()
+        with self._shard_lock:
+            group, self._shard_group = self._shard_group, None
+        if group is not None:
+            group.stop()
+
+    def start_shards(self, shards: Optional[int] = None):
+        """Pre-fork the shard workers (the server calls this at boot so
+        the first request never pays fork + dataset-map latency).
+        Returns the :class:`~repro.engine.shard.ShardGroup`."""
+        n = shards if shards is not None else self.knobs.shards
+        if not n:
+            raise ReproError(
+                "no shard count configured; pass start_shards(n) or "
+                "Engine(shards=n)"
+            )
+        return self._ensure_shard_group(n).start()
+
+    def _ensure_shard_group(self, shards: int):
+        from .shard import ShardGroup
+
+        with self._shard_lock:
+            group = self._shard_group
+            if group is None:
+                group = ShardGroup.for_engine(self, shards)
+                self.registry.register_source("shards", group.snapshot)
+                self._shard_group = group
+            elif shards > group.shards:
+                group.grow(shards)
+        return group
 
     def __enter__(self) -> "Engine":
         return self
@@ -233,7 +293,8 @@ class Engine:
         return resolved
 
     def _compile_cached(
-        self, query, strategy: str, backend: Optional[str] = None
+        self, query, strategy: str, backend: Optional[str] = None,
+        shards: int = 0,
     ):
         if isinstance(query, str):
             warnings.warn(
@@ -246,7 +307,9 @@ class Engine:
             )
         resolved = AUTO_STRATEGY if strategy == "auto" else strategy
         chosen = self._resolve_backend(backend)
-        key = plan_key(query, resolved, self.machine, self.tile, chosen)
+        key = plan_key(
+            query, resolved, self.machine, self.tile, chosen, shards
+        )
 
         def timed_compile() -> CompiledQuery:
             with span(
@@ -263,8 +326,6 @@ class Engine:
     def _compile(
         self, query, strategy: str, backend: str
     ) -> CompiledQuery:
-        from ..plan.ops import LogicalPlan
-
         overrides = None
         if self.adaptive is not None:
             from .plan_cache import query_fingerprint
@@ -272,6 +333,19 @@ class Engine:
             overrides = self.adaptive.override_for(
                 query_fingerprint(query)
             )
+        compiled = self._compile_with(query, strategy, backend, overrides)
+        if overrides is not None:
+            # The shard path ships the override a program was compiled
+            # with to the worker processes, so they compile the *same*
+            # program from the same measured statistics.
+            compiled.notes.setdefault("stats_override", overrides)
+        return compiled
+
+    def _compile_with(
+        self, query, strategy: str, backend: str, overrides
+    ) -> CompiledQuery:
+        from ..plan.ops import LogicalPlan
+
         if isinstance(query, str):
             from ..tpch import compile_tpch
 
@@ -378,6 +452,7 @@ class Engine:
         deadline: Optional[float] = None,
         cancel: Optional[CancelToken] = None,
         backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> QueryResult:
         """Compile (or fetch from the plan cache) and run ``query``.
 
@@ -386,6 +461,12 @@ class Engine:
         bit-identical to a serial run. The returned result carries
         :class:`~repro.engine.metrics.RunMetrics` on ``report.metrics``,
         including whether the plan came from the cache.
+
+        ``shards`` overrides the engine's default shard-process count
+        for this call (``0`` forces in-process execution). When the
+        effective count is ``>= 1`` and the query has a wire form, the
+        morsels scatter over the shard worker processes instead of the
+        thread pool; results remain byte-identical either way.
 
         ``deadline`` gives the run a relative budget in seconds;
         ``cancel`` threads an existing
@@ -403,6 +484,24 @@ class Engine:
                     "pass either deadline= or cancel=, not both"
                 )
             cancel = CancelToken.after(deadline)
+        n_shards = (
+            shards if shards is not None else (self.knobs.shards or 0)
+        )
+        spec = None
+        if n_shards >= 1:
+            from ..plan.logical import Query as _LegacyQuery
+            from ..plan.ops import from_query
+            from .shard import wire_spec_for
+
+            # Canonicalise legacy query objects to their operator tree
+            # *before* compiling: the workers compile from the wire
+            # form (a tree), and parent and workers must compile the
+            # same program for partial shapes — and answers — to agree.
+            if isinstance(query, _LegacyQuery):
+                query = from_query(query)
+            spec = wire_spec_for(query)
+            if spec is None:
+                n_shards = 0  # no wire form: in-process fallback
         if strategy == "auto" and self.adaptive is not None:
             # Adaptive routing: auto means "the measured-best arm",
             # with deterministic periodic exploration keeping every
@@ -416,15 +515,35 @@ class Engine:
                 query_fingerprint(query), self._resolve_backend(backend)
             )
         compiled, was_hit, resolved, chosen, key = self._compile_cached(
-            query, strategy, backend
+            query, strategy, backend, shards=n_shards
         )
         n_workers = workers if workers is not None else self.workers
         if session is None:
             session = self.session(workers=n_workers)
-        executor = MorselExecutor(
-            workers=n_workers, pool=self.pool, registry=self.registry
-        )
-        result = executor.execute(compiled, session, cancel=cancel)
+        result = None
+        if n_shards >= 1 and spec is not None:
+            from .shard import ShardExecutor
+
+            group = self._ensure_shard_group(n_shards)
+            result = ShardExecutor(
+                group, registry=self.registry
+            ).execute(
+                compiled,
+                session,
+                spec=spec,
+                strategy=resolved,
+                backend=chosen,
+                override=compiled.notes.get("stats_override"),
+                cancel=cancel,
+            )
+            # ``None`` = the program should not shard (no parallel
+            # plan, or the scan is under the fan-out floor): run the
+            # very same compiled program in-process instead.
+        if result is None:
+            executor = MorselExecutor(
+                workers=n_workers, pool=self.pool, registry=self.registry
+            )
+            result = executor.execute(compiled, session, cancel=cancel)
         metrics = result.report.metrics
         metrics.plan_cache = "hit" if was_hit else "miss"
         # Label telemetry by the backend the program actually runs on
@@ -432,13 +551,25 @@ class Engine:
         effective = compiled.notes.get("backend", "instrumented")
         self._record_run(key[0], resolved, effective, metrics)
         if self.adaptive is not None:
-            from ..adaptive import observation_from_run
+            tallies = getattr(result.report, "shard_tallies", None)
+            if tallies is not None:
+                # Sharded runs: the workers' event streams stay in the
+                # worker processes; their merged tallies carry the
+                # measured statistics home instead.
+                from .shard import observation_from_tallies
 
+                observation = observation_from_tallies(tallies, metrics)
+            else:
+                from ..adaptive import observation_from_run
+
+                observation = observation_from_run(
+                    result.report, metrics
+                )
             self.adaptive.observe(
                 key[0],
                 resolved,
                 effective,
-                observation_from_run(result.report, metrics),
+                observation,
                 estimated_stats=compiled.notes.get("estimated_stats"),
             )
         return result

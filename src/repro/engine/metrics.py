@@ -56,6 +56,9 @@ class RunMetrics:
     #: True when the morsels ran on a persistent worker pool rather
     #: than per-query spawned threads.
     pooled: bool = False
+    #: True when the morsels ran on shard worker *processes*
+    #: (:mod:`repro.engine.shard`); ``workers`` then counts shards.
+    sharded: bool = False
     #: Total simulated work (sum over all workers/morsels), in cycles.
     total_cycles: float = 0.0
     #: Critical-path simulated cycles: serial setup/finalize plus the
@@ -101,6 +104,7 @@ class RunMetrics:
             f"({self.morsel_rows} rows each"
             + (f", {self.scan_rows} scanned" if self.scan_rows else "")
             + (", pooled" if self.pooled else "")
+            + (", sharded" if self.sharded else "")
             + ")"
             if self.parallel
             else "serial"

@@ -107,12 +107,18 @@ def plan_key(
     machine: MachineModel,
     tile: int,
     backend: str = "instrumented",
-) -> Tuple[str, str, str, int, str]:
+    shards: int = 0,
+) -> Tuple[str, str, str, int, str, int]:
     """The full cache key of one compilation.
 
     The backend is part of the key: a kernel generated for the
     vectorized backend must never be served to a request that asked
-    for the instrumented (costed) one, or vice versa.
+    for the instrumented (costed) one, or vice versa. The shard count
+    is too (``0`` = in-process): the shard path canonicalises legacy
+    query objects to their operator tree before compiling — so parent
+    and worker processes compile the *same* program — while the
+    in-process path may compile a hand-coded module whose ctx/partial
+    shapes differ; the two must never share an entry.
     """
     return (
         query_fingerprint(query),
@@ -120,6 +126,7 @@ def plan_key(
         machine_fingerprint(machine),
         tile,
         backend,
+        shards,
     )
 
 

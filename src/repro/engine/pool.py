@@ -231,6 +231,15 @@ class WorkerPool:
         self.workers = workers
         self._cond = threading.Condition()
         self._submit_lock = threading.Lock()
+        # Serialises ensure_started against shutdown as whole
+        # operations. Without it, an ensure racing a shutdown could (a)
+        # flip _closed back to False between shutdown's notify and its
+        # join, leaving workers parked forever while join blocks on
+        # them, and (b) re-register the atexit hook in the window where
+        # shutdown is about to unregister it, losing the registration.
+        # Held only around lifecycle transitions, never during a batch,
+        # and workers only ever take _cond — no ordering cycle.
+        self._lifecycle = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._batch: Optional[MorselBatch] = None
         self._closed = False
@@ -248,42 +257,50 @@ class WorkerPool:
         return bool(self._threads)
 
     def ensure_started(self, workers: Optional[int] = None) -> None:
-        """Start (or grow) the worker threads; safe to call repeatedly."""
-        with self._cond:
-            self._closed = False
-            if workers is not None and workers > self.workers:
-                self.workers = workers
-            while len(self._threads) < self.workers:
-                worker_id = len(self._threads)
-                thread = threading.Thread(
-                    target=self._worker_loop,
-                    args=(worker_id,),
-                    name=f"repro-pool-{worker_id}",
-                    daemon=True,
-                )
-                self._threads.append(thread)
-                thread.start()
-            if self._threads and not self._atexit_registered:
-                atexit.register(self.shutdown)
-                self._atexit_registered = True
+        """Start (or grow) the worker threads; safe to call repeatedly,
+        including concurrently with :meth:`shutdown` (the lifecycle lock
+        makes each a whole-operation critical section)."""
+        with self._lifecycle:
+            with self._cond:
+                self._closed = False
+                if workers is not None and workers > self.workers:
+                    self.workers = workers
+                while len(self._threads) < self.workers:
+                    worker_id = len(self._threads)
+                    thread = threading.Thread(
+                        target=self._worker_loop,
+                        args=(worker_id,),
+                        name=f"repro-pool-{worker_id}",
+                        daemon=True,
+                    )
+                    self._threads.append(thread)
+                    thread.start()
+                if self._threads and not self._atexit_registered:
+                    atexit.register(self.shutdown)
+                    self._atexit_registered = True
 
     def shutdown(self) -> None:
         """Stop and join all workers. Idempotent; the pool restarts
         lazily if used again afterwards."""
-        with self._cond:
-            self._closed = True
-            threads = list(self._threads)
-            self._cond.notify_all()
-        for thread in threads:
-            thread.join()
-        with self._cond:
-            self._threads = [t for t in self._threads if t.is_alive()]
-            if self._atexit_registered and not self._threads:
-                self._atexit_registered = False
-                try:
-                    atexit.unregister(self.shutdown)
-                except Exception:  # pragma: no cover - interpreter exit
-                    pass
+        with self._lifecycle:
+            with self._cond:
+                self._closed = True
+                threads = list(self._threads)
+                self._cond.notify_all()
+            # Join outside _cond (workers need it to observe _closed)
+            # but inside the lifecycle lock, so a concurrent
+            # ensure_started cannot flip _closed back and strand this
+            # join on workers that will never exit.
+            for thread in threads:
+                thread.join()
+            with self._cond:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                if self._atexit_registered and not self._threads:
+                    self._atexit_registered = False
+                    try:
+                        atexit.unregister(self.shutdown)
+                    except Exception:  # pragma: no cover - interpreter exit
+                        pass
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -34,12 +34,22 @@ class ExecutionKnobs:
         seed it from the feedback store's measured serial-vs-parallel
         crossover — to override the built-in constant per host. A
         pinned ``morsel_rows`` disables the floor entirely, as before.
+    shards:
+        Worker *processes* for the multi-process shard executor
+        (:mod:`repro.engine.shard`). ``None`` (the default) keeps
+        execution in-process; ``N >= 1`` scatters morsels over ``N``
+        pre-forked workers mapping the same on-disk columns. Requires a
+        database loaded through the dataset cache (workers locate the
+        columns by fingerprint). Queries the shard path cannot serve
+        (no wire form, scan below the fan-out floor) fall back to the
+        thread executor transparently.
     """
 
     ht_prefetch: bool = False
     morsel_rows: int | None = None
     backend: str = "vectorized"
     min_parallel_rows: int | None = None
+    shards: int | None = None
 
 
 class Session:

@@ -86,13 +86,19 @@ def build_engine(args) -> Engine:
         config = mb.MicrobenchConfig(num_rows=args.rows, seed=args.seed)
         machine = PAPER_MACHINE.scaled(config.scale_factor)
     db = load_dataset(args.dataset, config)
-    return Engine(
+    engine = Engine(
         db,
         machine=machine,
         workers=args.workers,
         backend=args.backend,
         adaptive=args.adaptive,
+        shards=args.shards,
     )
+    if args.shards:
+        # Pre-fork and handshake the shard workers now, so the first
+        # request never pays fork + dataset-map + compile latency.
+        engine.start_shards()
+    return engine
 
 
 def main(argv=None) -> None:
@@ -126,6 +132,14 @@ def main(argv=None) -> None:
         type=int,
         default=1,
         help="engine worker threads per query (morsel parallelism)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker processes for the multi-process shard executor "
+        "(pre-forked at boot, each mapping the cached dataset's "
+        "on-disk columns); per-request 'shards' fields override it",
     )
     parser.add_argument(
         "--backend",
@@ -215,6 +229,7 @@ def main(argv=None) -> None:
         f"(backend={args.backend}, "
         f"adaptive={'on' if args.adaptive else 'off'}, "
         f"engine workers={args.workers}, "
+        f"shards={args.shards if args.shards else 'off'}, "
         f"concurrency={args.concurrency}, "
         f"queue depth={args.queue_depth}, "
         f"deadline={args.deadline if args.deadline is not None else 'none'}"

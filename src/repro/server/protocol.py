@@ -159,8 +159,9 @@ class QueryRequest:
     experiences). ``workers`` overrides the engine's worker count for
     this request; ``backend`` pins the execution backend
     (``"instrumented"`` or ``"vectorized"``) instead of the serving
-    default; ``id`` is echoed on the response (auto-generated when
-    omitted).
+    default; ``shards`` overrides the engine's shard-process count for
+    this request (``0`` forces in-process execution); ``id`` is echoed
+    on the response (auto-generated when omitted).
     """
 
     query: Any
@@ -168,6 +169,7 @@ class QueryRequest:
     workers: Optional[int] = None
     deadline: Optional[float] = None
     backend: Optional[str] = None
+    shards: Optional[int] = None
     id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
 
     def to_wire(self) -> dict:
@@ -193,6 +195,8 @@ class QueryRequest:
             wire["deadline"] = self.deadline
         if self.backend is not None:
             wire["backend"] = self.backend
+        if self.shards is not None:
+            wire["shards"] = self.shards
         return wire
 
     @classmethod
@@ -223,6 +227,13 @@ class QueryRequest:
                     f"unknown backend {backend!r}; "
                     f"known: {list(BACKENDS)}"
                 )
+        shards = wire.get("shards")
+        if shards is not None and (
+            not isinstance(shards, int) or shards < 0
+        ):
+            raise ProtocolError(
+                "'shards' must be a non-negative integer"
+            )
         req_id = wire.get("id")
         kwargs = {} if req_id is None else {"id": str(req_id)}
         return cls(
@@ -231,6 +242,7 @@ class QueryRequest:
             workers=workers,
             deadline=deadline,
             backend=backend,
+            shards=shards,
             **kwargs,
         )
 

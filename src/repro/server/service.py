@@ -437,7 +437,11 @@ class QueryService:
         else:
             return None
         return (
-            spec_key, request.strategy, request.workers, request.backend
+            spec_key,
+            request.strategy,
+            request.workers,
+            request.backend,
+            request.shards,
         )
 
     def _take_duplicates(self, pending: PendingQuery) -> List[PendingQuery]:
@@ -606,6 +610,7 @@ class QueryService:
                 request.strategy,
                 workers=request.workers,
                 backend=request.backend,
+                shards=request.shards,
                 cancel=token,
             )
         except QueryTimeout as exc:

@@ -253,6 +253,24 @@ class TcpQueryServer:
 
     # -- connections -----------------------------------------------------
 
+    def _conn_error(self, site: str, exc: BaseException) -> None:
+        """Route a per-connection socket failure through telemetry,
+        mirroring what :meth:`_teardown` does for ``stop()``.
+
+        Every occurrence is counted (``tcp_stop_errors_total{site=}``).
+        Sockets that are *already gone* — closed under this thread by
+        ``stop()``, surfacing as an ``_ALREADY_GONE`` errno or as the
+        ``ValueError`` a closed file object raises — are expected races,
+        counted but not logged. A genuine reset (ECONNRESET and kin) is
+        the diagnosable case and lands in the error log."""
+        registry = self.service.registry
+        registry.counter("tcp_stop_errors_total", site=site).inc()
+        if isinstance(exc, ValueError):
+            return  # operation on a closed makefile object: stop() race
+        if getattr(exc, "errno", None) in _ALREADY_GONE:
+            return
+        registry.error_log.record("tcp.conn", f"{site}: {exc}")
+
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
             reader = conn.makefile("rb")
@@ -264,10 +282,16 @@ class TcpQueryServer:
                 try:
                     writer.write(dump_line(response.to_wire()))
                     writer.flush()
-                except (OSError, ValueError):
-                    break  # client went away mid-response
-        except (OSError, ValueError):
-            pass  # connection reset; nothing to answer
+                except (OSError, ValueError) as exc:
+                    # Client went away mid-response: stop serving this
+                    # connection, but leave a trace — a shard worker's
+                    # reset here used to vanish without a counter.
+                    self._conn_error("conn_write", exc)
+                    break
+        except (OSError, ValueError) as exc:
+            # Read side failed (e.g. ECONNRESET): nothing to answer,
+            # but the reset itself is diagnosable telemetry.
+            self._conn_error("conn_read", exc)
         finally:
             with self._lock:
                 self._conns.discard(conn)

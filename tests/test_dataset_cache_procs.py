@@ -162,6 +162,101 @@ class TestLockFile:
         )
 
 
+STALE_RACE_LOADER = f"""
+import sys
+import repro.datagen.cache as cache_mod
+cache_mod._LOCK_STALE_SECONDS = 0.05  # the pre-aged lock reads stale
+from repro.datagen import microbench as mb
+from repro.datagen.cache import DatasetCache
+
+cache = DatasetCache(cache_dir=sys.argv[1])
+db = cache.load("microbench", mb.{CONFIG})
+checksum = int(db.table("R").column("r_a").values.sum())
+print(cache.last_source, checksum)
+"""
+
+
+class TestStaleLockBreakRace:
+    """The two-waiter stale-break race: both waiters observe the same
+    over-age lock, but only the one whose ``unlink`` actually removed
+    *that* lock may claim — the other must honour whoever claims next
+    instead of deleting the winner's fresh lock from under it."""
+
+    def test_breaker_claims_only_the_lock_it_saw(self, tmp_path):
+        cache = DatasetCache(cache_dir=tmp_path)
+        tmp_path.mkdir(exist_ok=True)
+        lock = tmp_path / ".stale.lock"
+        lock.write_text("99999999")
+        seen = lock.stat()
+        assert cache._break_stale_lock(lock, seen) is True
+        assert not lock.exists()
+
+    def test_breaker_spares_a_replacement_lock(self, tmp_path):
+        # Waiter A broke the stale lock and re-acquired; waiter B still
+        # holds the *old* stat. B's break attempt must no-op.
+        cache = DatasetCache(cache_dir=tmp_path)
+        tmp_path.mkdir(exist_ok=True)
+        lock = tmp_path / ".stale.lock"
+        lock.write_text("99999999")
+        seen = lock.stat()
+        lock.unlink()  # A's break...
+        lock.write_text(str(os.getpid()))  # ...and fresh acquisition
+        os.utime(lock)  # fresh mtime: a live holder
+        assert cache._break_stale_lock(lock, seen) is False
+        assert lock.exists()  # A's fresh lock survived B
+
+    def test_breaker_handles_lock_vanishing(self, tmp_path):
+        cache = DatasetCache(cache_dir=tmp_path)
+        tmp_path.mkdir(exist_ok=True)
+        lock = tmp_path / ".stale.lock"
+        lock.write_text("99999999")
+        seen = lock.stat()
+        lock.unlink()  # another waiter broke it first
+        assert cache._break_stale_lock(lock, seen) is False
+
+    def test_two_processes_contend_on_an_aged_lock(self, tmp_path):
+        """Two real subprocesses race an artificially aged lock file:
+        exactly one generation, the other served from the winner's
+        entry, no lock left behind."""
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        config = eval(f"mb.{CONFIG}")
+        key = dataset_fingerprint("microbench", config)
+        lock = DatasetCache(cache_dir=cache_dir)._lock_path(key)
+        lock.write_text("99999999")  # a crashed holder's leftover
+        aged = time.time() - 30.0
+        os.utime(lock, (aged, aged))
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", STALE_RACE_LOADER, str(cache_dir)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        results = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            source, checksum = out.split()
+            results.append((source, int(checksum)))
+
+        # Exactly one generation; identical answers.
+        sources = sorted(source for source, _ in results)
+        assert sources.count("generated") == 1, sources
+        assert len({checksum for _, checksum in results}) == 1
+        # One complete entry, and no lock was lost or leaked.
+        assert [p.name for p in cache_dir.iterdir()] == [key]
+        assert not lock.exists()
+
+
 class TestAtomicStore:
     def test_interrupted_store_leaves_no_entry(self, tmp_path):
         cache = DatasetCache(cache_dir=tmp_path)

@@ -42,6 +42,7 @@ class StubEngine:
         *,
         workers=None,
         backend=None,
+        shards=None,
         cancel=None,
     ):
         self.calls.append(query)

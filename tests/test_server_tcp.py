@@ -141,6 +141,61 @@ class TestStats:
         assert b'"bad_request"' in reply
 
 
+class TestConnectionTelemetry:
+    def test_client_reset_is_counted_not_swallowed(self, micro_db):
+        # Regression: a client that dies with a TCP RST mid-connection
+        # used to vanish into a bare ``except OSError: pass`` — no
+        # counter, no error-log line. The reset must now surface as
+        # ``tcp_stop_errors_total{site=conn_read}`` plus a ``tcp.conn``
+        # error-log entry.
+        import struct
+        import time
+
+        registry = MetricsRegistry()
+        engine = Engine(db=micro_db, workers=1, registry=registry)
+        service = QueryService(
+            engine, concurrency=1, registry=registry, own_engine=True
+        )
+        server = TcpQueryServer(service, port=0).start()
+        try:
+            conn = socket.create_connection(server.address, timeout=5.0)
+            reader = conn.makefile("rb")
+            conn.sendall(
+                b'{"id": "warm", "query": '
+                b'{"micro": "q1", "args": {"sel": 30}}, '
+                b'"strategy": "swole"}\n'
+            )
+            assert b'"status":"ok"' in reader.readline()
+            # SO_LINGER(on, 0): closing sends RST instead of FIN, so
+            # the server's blocking read fails with ECONNRESET. The
+            # makefile reader holds a reference to the fd — it must be
+            # closed too or the socket never actually closes.
+            conn.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            reader.close()
+            conn.close()
+
+            counter = registry.counter(
+                "tcp_stop_errors_total", site="conn_read"
+            )
+            deadline = time.monotonic() + 5.0
+            while counter.value == 0:
+                assert time.monotonic() < deadline, (
+                    "connection reset never reached the counter"
+                )
+                time.sleep(0.01)
+            entries = registry.error_log.snapshot()["entries"]
+            assert any(
+                e["source"] == "tcp.conn" and "conn_read" in e["message"]
+                for e in entries
+            )
+        finally:
+            server.stop(timeout=10.0)
+
+
 class TestBadInput:
     def test_malformed_json_line_gets_bad_request(self, served_engine):
         _, server = served_engine

@@ -1,0 +1,279 @@
+"""Multi-process shard executor.
+
+The contract under test: worker processes map the same on-disk columns
+by dataset fingerprint, morsels ship over a pickle-free line-JSON
+protocol, and the gathered answer is byte-identical to the serial one
+(``repr`` equality — every float bit). Plus the operational envelope:
+a SIGKILLed worker's morsel retries on a fresh process, engines refuse
+databases without cache provenance, and small scans fall back to
+in-process execution instead of paying the pipe.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datagen import microbench as mb
+from repro.datagen import tpch as tpchgen
+from repro.datagen.cache import load_dataset
+from repro.engine import Engine
+from repro.engine.costing import StatsOverride
+from repro.engine.machine import PAPER_MACHINE
+from repro.engine.shard import (
+    decode_partial,
+    encode_partial,
+    override_from_wire,
+    override_to_wire,
+)
+from repro.errors import ReproError
+from repro.server import QueryRequest, QueryService
+from repro.server.protocol import ProtocolError
+from repro.tpch import logical_plan
+
+SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def cached_tpch_db():
+    """Tiny TPC-H loaded *through the cache* so it carries the
+    fingerprint/cache-dir provenance shard workers need."""
+    return load_dataset("tpch", tpchgen.TpchConfig(scale_factor=0.002))
+
+
+@pytest.fixture(scope="module")
+def serial_engine(cached_tpch_db):
+    engine = Engine(
+        cached_tpch_db,
+        machine=PAPER_MACHINE,
+        workers=1,
+        min_parallel_rows=1,
+    )
+    yield engine
+    engine.shutdown()
+
+
+@pytest.fixture(scope="module")
+def sharded_engine(cached_tpch_db):
+    # min_parallel_rows=1 keeps the tiny test dataset above the fan-out
+    # floor; the floor itself is tested separately (TestFallback).
+    engine = Engine(
+        cached_tpch_db,
+        machine=PAPER_MACHINE,
+        workers=SHARDS,
+        shards=SHARDS,
+        min_parallel_rows=1,
+    )
+    engine.start_shards()
+    yield engine
+    engine.shutdown()
+
+
+class TestWireCodec:
+    """The partial-state codec must be bit-exact through real JSON."""
+
+    def roundtrip(self, value):
+        return decode_partial(json.loads(json.dumps(encode_partial(value))))
+
+    def test_arrays_roundtrip_bit_exact(self):
+        value = {
+            "sums": np.array([0.1 + 0.2, -0.0, 1e-300, np.inf]),
+            "counts": np.arange(4, dtype=np.int64),
+            "mask": np.array([True, False, True]),
+            "keys": np.array(["AIR", "RAIL", "TRUCK"]),
+            "grid": np.arange(6, dtype=np.float32).reshape(2, 3),
+        }
+        back = self.roundtrip(value)
+        for name, item in value.items():
+            assert back[name].dtype == item.dtype
+            assert back[name].shape == item.shape
+            assert back[name].tobytes() == item.tobytes()
+
+    def test_scalars_roundtrip_bit_exact(self):
+        value = {
+            "np_float": np.float64(0.1),
+            "np_int": np.int32(-7),
+            "big_int": 2**80 + 1,
+            "flt": 0.1 + 0.2,  # != 0.3; a decimal round-trip would drift
+            "neg_zero": -0.0,
+            "flag": True,
+            "text": "lineitem",
+            "nothing": None,
+        }
+        back = self.roundtrip(value)
+        assert isinstance(back["np_float"], np.float64)
+        assert back["np_float"].tobytes() == value["np_float"].tobytes()
+        assert back["np_int"] == np.int32(-7)
+        assert back["big_int"] == 2**80 + 1
+        assert back["flt"].hex() == (0.1 + 0.2).hex()
+        assert str(back["neg_zero"]) == "-0.0"
+        assert back["flag"] is True
+        assert back["text"] == "lineitem"
+        assert back["nothing"] is None
+
+    def test_nan_payload_survives(self):
+        value = {"x": np.array([np.nan, 1.0])}
+        back = self.roundtrip(value)
+        assert back["x"].tobytes() == value["x"].tobytes()
+
+    def test_override_wire_roundtrip(self):
+        override = StatsOverride(selectivity=0.25, group_cardinality=7)
+        wire = override_to_wire(override)
+        assert wire == {"selectivity": 0.25, "group_cardinality": 7}
+        assert override_from_wire(wire) == override
+        assert override_to_wire(None) is None
+        assert override_from_wire(None) is None
+
+
+class TestByteIdentity:
+    """Scatter/gather must be invisible in the answer."""
+
+    @pytest.mark.parametrize("name", ["Q1", "Q6"])
+    @pytest.mark.parametrize("strategy", ["swole", "datacentric"])
+    def test_tpch_matches_serial_vectorized(
+        self, serial_engine, sharded_engine, name, strategy
+    ):
+        plan = logical_plan(name)
+        serial = serial_engine.execute(plan, strategy)
+        sharded = sharded_engine.execute(plan, strategy)
+        assert sharded.report.metrics.sharded
+        assert sharded.report.metrics.workers == SHARDS
+        assert repr(sharded.value) == repr(serial.value)
+
+    @pytest.mark.parametrize("name", ["Q3", "Q14"])
+    def test_join_queries_match_serial(
+        self, serial_engine, sharded_engine, name
+    ):
+        # Join-heavy cells may legitimately decline to shard (no
+        # parallel plan for the strategy) — the answer must match
+        # either way.
+        plan = logical_plan(name)
+        serial = serial_engine.execute(plan, "swole")
+        sharded = sharded_engine.execute(plan, "swole")
+        assert repr(sharded.value) == repr(serial.value)
+
+    def test_instrumented_backend_matches_serial(
+        self, serial_engine, sharded_engine
+    ):
+        plan = logical_plan("Q1")
+        serial = serial_engine.execute(plan, "swole", backend="instrumented")
+        sharded = sharded_engine.execute(
+            plan, "swole", backend="instrumented"
+        )
+        assert sharded.report.metrics.sharded
+        assert repr(sharded.value) == repr(serial.value)
+        assert sharded.report.total_cycles > 0
+
+    def test_legacy_query_is_canonicalized_and_matches(self):
+        # A legacy Query object goes through from_query() so parent and
+        # workers compile the identical operator tree.
+        db = load_dataset(
+            "microbench",
+            mb.MicrobenchConfig(num_rows=20_000, s_rows=200, c_cardinality=16),
+        )
+        with Engine(db, workers=1, min_parallel_rows=1) as serial:
+            expected = serial.execute(mb.q1(30), "swole").value
+        with Engine(
+            db, workers=SHARDS, shards=SHARDS, min_parallel_rows=1
+        ) as sharded:
+            result = sharded.execute(mb.q1(30), "swole")
+            assert result.report.metrics.sharded
+            assert repr(result.value) == repr(expected)
+
+
+class TestFallback:
+    def test_small_scan_falls_back_to_in_process(self, cached_tpch_db):
+        # Default fan-out floor: a 0.002-sf lineitem scan is far below
+        # it, so the shard path declines and the morsel executor runs
+        # in-process — same answer, no pipe.
+        with Engine(cached_tpch_db, shards=SHARDS) as engine:
+            result = engine.execute(logical_plan("Q6"), "swole")
+            assert result is not None
+            assert not result.report.metrics.sharded
+
+    def test_request_shards_zero_forces_in_process(self, sharded_engine):
+        result = sharded_engine.execute(logical_plan("Q6"), "swole", shards=0)
+        assert not result.report.metrics.sharded
+
+    def test_per_request_shards_on_plain_engine(self, cached_tpch_db):
+        with Engine(cached_tpch_db, min_parallel_rows=1) as engine:
+            result = engine.execute(
+                logical_plan("Q6"), "swole", shards=SHARDS
+            )
+            assert result.report.metrics.sharded
+
+
+class TestProvenance:
+    def test_uncached_database_is_refused(self):
+        db = mb.generate(
+            mb.MicrobenchConfig(num_rows=1_000, s_rows=50, c_cardinality=8)
+        )
+        with pytest.raises(ReproError, match="dataset cache"):
+            Engine(db, shards=SHARDS)
+
+    def test_zero_shards_engine_is_refused(self, cached_tpch_db):
+        with pytest.raises(ReproError, match="at least one shard"):
+            Engine(cached_tpch_db, shards=0)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_replaced_and_answer_unchanged(
+        self, sharded_engine
+    ):
+        plan = logical_plan("Q6")
+        expected = repr(sharded_engine.execute(plan, "swole").value)
+        group = sharded_engine.start_shards()  # idempotent accessor
+        assert group.kill_worker(0)
+        result = sharded_engine.execute(plan, "swole")
+        assert repr(result.value) == expected
+        snapshot = group.snapshot()
+        assert snapshot["crashes"] >= 1
+        assert snapshot["restarts"] >= 1
+        assert snapshot["alive"] == SHARDS
+
+
+class TestLifecycle:
+    def test_snapshot_shape_and_idempotent_stop(self, cached_tpch_db):
+        engine = Engine(
+            cached_tpch_db, shards=SHARDS, min_parallel_rows=1
+        )
+        group = engine.start_shards()
+        engine.execute(logical_plan("Q6"), "swole")
+        snapshot = group.snapshot()
+        assert snapshot["shards"] == SHARDS
+        assert snapshot["alive"] == SHARDS
+        assert snapshot["tasks"] >= 1
+        group.stop()
+        group.stop()  # idempotent
+        assert group.snapshot()["alive"] == 0
+        engine.shutdown()
+        engine.shutdown()  # idempotent
+
+
+class TestService:
+    def test_request_shards_served_and_identical(
+        self, serial_engine, sharded_engine
+    ):
+        from repro.plan import plan_to_wire
+        from repro.server.protocol import encode_value
+
+        plan = logical_plan("Q6")
+        expected = serial_engine.execute(plan, "swole").value
+        with QueryService(sharded_engine, concurrency=2) as service:
+            response = service.execute(
+                QueryRequest(
+                    query=plan_to_wire(plan),
+                    strategy="swole",
+                    shards=SHARDS,
+                )
+            )
+        assert response.ok
+        assert response.value == encode_value(expected)
+
+    def test_request_wire_roundtrip_and_validation(self):
+        request = QueryRequest(query="Q6", shards=4)
+        assert QueryRequest.from_wire(request.to_wire()).shards == 4
+        bad = QueryRequest(query="Q6").to_wire()
+        bad["shards"] = -1
+        with pytest.raises(ProtocolError, match="shards"):
+            QueryRequest.from_wire(bad)

@@ -130,6 +130,53 @@ class TestPoolLifecycle:
             WorkerPool(workers=0)
 
 
+class TestLifecycleRaces:
+    def test_concurrent_ensure_and_shutdown_never_wedge(self):
+        # Regression for the register/unregister race: ensure_started
+        # and shutdown hammered from two threads must neither deadlock
+        # nor leave the atexit hook pointing at dead threads. Bounded
+        # iterations keep the test deterministic-fast; the join below
+        # is the liveness assertion.
+        pool = WorkerPool(workers=2)
+        stop = threading.Event()
+        errors = []
+
+        def hammer(action):
+            try:
+                while not stop.is_set():
+                    action()
+            except Exception as exc:  # any raise is the finding
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=hammer, args=(pool.ensure_started,), daemon=True
+            ),
+            threading.Thread(
+                target=hammer, args=(pool.shutdown,), daemon=True
+            ),
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive(), "lifecycle hammer deadlocked"
+        assert not errors
+        # whatever state the race ended in, the pool still works...
+        batch, _ = make_batch(n_morsels=4, workers=2)
+        values, reports, _ = pool.run(
+            batch.template, batch.plan, None, batch.morsels, "test", 2
+        )
+        assert len(values) == 4
+        # ...and shuts down cleanly.
+        pool.shutdown()
+        assert not pool.started
+
+
 class TestCancellation:
     def test_failure_cancels_and_names_morsel(self):
         batch, _ = make_batch(n_morsels=16, workers=1, fail_at={300})
