@@ -21,9 +21,12 @@ frozen configuration knob.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import List, Mapping, Optional, Tuple, Union
 
 from ..engine.costing import StatsOverride
 from .chooser import ARM_CYCLE, DEFAULT_ARM_STRATEGY, StrategyChooser
@@ -36,6 +39,10 @@ from .feedback import (
     observation_from_run,
 )
 from .reopt import OVERRIDE_DECIMALS, ReOptimizer
+
+#: Format version of the persisted feedback snapshot; bump on any
+#: incompatible change to the snapshot/restore schema.
+FEEDBACK_SNAPSHOT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -161,6 +168,48 @@ class AdaptiveController:
         both modes have been sampled (else ``None``)."""
         return self.store.crossover_rows()
 
+    # -- persistence -----------------------------------------------------
+
+    def save_feedback(self, path: Union[str, Path]) -> Path:
+        """Write the feedback store's state as a JSON snapshot.
+
+        Atomic (write + rename) so a crash mid-save never leaves a
+        truncated snapshot for the next engine to trip over. The
+        chooser's explore-cycle position and the re-optimizer's live
+        overrides are deliberately *not* persisted — a restarted engine
+        re-derives both from the restored EWMAs within a few requests,
+        and stale overrides against changed data would be worse than
+        none.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        state = {
+            "version": FEEDBACK_SNAPSHOT_VERSION,
+            "feedback": self.store.snapshot(),
+        }
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(state, indent=2, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def load_feedback(self, path: Union[str, Path]) -> int:
+        """Restore a :meth:`save_feedback` snapshot into the store.
+
+        Returns the number of fingerprints restored; ``0`` when the
+        file is missing, unreadable, or from an incompatible snapshot
+        version (all cold-start conditions, never errors)."""
+        path = Path(path)
+        try:
+            state = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return 0
+        if state.get("version") != FEEDBACK_SNAPSHOT_VERSION:
+            return 0
+        feedback = state.get("feedback")
+        if not isinstance(feedback, dict):
+            return 0
+        return self.store.restore(feedback)
+
     # -- introspection ---------------------------------------------------
 
     @property
@@ -273,6 +322,7 @@ def resolve_adaptive(value) -> Optional[AdaptiveController]:
 __all__ = [
     "ARM_CYCLE",
     "Arm",
+    "FEEDBACK_SNAPSHOT_VERSION",
     "AdaptiveController",
     "AdaptivePolicy",
     "DEFAULT_ARM_STRATEGY",

@@ -27,7 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from ..engine.events import Branch, CondRead, RandomAccess
+from ..engine.events import Branch, CondRead, RandomAccess, StatSample
 from ..errors import ReproError
 
 #: Per-(strategy, backend) arm key.
@@ -41,7 +41,11 @@ class Observation:
     ``selectivity`` is the observed survival fraction of the probe
     spine, or ``None`` when the run produced no conditional-access
     events to measure it from (vectorized runs, fully masked SWOLE
-    plans).
+    plans). ``match_fraction`` and ``group_cardinality`` come from the
+    instrumented backend's zero-cost :class:`~repro.engine.events.
+    StatSample` telemetry: the product of per-join semijoin hit
+    fractions, and the distinct group count of the terminal
+    aggregation.
     """
 
     wall_seconds: float
@@ -52,6 +56,8 @@ class Observation:
     random_accesses: int = 0
     ht_bytes: int = 0
     events: int = 0
+    match_fraction: Optional[float] = None
+    group_cardinality: Optional[float] = None
 
 
 def observation_from_run(report, metrics) -> Observation:
@@ -77,6 +83,8 @@ def observation_from_run(report, metrics) -> Observation:
     cond_range = 0
     cond_selected = 0
     branch_sites: Dict[str, Tuple[float, float]] = {}
+    join_sites: Dict[str, Tuple[float, float]] = {}
+    group_cardinality: Optional[float] = None
     random_n = 0
     ht_bytes = 0
     n_events = 0
@@ -92,6 +100,19 @@ def observation_from_run(report, metrics) -> Observation:
                 n + event.n,
                 taken + event.n * event.taken_fraction,
             )
+        elif isinstance(event, StatSample):
+            # Zero-cost instrumented telemetry. Join probes report
+            # (probes, hits) per join site; terminal aggregations
+            # report their distinct group count (morsel partials each
+            # report their own — the max is the best single-run
+            # estimate, exact for serial runs).
+            if event.kind == "join_match":
+                n, hits = join_sites.get(event.site, (0.0, 0.0))
+                join_sites[event.site] = (n + event.n, hits + event.value)
+            elif event.kind == "group_cardinality":
+                group_cardinality = max(
+                    group_cardinality or 0.0, float(event.value)
+                )
         elif isinstance(event, RandomAccess):
             random_n += event.n
             ht_bytes = max(ht_bytes, event.struct_bytes)
@@ -104,6 +125,12 @@ def observation_from_run(report, metrics) -> Observation:
             if n > 0:
                 survival *= taken / n
         selectivity = survival
+    match_fraction: Optional[float] = None
+    if join_sites:
+        match_fraction = 1.0
+        for n, hits in join_sites.values():
+            if n > 0:
+                match_fraction *= hits / n
     return Observation(
         wall_seconds=metrics.wall_seconds if metrics is not None else 0.0,
         total_cycles=float(report.total_cycles),
@@ -113,6 +140,8 @@ def observation_from_run(report, metrics) -> Observation:
         random_accesses=random_n,
         ht_bytes=ht_bytes,
         events=n_events,
+        match_fraction=match_fraction,
+        group_cardinality=group_cardinality,
     )
 
 
@@ -140,6 +169,13 @@ class Ewma:
     def snapshot(self) -> dict:
         return {"value": self.value, "n": self.count}
 
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "Ewma":
+        ewma = cls()
+        ewma.value = float(state.get("value", 0.0))
+        ewma.count = int(state.get("n", 0))
+        return ewma
+
 
 class FingerprintSummary:
     """Bounded summary of everything observed for one plan fingerprint."""
@@ -149,6 +185,8 @@ class FingerprintSummary:
         "wall_seconds",
         "total_cycles",
         "selectivity",
+        "match_fraction",
+        "group_cardinality",
         "random_accesses",
         "ht_bytes",
         "event_total",
@@ -160,6 +198,8 @@ class FingerprintSummary:
         self.wall_seconds = Ewma()
         self.total_cycles = Ewma()
         self.selectivity = Ewma()
+        self.match_fraction = Ewma()
+        self.group_cardinality = Ewma()
         self.random_accesses = Ewma()
         self.ht_bytes = 0
         self.event_total = 0
@@ -173,6 +213,8 @@ class FingerprintSummary:
             "wall_seconds": self.wall_seconds.snapshot(),
             "total_cycles": self.total_cycles.snapshot(),
             "selectivity": self.selectivity.snapshot(),
+            "match_fraction": self.match_fraction.snapshot(),
+            "group_cardinality": self.group_cardinality.snapshot(),
             "random_accesses": self.random_accesses.snapshot(),
             "ht_bytes": self.ht_bytes,
             "event_total": self.event_total,
@@ -181,6 +223,29 @@ class FingerprintSummary:
                 for (strategy, backend), ewma in sorted(self.arms.items())
             },
         }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "FingerprintSummary":
+        summary = cls()
+        summary.observations = int(state.get("observations", 0))
+        for name in (
+            "wall_seconds",
+            "total_cycles",
+            "selectivity",
+            "match_fraction",
+            "group_cardinality",
+            "random_accesses",
+        ):
+            if name in state:
+                setattr(summary, name, Ewma.from_snapshot(state[name]))
+        summary.ht_bytes = int(state.get("ht_bytes", 0))
+        summary.event_total = int(state.get("event_total", 0))
+        for arm_name, arm_state in state.get("arms", {}).items():
+            strategy, _, backend = arm_name.partition("/")
+            summary.arms[(strategy, backend)] = Ewma.from_snapshot(
+                arm_state
+            )
+        return summary
 
 
 class FeedbackStore:
@@ -246,6 +311,14 @@ class FeedbackStore:
             summary.total_cycles.fold(observation.total_cycles, alpha)
             if observation.selectivity is not None:
                 summary.selectivity.fold(observation.selectivity, alpha)
+            if observation.match_fraction is not None:
+                summary.match_fraction.fold(
+                    observation.match_fraction, alpha
+                )
+            if observation.group_cardinality is not None:
+                summary.group_cardinality.fold(
+                    observation.group_cardinality, alpha
+                )
             summary.random_accesses.fold(
                 observation.random_accesses, alpha
             )
@@ -280,6 +353,34 @@ class FeedbackStore:
             if summary is None or summary.selectivity.count == 0:
                 return None
             return summary.selectivity.value, summary.selectivity.count
+
+    def observed_match_fraction(
+        self, fingerprint: str
+    ) -> Optional[Tuple[float, int]]:
+        """``(EWMA value, sample count)`` of the measured semijoin
+        match fraction, or ``None`` before any instrumented join run."""
+        with self._lock:
+            summary = self._summaries.get(fingerprint)
+            if summary is None or summary.match_fraction.count == 0:
+                return None
+            return (
+                summary.match_fraction.value,
+                summary.match_fraction.count,
+            )
+
+    def observed_group_cardinality(
+        self, fingerprint: str
+    ) -> Optional[Tuple[float, int]]:
+        """``(EWMA value, sample count)`` of the measured distinct
+        group count, or ``None`` before any instrumented grouped run."""
+        with self._lock:
+            summary = self._summaries.get(fingerprint)
+            if summary is None or summary.group_cardinality.count == 0:
+                return None
+            return (
+                summary.group_cardinality.value,
+                summary.group_cardinality.count,
+            )
 
     def best_arm(self, fingerprint: str) -> Optional[Arm]:
         """The (strategy, backend) with the lowest wall-clock EWMA, or
@@ -335,6 +436,49 @@ class FeedbackStore:
                     for bucket, by_mode in sorted(self._fanout.items())
                 },
             }
+
+    # -- persistence -----------------------------------------------------
+
+    def restore(self, state: dict) -> int:
+        """Rehydrate the store from a prior :meth:`snapshot`.
+
+        Returns the number of fingerprints restored. Restored summaries
+        replace any same-fingerprint state already in the store; the
+        eviction order treats them as the oldest entries, and restoring
+        past capacity keeps only the last ``max_fingerprints``. A
+        malformed state raises nothing fatal — unparseable summaries
+        are skipped, so a partially-corrupt snapshot degrades to a cold
+        start rather than a crash.
+        """
+        restored = 0
+        with self._lock:
+            self._recorded = max(
+                self._recorded, int(state.get("recorded", 0))
+            )
+            for fingerprint, raw in state.get("summaries", {}).items():
+                try:
+                    summary = FingerprintSummary.from_snapshot(raw)
+                except (TypeError, ValueError, KeyError):
+                    continue
+                self._summaries[fingerprint] = summary
+                self._summaries.move_to_end(fingerprint)
+                restored += 1
+                while len(self._summaries) > self.max_fingerprints:
+                    self._summaries.popitem(last=False)
+            for size, by_mode in state.get("fanout", {}).items():
+                try:
+                    bucket = max(int(size), 1).bit_length() - 1
+                except (TypeError, ValueError):
+                    continue
+                modes = self._fanout.setdefault(bucket, {})
+                for mode_name, raw in by_mode.items():
+                    try:
+                        modes[mode_name == "parallel"] = (
+                            Ewma.from_snapshot(raw)
+                        )
+                    except (TypeError, ValueError):
+                        continue
+        return restored
 
 
 __all__ = [

@@ -117,6 +117,12 @@ class ReOptimizer:
         observed, samples = measured
         if samples < self.min_observations:
             return False
+        # Measured join statistics ride along on the same override:
+        # the recompile prices semijoin pullups with the observed
+        # match fraction and sizes its hash tables from the observed
+        # distinct group count, not just the sampled selectivity.
+        match = self.store.observed_match_fraction(fingerprint)
+        groups = self.store.observed_group_cardinality(fingerprint)
         with self._lock:
             active = self._overrides.get(fingerprint)
             baseline = (
@@ -130,7 +136,17 @@ class ReOptimizer:
                 triggered = False
             else:
                 self._overrides[fingerprint] = StatsOverride(
-                    selectivity=round(observed, OVERRIDE_DECIMALS)
+                    selectivity=round(observed, OVERRIDE_DECIMALS),
+                    match_fraction=(
+                        round(match[0], OVERRIDE_DECIMALS)
+                        if match is not None
+                        else None
+                    ),
+                    group_cardinality=(
+                        max(int(round(groups[0])), 1)
+                        if groups is not None
+                        else None
+                    ),
                 )
                 self.recompiles += 1
                 triggered = True

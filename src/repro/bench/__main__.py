@@ -211,6 +211,14 @@ def main() -> None:
         "default BENCH_shard.json)",
     )
     parser.add_argument(
+        "--compression-bench",
+        action="store_true",
+        help="compression access-path bench: encoded vs decoded scan "
+        "cycles across code widths and selectivities, plus the full "
+        "TPC-H encoded/decoded equivalence and cycle-ratio sweep "
+        "(writes --out, default BENCH_compression.json)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=4,
@@ -296,12 +304,25 @@ def main() -> None:
         parser.error("--rounds must be at least 1")
     if sum((
         args.throughput, args.serve_bench, args.adapt_bench,
-        args.shard_bench,
+        args.shard_bench, args.compression_bench,
     )) > 1:
         parser.error(
             "pick one of --throughput / --serve-bench / --adapt-bench "
-            "/ --shard-bench"
+            "/ --shard-bench / --compression-bench"
         )
+    if args.compression_bench:
+        from .compression import run_compression_bench
+
+        run_compression_bench(
+            sf=(
+                (0.002 if args.sf == 0.01 else args.sf)
+                if args.quick
+                else args.sf
+            ),
+            seed=args.seed,
+            out_path=args.out or "BENCH_compression.json",
+        )
+        return
     if args.shard_bench:
         from .shard import run_shard_bench
 

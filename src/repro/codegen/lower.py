@@ -21,6 +21,7 @@ module only maps tree shapes onto the physical operator vocabulary:
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
 from typing import List, Optional
 
 from ..errors import PlanError
@@ -439,9 +440,27 @@ def lower_plan(
         )
     return PhysicalPlan(
         strategy=strategy,
-        pipelines=tuple(pipelines),
+        pipelines=tuple(
+            _stamp_encoding(pipe, decisions) for pipe in pipelines
+        ),
         interpreted=interpreted,
     )
+
+
+def _stamp_encoding(
+    pipe: Pipeline, decisions: PS.Decisions
+) -> Pipeline:
+    """Attach the table's access-encoding decision to its pipeline.
+
+    The distribution tail scans a hash-table state, not base columns,
+    so it never streams codes and keeps an empty encoding.
+    """
+    encodings = decisions.encodings.get(pipe.table, ())
+    if not encodings:
+        return pipe
+    if any(isinstance(op, GroupDistribution) for op in pipe.ops):
+        return pipe
+    return dc_replace(pipe, encodings=tuple(encodings))
 
 
 def _filters_stream(node: PlanNode) -> bool:

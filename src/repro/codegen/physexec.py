@@ -25,7 +25,14 @@ import numpy as np
 from ..core import eager_aggregation
 from ..core.key_masking import mask_keys
 from ..engine import kernels as K
-from ..engine.events import Branch, Compute, RandomAccess, SeqRead, SeqWrite
+from ..engine.events import (
+    Branch,
+    Compute,
+    RandomAccess,
+    SeqRead,
+    SeqWrite,
+    StatSample,
+)
 from ..engine.hashtable import NULL_KEY, HashTable
 from ..engine.session import Session
 from ..errors import PlanError
@@ -85,6 +92,8 @@ class _Ctx:
         "carried",
         "lo",
         "loop_charged",
+        "encoded",
+        "decoded",
     )
 
     def __init__(
@@ -93,10 +102,22 @@ class _Ctx:
         table: str,
         merged: bool,
         lo: int = 0,
+        encodings: tuple = (),
     ) -> None:
         self.view = view
         self.table = table
         self.n = table_rows(view)
+        # Columns served as physical codes (access-encoding pass): name
+        # -> code byte width. Predicates run in code space; decode
+        # events fire only where 64-bit values materialize.
+        self.encoded: Dict[str, int] = {
+            column: int(view[column].dtype.itemsize)
+            for column, _ in encodings
+            if column in view
+        }
+        # Columns already materialized: decode is priced once per
+        # pipeline, then the wide array is reused.
+        self.decoded: set = set()
         # Row offset of this view within the full table (nonzero for a
         # morsel's row-range slice) — FK-index offsets are sliced to it.
         self.lo = lo
@@ -123,6 +144,30 @@ class _Ctx:
         self.mask = (
             new_mask if self.mask is None else (self.mask & new_mask)
         )
+
+
+def _decode(session: Session, ctx: _Ctx, column: str, n: int) -> None:
+    """Price the late-materialization decode of an encoded column.
+
+    A widening convert (vpmovsx-style) of ``n`` code elements into
+    64-bit registers — the moment a code stream leaves code space.
+    Columns the pipeline serves decoded emit nothing, and a column is
+    priced at most once per pipeline: the first consumer pays for the
+    materialization, later ones reuse the wide array.
+    """
+    width = ctx.encoded.get(column)
+    if width and n and column not in ctx.decoded:
+        ctx.decoded.add(column)
+        session.tracer.emit(
+            Compute(n=n, op="decode", simd=True, width=width)
+        )
+
+
+def _decode_cols(
+    session: Session, ctx: _Ctx, columns, n: int
+) -> None:
+    for column in columns:
+        _decode(session, ctx, column, n)
 
 
 def _indices(session: Session, ctx: _Ctx) -> np.ndarray:
@@ -229,7 +274,23 @@ def _read_keys(
     else:
         idx = _indices(session, ctx)
         values = K.gather(session, ctx.view[column], idx, column)
+    _decode(session, ctx, column, int(values.shape[0]))
     return values.astype(np.int64)
+
+
+def _carried_encodings(ctx: _Ctx, carry) -> Dict[str, int]:
+    """Code widths of carried columns still in code space.
+
+    Columns carried straight from an encoded scan stay codes until a
+    downstream pipeline materializes them (the decode is priced at that
+    late-materialization point); columns that arrived via an earlier
+    gather were already materialized.
+    """
+    return {
+        name: ctx.encoded[name]
+        for name in carry
+        if name in ctx.encoded and name not in ctx.carried
+    }
 
 
 def _op_semihash_build(
@@ -256,7 +317,12 @@ def _op_join_build(
         name: ctx.carried.get(name, ctx.view.get(name))
         for name in op.carry
     }
-    state[op.state] = {"ht": ht, "carried": carried, "rows": ctx.n}
+    state[op.state] = {
+        "ht": ht,
+        "carried": carried,
+        "rows": ctx.n,
+        "encoded": _carried_encodings(ctx, op.carry),
+    }
 
 
 def _op_group_build(
@@ -291,7 +357,10 @@ def _op_bitmap_build(
         for name in op.carry
     }
     state[op.state] = {
-        "mask": mask.copy(), "rows": ctx.n, "carried": carried
+        "mask": mask.copy(),
+        "rows": ctx.n,
+        "carried": carried,
+        "encoded": _carried_encodings(ctx, op.carry),
     }
 
 
@@ -303,7 +372,9 @@ def _op_hash_semi_probe(
     if op.access == BRANCH:
         keys = K.conditional_read(
             session, ctx.view[op.fk_column], mask, op.fk_column
-        ).astype(np.int64)
+        )
+        _decode(session, ctx, op.fk_column, int(keys.shape[0]))
+        keys = keys.astype(np.int64)
         _, found = K.ht_lookup(session, ht, keys)
         k = int(keys.shape[0])
         taken = float(found.mean()) if k else 0.0
@@ -316,13 +387,23 @@ def _op_hash_semi_probe(
         idx = _indices(session, ctx)
         keys = K.gather(
             session, ctx.view[op.fk_column], idx, op.fk_column
-        ).astype(np.int64)
+        )
+        _decode(session, ctx, op.fk_column, int(keys.shape[0]))
+        keys = keys.astype(np.int64)
         _, found = K.ht_lookup(session, ht, keys)
         session.tracer.emit(
             Compute(n=int(found.shape[0]), op="select", simd=False)
         )
         new = np.zeros(ctx.n, dtype=bool)
         new[idx[found]] = True
+    session.tracer.emit(
+        StatSample(
+            kind="join_match",
+            n=int(keys.shape[0]),
+            value=float(found.sum()),
+            site=f"{op.state}-join",
+        )
+    )
     if op.negate:
         new = ctx.get_mask() & ~new
     ctx.mask = new
@@ -348,7 +429,16 @@ def _op_bitmap_semi_probe(
         )
     )
     session.tracer.emit(Compute(n=ctx.n, op="and", simd=True, width=1))
-    ctx.narrow(built["mask"][offsets])
+    hits = built["mask"][offsets]
+    session.tracer.emit(
+        StatSample(
+            kind="join_match",
+            n=ctx.n,
+            value=float(hits.sum()),
+            site=f"{op.state}-bitmap",
+        )
+    )
+    ctx.narrow(hits)
 
 
 def _op_column_materialize(
@@ -356,11 +446,15 @@ def _op_column_materialize(
 ) -> None:
     emit_seq_reads(session, ctx.view, sorted(op.expr.columns()))
     if op.lut_entries:
+        # Dictionary-driven LUT probes index by code — no decode: the
+        # narrow code stream is the whole point of the access path.
         session.tracer.emit(
             RandomAccess(
                 n=ctx.n, struct_bytes=op.lut_entries, kind="lut"
             )
         )
+    else:
+        _decode_cols(session, ctx, sorted(op.expr.columns()), ctx.n)
     values = np.asarray(op.expr.evaluate(ctx.view))
     out = values.view(np.uint8) if values.dtype == bool else values
     K.seq_write(session, out, op.column, resident=False)
@@ -408,7 +502,9 @@ def _op_groupjoin_agg(
     if op.access == BRANCH:
         keys = K.conditional_read(
             session, ctx.view[op.fk_column], mask, op.fk_column
-        ).astype(np.int64)
+        )
+        _decode(session, ctx, op.fk_column, int(keys.shape[0]))
+        keys = keys.astype(np.int64)
         slots, found = K.ht_lookup(session, ht, keys)
         k = int(keys.shape[0])
         taken = float(found.mean()) if k else 0.0
@@ -421,7 +517,9 @@ def _op_groupjoin_agg(
         idx = _indices(session, ctx)
         keys = K.gather(
             session, ctx.view[op.fk_column], idx, op.fk_column
-        ).astype(np.int64)
+        )
+        _decode(session, ctx, op.fk_column, int(keys.shape[0]))
+        keys = keys.astype(np.int64)
         slots, found = K.ht_lookup(session, ht, keys)
         session.tracer.emit(
             Compute(n=int(found.shape[0]), op="select", simd=False)
@@ -429,8 +527,17 @@ def _op_groupjoin_agg(
         sel = idx[found]
         for col in base_cols:
             K.gather(session, ctx.view[col], sel, col)
+    session.tracer.emit(
+        StatSample(
+            kind="join_match",
+            n=int(keys.shape[0]),
+            value=float(found.sum()),
+            site="join",
+        )
+    )
     matched_slots = slots[found]
     kk = int(sel.shape[0])
+    _decode_cols(session, ctx, base_cols, kk)
     sub = {c: ctx.view[c][sel] for c in base_cols}
     naggs = len(op.aggregates)
     for i, agg in enumerate(op.aggregates):
@@ -441,6 +548,13 @@ def _op_groupjoin_agg(
     )
     out_keys, aggs = ht.items()
     touched = aggs[:, naggs] > 0
+    session.tracer.emit(
+        StatSample(
+            kind="group_cardinality",
+            n=ctx.n,
+            value=float(int(touched.sum())),
+        )
+    )
     return grouped_result(out_keys[touched], aggs[touched, :naggs])
 
 
@@ -461,6 +575,7 @@ def _op_scalar_agg(
             K.gather(session, ctx.view[col], sel, col)
     else:
         raise PlanError(f"unknown scalar aggregation mode {op.mode!r}")
+    _decode_cols(session, ctx, base_cols, int(sel.shape[0]))
     sub = {c: ctx.view[c][sel] for c in base_cols}
     sub.update({name: vals[sel] for name, vals in ctx.carried.items()})
     result: Dict[str, Any] = {}
@@ -494,6 +609,9 @@ def _scalar_value_mask(
             session.tracer.emit(Compute(n=n, op="add", simd=True))
             result[agg.name] = int(mask.sum())
             continue
+        # Masked evaluation is unconditional, so encoded inputs decode
+        # over the full stream before the arithmetic.
+        _decode_cols(session, ctx, sorted(agg.expr.columns()), n)
         emit_expr_compute(session, agg.expr, n, simd=True)
         session.tracer.emit(Compute(n=n, op="mul", simd=True))  # masking
         session.tracer.emit(Compute(n=n, op="add", simd=True))  # accumulate
@@ -524,6 +642,7 @@ def _op_group_agg(
             K.gather(session, ctx.view[col], sel, col)
     else:
         raise PlanError(f"unknown grouped aggregation mode {op.mode!r}")
+    _decode_cols(session, ctx, cols, int(sel.shape[0]))
     sub = {c: ctx.view[c][sel] for c in cols}
     sub.update({name: vals[sel] for name, vals in ctx.carried.items()})
     keys = np.asarray(op.key.evaluate(sub), dtype=np.int64)
@@ -535,6 +654,13 @@ def _op_group_agg(
         session, table, keys, op.aggregates, sub, k, simd=False
     )
     out_keys, aggs = table.items()
+    session.tracer.emit(
+        StatSample(
+            kind="group_cardinality",
+            n=ctx.n,
+            value=float(int(out_keys.shape[0])),
+        )
+    )
     return grouped_result(out_keys, aggs)
 
 
@@ -551,6 +677,7 @@ def _group_key_mask(
         sorted(op.key.columns()),
         already_read=ctx.already_read,
     )
+    _decode_cols(session, ctx, sorted(op.key.columns()), n)
     emit_expr_compute(session, op.key, n, simd=True)
     raw_keys = np.asarray(op.key.evaluate(view), dtype=np.int64)
     keys = mask_keys(session, raw_keys, mask, op.key_name)
@@ -560,6 +687,7 @@ def _group_key_mask(
         _base_cols(op.aggregates, view),
         already_read=ctx.already_read,
     )
+    _decode_cols(session, ctx, _base_cols(op.aggregates, view), n)
     # +1 expected key: the NULL_KEY throwaway slot.
     table = HashTable(
         expected_keys=op.expected_groups + 1,
@@ -570,6 +698,13 @@ def _group_key_mask(
     )
     out_keys, aggs = table.items()
     keep = out_keys != NULL_KEY
+    session.tracer.emit(
+        StatSample(
+            kind="group_cardinality",
+            n=n,
+            value=float(int(keep.sum())),
+        )
+    )
     return grouped_result(out_keys[keep], aggs[keep])
 
 
@@ -587,6 +722,7 @@ def _group_value_mask(
         sorted(op.key.columns()),
         already_read=ctx.already_read,
     )
+    _decode_cols(session, ctx, sorted(op.key.columns()), n)
     emit_expr_compute(session, op.key, n, simd=True)
     keys = np.asarray(op.key.evaluate(view), dtype=np.int64)
     emit_seq_reads(
@@ -595,6 +731,7 @@ def _group_value_mask(
         _base_cols(op.aggregates, view),
         already_read=ctx.already_read,
     )
+    _decode_cols(session, ctx, _base_cols(op.aggregates, view), n)
     naggs = len(op.aggregates)
     table = HashTable(
         expected_keys=max(op.expected_groups, 1), num_aggs=naggs + 1
@@ -619,6 +756,13 @@ def _group_value_mask(
     K.ht_add_at(session, table, slots, naggs, mask_int)
     out_keys, aggs = table.items()
     valid = aggs[:, naggs] > 0
+    session.tracer.emit(
+        StatSample(
+            kind="group_cardinality",
+            n=n,
+            value=float(int(valid.sum())),
+        )
+    )
     return grouped_result(out_keys[valid], aggs[valid, :naggs])
 
 
@@ -635,6 +779,7 @@ def _op_hash_join_carry_probe(
         # First full-stream probe: the whole column is read sequentially
         # and this op drives the per-tuple loop.
         emit_seq_reads(session, ctx.view, [op.fk_column])
+        _decode(session, ctx, op.fk_column, ctx.n)
         _, found = K.ht_lookup(
             session, ht, ctx.view[op.fk_column].astype(np.int64)
         )
@@ -652,13 +797,23 @@ def _op_hash_join_carry_probe(
         if not ctx.loop_charged:
             K.scalar_loop(session, ctx.n)
             ctx.loop_charged = True
+        session.tracer.emit(
+            StatSample(
+                kind="join_match",
+                n=ctx.n,
+                value=float(found.sum()),
+                site=f"{op.state}-join",
+            )
+        )
         ctx.narrow(found)
     else:
         mask = ctx.get_mask()
         if op.access == BRANCH:
             keys = K.conditional_read(
                 session, ctx.view[op.fk_column], mask, op.fk_column
-            ).astype(np.int64)
+            )
+            _decode(session, ctx, op.fk_column, int(keys.shape[0]))
+            keys = keys.astype(np.int64)
             _, found = K.ht_lookup(session, ht, keys)
             k = int(keys.shape[0])
             taken = float(found.mean()) if k else 0.0
@@ -671,13 +826,23 @@ def _op_hash_join_carry_probe(
             idx = _indices(session, ctx)
             keys = K.gather(
                 session, ctx.view[op.fk_column], idx, op.fk_column
-            ).astype(np.int64)
+            )
+            _decode(session, ctx, op.fk_column, int(keys.shape[0]))
+            keys = keys.astype(np.int64)
             _, found = K.ht_lookup(session, ht, keys)
             session.tracer.emit(
                 Compute(n=int(found.shape[0]), op="select", simd=False)
             )
             new = np.zeros(ctx.n, dtype=bool)
             new[idx[found]] = True
+        session.tracer.emit(
+            StatSample(
+                kind="join_match",
+                n=int(keys.shape[0]),
+                value=float(found.sum()),
+                site=f"{op.state}-join",
+            )
+        )
         ctx.mask = new
     offsets = _fk_offsets(db, ctx, op.fk_column)
     for name in op.carry:
@@ -696,17 +861,25 @@ def _op_carried_gather(
     a downstream build (unpriced — the consumer prices its own access)."""
     built = state[op.state]
     offsets = _fk_offsets(db, ctx, op.fk_column)
+    encoded = built.get("encoded", {})
     if op.priced:
         sel = _indices(session, ctx)
+        k = int(sel.shape[0])
         for name in op.columns:
             vals = built["carried"][name]
             session.tracer.emit(
                 RandomAccess(
-                    n=int(sel.shape[0]),
+                    n=k,
                     struct_bytes=int(vals.shape[0]) * vals.dtype.itemsize,
                     kind=f"gather({name})",
                 )
             )
+            if name in encoded and k:
+                session.tracer.emit(
+                    Compute(
+                        n=k, op="decode", simd=True, width=encoded[name]
+                    )
+                )
     for name in op.columns:
         ctx.carried[name] = built["carried"][name][offsets]
 
@@ -750,7 +923,16 @@ def _op_exists_bitmap_probe(
     )
     session.tracer.emit(Compute(n=ctx.n, op="and", simd=True, width=1))
     bit = built["exists"][ctx.lo : ctx.lo + ctx.n]
-    ctx.narrow(~bit if op.anti else bit)
+    hits = ~bit if op.anti else bit
+    session.tracer.emit(
+        StatSample(
+            kind="join_match",
+            n=ctx.n,
+            value=float(hits.sum()),
+            site=f"{op.state}-exists",
+        )
+    )
+    ctx.narrow(hits)
 
 
 def _op_outer_groupjoin_agg(
@@ -768,6 +950,7 @@ def _op_outer_groupjoin_agg(
     mask = ctx.get_mask()
     if op.mode == PS.KEY_MASK:
         ht = HashTable(expected_keys=nc + 1, num_aggs=1)
+        _decode(session, ctx, op.fk_column, ctx.n)
         keys = mask_keys(
             session, fk.astype(np.int64), mask, op.fk_column
         )
@@ -777,22 +960,25 @@ def _op_outer_groupjoin_agg(
         emit_seq_reads(
             session, ctx.view, [op.fk_column], already_read=ctx.already_read
         )
+        _decode(session, ctx, op.fk_column, ctx.n)
         session.tracer.emit(Compute(n=ctx.n, op="mul", simd=True, width=8))
         K.ht_aggregate(
             session, ht, fk.astype(np.int64), mask.astype(np.int64)
         )
     elif op.mode == PS.CONDITIONAL:
         ht = HashTable(expected_keys=max(nc, 1), num_aggs=1)
-        keys = K.conditional_read(
-            session, fk, mask, op.fk_column
-        ).astype(np.int64)
+        keys = K.conditional_read(session, fk, mask, op.fk_column)
+        _decode(session, ctx, op.fk_column, int(keys.shape[0]))
+        keys = keys.astype(np.int64)
         K.ht_aggregate(
             session, ht, keys, np.ones(keys.shape[0], dtype=np.int64)
         )
     elif op.mode == PS.GATHERED:
         ht = HashTable(expected_keys=max(nc, 1), num_aggs=1)
         sel = _indices(session, ctx)
-        keys = K.gather(session, fk, sel, op.fk_column).astype(np.int64)
+        keys = K.gather(session, fk, sel, op.fk_column)
+        _decode(session, ctx, op.fk_column, int(keys.shape[0]))
+        keys = keys.astype(np.int64)
         K.ht_aggregate(
             session, ht, keys, np.ones(keys.shape[0], dtype=np.int64)
         )
@@ -829,6 +1015,13 @@ def _op_group_distribution(
         np.asarray(list(buckets.values()), dtype=np.int64),
     )
     out_keys, out = table.items()
+    session.tracer.emit(
+        StatSample(
+            kind="group_cardinality",
+            n=int(built["rows"]),
+            value=float(int(out_keys.shape[0])),
+        )
+    )
     return grouped_result(out_keys, out)
 
 
@@ -909,6 +1102,14 @@ def _op_disjunct_index_probe(
         )
     else:
         session.tracer.emit(Compute(n=k, op="select", simd=False))
+    session.tracer.emit(
+        StatSample(
+            kind="join_match",
+            n=ctx.n,
+            value=float(hit.sum()),
+            site="disjunction",
+        )
+    )
     ctx.mask = final
 
 
@@ -949,6 +1150,14 @@ def _op_disjunct_bitmap_probe(
     hit = np.zeros(ctx.n, dtype=bool)
     for (_, pp), bm in zip(op.disjuncts, built["masks"]):
         hit |= bm[offsets] & np.asarray(pp.evaluate(ctx.view), dtype=bool)
+    session.tracer.emit(
+        StatSample(
+            kind="join_match",
+            n=ctx.n,
+            value=float(hit.sum()),
+            site="disjunction",
+        )
+    )
     ctx.narrow(hit)
 
 
@@ -1032,10 +1241,20 @@ def run_pipeline(
         # The distribution pass re-reads the groupjoin hash table, not
         # the base columns; the hand-coded q13 runs it as a standalone
         # kernel with no access/compute overlap window.
-        ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged))
+        ctx = _Ctx(
+            view,
+            pipe.table,
+            merged=bool(pipe.merged),
+            encodings=pipe.encodings,
+        )
         with session.tracer.kernel(pipe.label):
             return _run_ops(session, db, pipe, state, ctx)
-    ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged))
+    ctx = _Ctx(
+        view,
+        pipe.table,
+        merged=bool(pipe.merged),
+        encodings=pipe.encodings,
+    )
     with session.tracer.kernel(pipe.label), session.tracer.overlap():
         return _run_ops(session, db, pipe, state, ctx)
 
@@ -1056,7 +1275,13 @@ def run_partial(
     bitmaps built once in the setup phase; ``lo`` is the morsel's row
     offset so FK-index slices line up with the view.
     """
-    ctx = _Ctx(view, pipe.table, merged=bool(pipe.merged), lo=lo)
+    ctx = _Ctx(
+        view,
+        pipe.table,
+        merged=bool(pipe.merged),
+        lo=lo,
+        encodings=pipe.encodings,
+    )
     with session.tracer.overlap():
         return _run_ops(
             session, db, pipe, state if state is not None else {}, ctx
@@ -1076,7 +1301,7 @@ def execute_plan(
     result: Optional[Dict[str, Any]] = None
     for pipe in plan.pipelines:
         result = run_pipeline(
-            session, db, pipe, state, db.data(pipe.table)
+            session, db, pipe, state, db.scan_view(pipe.table, pipe.encodings)
         )
     if result is None:
         raise PlanError("physical plan produced no result")

@@ -687,7 +687,15 @@ def compile_physical(
         (pipe, namespace[fn_name])
         for pipe, fn_name in zip(physical.pipelines, fn_names)
     ]
-    data = [db.data(pipe.table) for pipe in physical.pipelines]
+    # Serve each kernel the scan view its pipeline was planned for:
+    # columns the access-encoding pass chose stream as physical codes
+    # (narrow dtypes), everything else decoded. The kernels are value
+    # safe over codes — keys and aggregate deltas cast through int64
+    # and comparisons promote — so output stays byte-identical.
+    data = [
+        db.scan_view(pipe.table, pipe.encodings)
+        for pipe in physical.pipelines
+    ]
     return VectorizedProgram(kernels, data, source, finalize=finalize)
 
 

@@ -322,3 +322,43 @@ def bitmap_build_selective_cost(
     machine: MachineModel, inputs: ModelInputs
 ) -> float:
     return price_events(machine, bitmap_build_selective_events(inputs))
+
+
+# -- access-encoding candidates (compressed vs decoded scans) --------------
+
+
+def encoded_scan_events(
+    n: int, code_width: int, selectivity: float
+) -> List[Event]:
+    """Scan a column as physical codes, decoding survivors late.
+
+    The sequential stream moves ``code_width`` bytes per row (the whole
+    point: 1-byte codes touch an eighth of the lines 8-byte values do)
+    and the qualifying fraction pays a widening-convert per value at
+    materialization time — SIMD at the *code* width, so narrow codes
+    also decode more lanes at a time.
+    """
+    k = int(round(n * min(max(selectivity, 0.0), 1.0)))
+    return [
+        SeqRead(n=n, width=code_width),
+        Compute(n=k, op="decode", simd=True, width=code_width),
+    ]
+
+
+def decoded_scan_events(n: int, value_width: int) -> List[Event]:
+    """Scan a column decoded-early: stream the full-width values."""
+    return [SeqRead(n=n, width=value_width)]
+
+
+def encoded_scan_cost(
+    machine: MachineModel, n: int, code_width: int, selectivity: float
+) -> float:
+    return price_events(
+        machine, encoded_scan_events(n, code_width, selectivity)
+    )
+
+
+def decoded_scan_cost(
+    machine: MachineModel, n: int, value_width: int
+) -> float:
+    return price_events(machine, decoded_scan_events(n, value_width))

@@ -14,10 +14,15 @@ The cache has two layers, both keyed by a *fingerprint* of
   pointer-returns), and
 * an on-disk layer under a cache directory: one subdirectory per
   fingerprint holding ``meta.json`` (schema: logical types,
-  dictionaries, decimal scales, foreign keys, and the originating
-  config) plus one ``.npy`` file per column, loaded back with
-  ``np.load(..., mmap_mode="r")`` so a cold process maps the columns
-  instead of re-randomizing them.
+  dictionaries, decimal scales, foreign keys, column encodings, and
+  the originating config) plus one ``.npy`` file per column — and,
+  for compressed columns, a second ``.codes.npy`` file holding the
+  narrow code stream — loaded back with ``np.load(..., mmap_mode="r")``
+  so a cold process maps both the values and the codes instead of
+  re-randomizing (or re-``astype``-ing) them. Shard workers therefore
+  serve encoded scans straight off the page cache: the narrow code
+  pages are shared across every worker process, and no per-process
+  decode copy is ever made.
 
 The cache directory resolves, in order: the explicit ``cache_dir``
 argument, the ``REPRO_CACHE_DIR`` environment variable, then
@@ -64,7 +69,8 @@ from ..storage.table import Table
 from . import microbench, tpch
 
 #: Bump when the on-disk layout changes; old entries simply miss.
-FORMAT_VERSION = 1
+#: v2: per-column encoding metadata + persisted narrow code streams.
+FORMAT_VERSION = 2
 
 #: Registered generators addressable by name: name -> (generate, config
 #: type). The config type is what :func:`load_dataset` validates against.
@@ -376,19 +382,38 @@ class DatasetCache:
                 for col in table.iter_columns():
                     filename = f"{name}__{col.name}.npy"
                     np.save(tmp / filename, col.values, allow_pickle=False)
-                    columns.append(
-                        {
-                            "name": col.name,
-                            "logical_type": col.logical_type.value,
-                            "file": filename,
-                            "dictionary": (
-                                list(col.dictionary)
-                                if col.dictionary is not None
-                                else None
-                            ),
-                            "scale": col.scale,
+                    col_meta = {
+                        "name": col.name,
+                        "logical_type": col.logical_type.value,
+                        "file": filename,
+                        "dictionary": (
+                            list(col.dictionary)
+                            if col.dictionary is not None
+                            else None
+                        ),
+                        "scale": col.scale,
+                    }
+                    # Compressed columns persist their narrow code
+                    # stream too, so loaders (shard workers above all)
+                    # mmap codes instead of re-deriving them per
+                    # process. Codec "none" needs no second file — its
+                    # code stream aliases the values.
+                    enc = col.encoding
+                    if enc.compressed:
+                        codes_file = f"{name}__{col.name}.codes.npy"
+                        np.save(
+                            tmp / codes_file,
+                            col.encoded_values(),
+                            allow_pickle=False,
+                        )
+                        col_meta["encoding"] = {
+                            "codec": enc.codec,
+                            "dtype": enc.dtype,
+                            "width": enc.width,
+                            "decoded_width": enc.decoded_width,
+                            "codes_file": codes_file,
                         }
-                    )
+                    columns.append(col_meta)
                 tables.append({"name": name, "columns": columns})
             meta = {
                 "format_version": FORMAT_VERSION,
@@ -434,21 +459,38 @@ class DatasetCache:
                         mmap_mode="r" if self.mmap else None,
                         allow_pickle=False,
                     )
-                    columns.append(
-                        Column(
-                            name=col_meta["name"],
-                            logical_type=LogicalType(
-                                col_meta["logical_type"]
-                            ),
-                            values=values,
-                            dictionary=(
-                                tuple(col_meta["dictionary"])
-                                if col_meta["dictionary"] is not None
-                                else None
-                            ),
-                            scale=col_meta["scale"],
-                        )
+                    column = Column(
+                        name=col_meta["name"],
+                        logical_type=LogicalType(
+                            col_meta["logical_type"]
+                        ),
+                        values=values,
+                        dictionary=(
+                            tuple(col_meta["dictionary"])
+                            if col_meta["dictionary"] is not None
+                            else None
+                        ),
+                        scale=col_meta["scale"],
                     )
+                    enc_meta = col_meta.get("encoding")
+                    if enc_meta is not None:
+                        from ..storage.compression import ColumnEncoding
+
+                        codes = np.load(
+                            entry / enc_meta["codes_file"],
+                            mmap_mode="r" if self.mmap else None,
+                            allow_pickle=False,
+                        )
+                        column.seed_encoded(
+                            ColumnEncoding(
+                                codec=enc_meta["codec"],
+                                dtype=enc_meta["dtype"],
+                                width=enc_meta["width"],
+                                decoded_width=enc_meta["decoded_width"],
+                            ),
+                            codes,
+                        )
+                    columns.append(column)
                 db.add_table(
                     Table(name=table_meta["name"], columns=tuple(columns))
                 )

@@ -38,6 +38,7 @@ from .events import (
     RandomAccess,
     SeqRead,
     SeqWrite,
+    StatSample,
     TupleOverhead,
 )
 from .machine import MachineModel
@@ -237,6 +238,8 @@ class CostAccountant:
             return self.compute(event)
         if isinstance(event, TupleOverhead):
             return self.tuple_overhead(event)
+        if isinstance(event, StatSample):
+            return 0.0  # telemetry only; never perturbs simulated cost
         raise CostModelError(f"unknown event type {type(event).__name__}")
 
 

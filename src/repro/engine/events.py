@@ -108,6 +108,24 @@ class Compute(Event):
 
 
 @dataclass(frozen=True)
+class StatSample(Event):
+    """Zero-cost telemetry sample riding the event stream.
+
+    Instrumented operators publish measured statistics the adaptive
+    loop wants but no access pattern implies — semijoin probe hit
+    counts (``kind="join_match"``: ``n`` probes, ``value`` hits) and
+    terminal group counts (``kind="group_cardinality"``: ``value``
+    distinct groups). Priced at exactly zero cycles so telemetry never
+    perturbs the simulated cost.
+    """
+
+    kind: str
+    n: int = 0
+    value: float = 0.0
+    site: str = ""
+
+
+@dataclass(frozen=True)
 class TupleOverhead(Event):
     """Fixed per-tuple overhead cycles (scalar loop bookkeeping, or the
     Volcano interpreter's per-tuple dispatch for the sanity baseline)."""

@@ -87,6 +87,16 @@ class Engine:
         its plan cache and worker pool as stat sources, times
         compile/execute spans, bumps per-strategy access-pattern and
         branch event counters, and feeds the registry's slow-query log.
+    encoding:
+        The access-encoding knob: ``"auto"`` (default) lets the
+        access-encoding pass serve each cost-chosen scan as physical
+        codes — dictionary codes, null-suppressed ints, fixed-point
+        decimals at their narrow stored width — with decode deferred
+        to materialization; ``"off"`` serves every scan decoded.
+        Answers are byte-identical either way (the equivalence sweep
+        pins it); the knob exists for baseline comparisons and the
+        compression bench. Part of the plan key, so one engine's
+        cached programs never leak across encoding modes.
     adaptive:
         Closed-loop re-optimization from production telemetry. ``None``
         / ``False`` (default) keeps the engine fully static. ``True``
@@ -98,7 +108,10 @@ class Engine:
         threshold invalidates and recompiles the drifted plan with
         measured cardinalities, and ``strategy="auto"`` requests route
         through the per-fingerprint explore/exploit chooser instead of
-        pinning SWOLE.
+        pinning SWOLE. When the dataset cache directory holds a
+        feedback snapshot (``feedback.json`` under ``REPRO_CACHE_DIR``,
+        written by :meth:`save_feedback`), a fresh controller warm
+        starts from it, so measured selectivities survive restarts.
     min_parallel_rows:
         Thread fan-out floor: scan length below which partitionable
         programs run serial. ``None`` (default) defers to each compiled
@@ -137,6 +150,7 @@ class Engine:
         use_pool: bool = True,
         registry: Optional[MetricsRegistry] = None,
         backend: Optional[str] = None,
+        encoding: str = "auto",
         adaptive=None,
         min_parallel_rows: Optional[int] = None,
         shards: Optional[int] = None,
@@ -154,10 +168,24 @@ class Engine:
                     "columns by fingerprint; this database carries "
                     "no provenance"
                 )
+        if encoding not in ("auto", "off"):
+            raise ReproError(
+                f"unknown encoding mode {encoding!r}; have ['auto', 'off']"
+            )
         self.db = db
         self.machine = machine
         self.workers = workers
         self.tile = tile
+        self.encoding = encoding
+        # The cache-key component: "auto" programs close over the
+        # database's physical code arrays, so the database's encoding
+        # layout is part of what compilation depends on.
+        fingerprint = getattr(db, "encoding_fingerprint", None)
+        self._encoding_key = (
+            "off"
+            if encoding == "off"
+            else (f"auto:{fingerprint()}" if fingerprint else "auto")
+        )
         self.knobs = knobs if knobs is not None else ExecutionKnobs()
         if backend is not None:
             self.knobs.backend = backend
@@ -196,6 +224,12 @@ class Engine:
             self.registry.register_source(
                 "adaptive", self.adaptive.snapshot
             )
+            # Warm start from the persisted snapshot when one exists.
+            # Only a controller this engine just created loads — a
+            # shared controller passed in already carries live state
+            # the snapshot must not clobber.
+            if adaptive is not self.adaptive:
+                self.adaptive.load_feedback(self.feedback_path())
 
     # -- lifecycle -------------------------------------------------------
 
@@ -308,7 +342,13 @@ class Engine:
         resolved = AUTO_STRATEGY if strategy == "auto" else strategy
         chosen = self._resolve_backend(backend)
         key = plan_key(
-            query, resolved, self.machine, self.tile, chosen, shards
+            query,
+            resolved,
+            self.machine,
+            self.tile,
+            chosen,
+            shards,
+            self._encoding_key,
         )
 
         def timed_compile() -> CompiledQuery:
@@ -357,6 +397,7 @@ class Engine:
                 registry=self.registry,
                 backend=backend,
                 overrides=overrides,
+                encoding=self.encoding,
             )
         if isinstance(query, LogicalPlan):
             from ..codegen.pipeline import compile_pipeline
@@ -369,6 +410,7 @@ class Engine:
                 registry=self.registry,
                 backend=backend,
                 overrides=overrides,
+                encoding=self.encoding,
             )
         if backend == "vectorized" and strategy in (
             "interpreter", "datacentric", "hybrid", "swole"
@@ -389,6 +431,7 @@ class Engine:
                 registry=self.registry,
                 backend=backend,
                 overrides=overrides,
+                encoding=self.encoding,
             )
         if strategy == "swole":
             from ..core.swole import compile_swole
@@ -533,6 +576,7 @@ class Engine:
                 spec=spec,
                 strategy=resolved,
                 backend=chosen,
+                encoding=self.encoding,
                 override=compiled.notes.get("stats_override"),
                 cancel=cancel,
             )
@@ -613,6 +657,27 @@ class Engine:
             total_cycles=metrics.total_cycles,
             event_counts=dict(metrics.event_counts),
         )
+
+    # -- feedback persistence --------------------------------------------
+
+    @staticmethod
+    def feedback_path():
+        """Where this host's feedback snapshot lives: ``feedback.json``
+        alongside the dataset cache (``$REPRO_CACHE_DIR`` or the
+        default cache directory)."""
+        from ..datagen.cache import default_cache_dir
+
+        return default_cache_dir() / "feedback.json"
+
+    def save_feedback(self) -> Optional[str]:
+        """Persist the adaptive feedback store next to the dataset
+        cache; returns the written path, or ``None`` on a static
+        engine. Saving is explicit (the server calls it at shutdown) —
+        the engine never writes the snapshot behind the caller's back,
+        so tests and one-shot scripts leave no warm state behind."""
+        if self.adaptive is None:
+            return None
+        return str(self.adaptive.save_feedback(self.feedback_path()))
 
     # -- cache management ------------------------------------------------
 

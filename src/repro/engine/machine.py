@@ -37,6 +37,7 @@ DEFAULT_OP_COSTS: Dict[str, float] = {
     "blend": 0.5,  # predicated move/blend (single SIMD instruction)
     "gather": 0.5,  # per-element index-driven load issue overhead
     "strcmp": 20.0,  # string/LIKE matching per tuple (dominates Q13)
+    "decode": 0.5,  # widening convert from a code stream (vpmovsx-style)
 }
 
 #: Operations that gain nothing from SIMD: division's throughput on the

@@ -108,7 +108,8 @@ def plan_key(
     tile: int,
     backend: str = "instrumented",
     shards: int = 0,
-) -> Tuple[str, str, str, int, str, int]:
+    encoding: str = "auto",
+) -> Tuple[str, str, str, int, str, int, str]:
     """The full cache key of one compilation.
 
     The backend is part of the key: a kernel generated for the
@@ -118,7 +119,11 @@ def plan_key(
     query objects to their operator tree before compiling — so parent
     and worker processes compile the *same* program — while the
     in-process path may compile a hand-coded module whose ctx/partial
-    shapes differ; the two must never share an entry.
+    shapes differ; the two must never share an entry. So is the
+    access-encoding decision (the caller resolves ``"auto"`` to
+    ``"auto:<database encoding fingerprint>"``): a program compiled
+    over code streams closes over different physical arrays than one
+    compiled over decoded values.
     """
     return (
         query_fingerprint(query),
@@ -127,6 +132,7 @@ def plan_key(
         tile,
         backend,
         shards,
+        encoding,
     )
 
 

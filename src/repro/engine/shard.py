@@ -765,6 +765,7 @@ class ShardExecutor:
         spec: Dict[str, Any],
         strategy: str,
         backend: str,
+        encoding: str = "auto",
         override=None,
         cancel: Optional[CancelToken] = None,
     ) -> Optional[QueryResult]:
@@ -806,6 +807,10 @@ class ShardExecutor:
             "spec": spec,
             "strategy": strategy,
             "backend": backend,
+            # Encoding mode travels on the wire so workers pick the
+            # same per-column code/value streams the parent priced;
+            # workers mmap the cached code arrays, never decoded copies.
+            "encoding": encoding,
             "override": override_to_wire(override),
             "ht_prefetch": bool(session.knobs.ht_prefetch),
         }

@@ -11,7 +11,8 @@ parent for crash forensics):
     parent) and builds the machine model. Replies ``ready`` or
     ``fatal``.
 ``warm``
-    Pre-compiles a (spec, strategy, backend, override) program so the
+    Pre-compiles a (spec, strategy, backend, encoding, override)
+    program so the
     first real morsel does not pay compile latency. Replies ``warmed``.
 ``task``
     Runs one morsel ``[lo, hi)`` of a compiled program's ``partial``
@@ -93,6 +94,7 @@ class _Worker:
             json.dumps(msg["spec"], sort_keys=True),
             msg["strategy"],
             msg["backend"],
+            msg.get("encoding", "auto"),
             tuple(sorted(override.items())),
         )
 
@@ -114,6 +116,7 @@ class _Worker:
         spec = msg["spec"]
         strategy = msg["strategy"]
         backend = msg["backend"]
+        encoding = msg.get("encoding", "auto")
         overrides = override_from_wire(msg.get("override"))
         if spec["kind"] == "name":
             from ..tpch.base import compile_tpch
@@ -121,7 +124,7 @@ class _Worker:
             compiled = compile_tpch(
                 spec["name"], strategy, self.db,
                 machine=self.machine, backend=backend,
-                overrides=overrides,
+                overrides=overrides, encoding=encoding,
             )
         elif spec["kind"] == "plan":
             from ..codegen.pipeline import compile_pipeline
@@ -130,7 +133,7 @@ class _Worker:
             compiled = compile_pipeline(
                 plan_from_wire(spec["plan"]), self.db, strategy,
                 machine=self.machine, backend=backend,
-                overrides=overrides,
+                overrides=overrides, encoding=encoding,
             )
         else:
             raise ValueError(f"unknown spec kind {spec['kind']!r}")

@@ -142,6 +142,18 @@ class Decisions:
     outer_mode: str = CONDITIONAL  # OuterGroupJoin count-delta mode
     has_outer: bool = False
     group_cardinality: int = 1
+    #: Access-encoding choice: table -> ((column, codec description),
+    #: ...) naming the columns the scan serves as physical codes, with
+    #: decode deferred to materialization points. Lowering stamps these
+    #: onto the table's pipelines.
+    encodings: Dict[str, Tuple[Tuple[str, str], ...]] = field(
+        default_factory=dict
+    )
+    #: Physical scan width of every encoded column — what the cost
+    #: model should price a sequential read of that column at.
+    encoded_widths: Dict[Tuple[str, str], int] = field(
+        default_factory=dict
+    )
     #: Statistics the root decisions were priced with (after any
     #: :class:`~repro.engine.costing.StatsOverride`); the adaptive
     #: re-optimizer compares these against measured values to detect
@@ -158,6 +170,14 @@ class Decisions:
             parts.append(f"groupjoin={self.groupjoin_mode}")
         if self.has_outer:
             parts.append(f"outer_groupjoin={self.outer_mode}")
+        if self.encodings:
+            encoded = {
+                table: [column for column, _ in columns]
+                for table, columns in sorted(self.encodings.items())
+                if columns
+            }
+            if encoded:
+                parts.append(f"encoded_scans={encoded}")
         return ", ".join(parts)
 
 
@@ -456,8 +476,23 @@ def _disjunct_match_fraction(join: DisjunctJoin, db: Database) -> float:
     return max(1.0 - miss, 0.0)
 
 
-def _width_of(db: Database, table: str, column: str) -> int:
-    """Physical byte width; derived (carried/projected) columns are 8."""
+def _width_of(
+    db: Database,
+    table: str,
+    column: str,
+    decisions: Optional[Decisions] = None,
+) -> int:
+    """Physical byte width a scan of ``column`` streams at.
+
+    When the access-encoding pass chose to serve the column as codes,
+    the scan streams the *code* width, and every downstream cost
+    estimate should price reads at that width. Derived (carried or
+    projected) columns are 8 bytes.
+    """
+    if decisions is not None:
+        encoded = decisions.encoded_widths.get((table, column))
+        if encoded is not None:
+            return encoded
     table_obj = db.table(table)
     if column in table_obj:
         return int(table_obj[column].dtype.itemsize)
@@ -516,17 +551,20 @@ def _group_cardinality(
 
 
 def _root_model_inputs(
-    root: GroupByAgg, db: Database, stats: SpineStats
+    root: GroupByAgg,
+    db: Database,
+    stats: SpineStats,
+    decisions: Optional[Decisions] = None,
 ) -> cm.ModelInputs:
     """Model inputs for the terminal aggregation decision."""
     table = stats.table
     pred_widths = tuple(
-        _width_of(db, table, name)
+        _width_of(db, table, name, decisions)
         for conj in spine_filters(root.child)
         for name in sorted(conj.columns())
     )
     agg_widths = tuple(
-        _width_of(db, table, name)
+        _width_of(db, table, name, decisions)
         for agg in root.aggregates
         if agg.expr is not None
         for name in col_refs(agg.expr)
@@ -538,10 +576,13 @@ def _root_model_inputs(
 
             agg_ops += arith_ops(agg.expr)
     merged = merged_columns(root)
-    merged_widths = tuple(_width_of(db, table, name) for name in merged)
+    merged_widths = tuple(
+        _width_of(db, table, name, decisions) for name in merged
+    )
     key_cols = tuple(sorted(root.key.columns())) if root.key else ()
     group_width = max(
-        (_width_of(db, table, name) for name in key_cols), default=8
+        (_width_of(db, table, name, decisions) for name in key_cols),
+        default=8,
     )
     return cm.ModelInputs(
         num_rows=stats.num_rows,
@@ -569,6 +610,127 @@ def merged_columns(root: GroupByAgg) -> Tuple[str, ...]:
         if agg.expr is not None:
             agg_cols |= agg.expr.columns()
     return tuple(sorted(pred_cols & agg_cols))
+
+
+# ---------------------------------------------------------------------------
+# Access-encoding pass (all strategies)
+# ---------------------------------------------------------------------------
+
+
+def _referenced_columns(node: PlanNode) -> set:
+    """Every column name a subtree's pipelines will physically read."""
+    cols: set = set()
+    for term in spine_filters(node):
+        cols |= term.columns()
+    for step in spine(node):
+        if isinstance(step, JOIN_NODES):
+            cols.add(step.fk_column)
+            cols.add(step.pk_column)
+            cols |= _referenced_columns(step.build)
+        if isinstance(step, Join):
+            cols |= set(step.carry)
+        elif isinstance(step, DisjunctJoin):
+            for build_pred, probe_pred in step.disjuncts:
+                cols |= build_pred.columns() | probe_pred.columns()
+    return cols
+
+
+def _pass_access_encoding(
+    root: GroupByAgg,
+    db: Database,
+    machine: MachineModel,
+    decisions: Decisions,
+    notes: List[PassNote],
+    stats: SpineStats,
+) -> None:
+    """Choose compressed vs decoded scans, per referenced column.
+
+    Every codec here is value-preserving in code space (dictionary
+    predicates were already translated to codes by the binding pass;
+    null-suppressed ints and fixed-point decimals compare as the same
+    integers at narrower width), so any predicate a decoded scan could
+    answer, the encoded scan answers too. The choice is therefore
+    purely cost-based: stream the narrow codes and pay a decode at each
+    materialization point, or stream the decoded values. Runs for all
+    strategies — access encoding is orthogonal to operator choice.
+    """
+    referenced = _referenced_columns(root.child)
+    for agg in root.aggregates:
+        if agg.expr is not None:
+            referenced |= agg.expr.columns()
+    if root.key is not None:
+        referenced |= root.key.columns()
+
+    tables: List[str] = []
+
+    def walk(node: PlanNode) -> None:
+        for step in spine(node):
+            if isinstance(step, JOIN_NODES):
+                walk(step.build)
+        table = base_table(node)
+        if table not in tables:
+            tables.append(table)
+
+    walk(root.child)
+
+    for table in tables:
+        table_obj = db.table(table)
+        num_rows = table_obj.num_rows
+        # The probe spine's survival bounds how many decoded values
+        # ever materialize; build pipelines decode their full survivor
+        # set, so price their decode term conservatively at 1.0.
+        selectivity = stats.survival if table == stats.table else 1.0
+        chosen: List[Tuple[str, str]] = []
+        decoded: List[str] = []
+        encoded_total = decoded_total = 0.0
+        for col in table_obj.iter_columns():
+            if col.name not in referenced:
+                continue
+            enc = col.encoding
+            if not enc.compressed:
+                continue
+            enc_cost = cm.encoded_scan_cost(
+                machine, num_rows, enc.width, selectivity
+            )
+            dec_cost = cm.decoded_scan_cost(
+                machine, num_rows, enc.decoded_width
+            )
+            if enc_cost < dec_cost:
+                chosen.append((col.name, enc.describe()))
+                decisions.encoded_widths[(table, col.name)] = enc.width
+                encoded_total += enc_cost
+                decoded_total += dec_cost
+            else:
+                decoded.append(col.name)
+        if chosen:
+            decisions.encodings[table] = tuple(chosen)
+            detail = (
+                f"{table}: scan "
+                f"{[f'{name} {desc}' for name, desc in chosen]} "
+                "in code space, decode at materialization"
+            )
+            if decoded:
+                detail += f"; {decoded} decode early"
+            notes.append(
+                PassNote(
+                    "access-encoding",
+                    "applied",
+                    detail,
+                    estimates=(
+                        ("encoded", encoded_total),
+                        ("decoded", decoded_total),
+                    ),
+                )
+            )
+        else:
+            notes.append(
+                PassNote(
+                    "access-encoding",
+                    "declined",
+                    f"{table}: no referenced column compresses below "
+                    "its stored width",
+                )
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -648,7 +810,7 @@ def _pass_bitmap_semijoins(
             build_rows=build.num_rows,
             build_selectivity=build.survival,
             build_pred_widths=tuple(
-                _width_of(db, build.table, name)
+                _width_of(db, build.table, name, decisions)
                 for conj in spine_filters(join.build)
                 for name in sorted(conj.columns())
             ),
@@ -702,27 +864,27 @@ def _pass_groupjoin(
         num_rows=probe.num_rows,
         selectivity=probe.local_selectivity,
         pred_widths=tuple(
-            _width_of(db, table, name)
+            _width_of(db, table, name, decisions)
             for conj in spine_filters(root.child)
             for name in sorted(conj.columns())
         ),
         agg_widths=tuple(
-            _width_of(db, table, name)
+            _width_of(db, table, name, decisions)
             for agg in root.aggregates
             if agg.expr is not None
             for name in col_refs(agg.expr)
         ),
-        agg_ops=_root_model_inputs(root, db, probe).agg_ops,
+        agg_ops=_root_model_inputs(root, db, probe, decisions).agg_ops,
         num_aggs=len(root.aggregates),
         build_rows=build.num_rows,
         build_selectivity=build.local_selectivity,
         build_pred_widths=tuple(
-            _width_of(db, build.table, name)
+            _width_of(db, build.table, name, decisions)
             for conj in spine_filters(target.build)
             for name in sorted(conj.columns())
         ),
-        pk_width=_width_of(db, build.table, target.pk_column),
-        fk_width=_width_of(db, table, target.fk_column),
+        pk_width=_width_of(db, build.table, target.pk_column, decisions),
+        fk_width=_width_of(db, table, target.fk_column, decisions),
         join_match_fraction=build.local_selectivity,
     )
     mode, estimates = P.choose_groupjoin_mode(machine, inputs)
@@ -764,7 +926,7 @@ def _pass_aggregation(
         decisions.agg_mode = GATHERED
         return
     stats = _override_stats(spine_stats(root.child, db), overrides)
-    inputs = _root_model_inputs(root, db, stats)
+    inputs = _root_model_inputs(root, db, stats, decisions)
     if overrides is not None and overrides.group_cardinality is not None:
         inputs = replace(
             inputs, group_cardinality=max(overrides.group_cardinality, 1)
@@ -888,7 +1050,7 @@ def _pass_exists(
             build_rows=build.num_rows,
             build_selectivity=build.survival,
             build_pred_widths=tuple(
-                _width_of(db, build.table, name)
+                _width_of(db, build.table, name, decisions)
                 for conj in spine_filters(step.build)
                 for name in sorted(conj.columns())
             ),
@@ -930,12 +1092,14 @@ def _pass_outer_groupjoin(
             num_rows=probe.num_rows,
             selectivity=probe.survival,
             pred_widths=tuple(
-                _width_of(db, probe.table, name)
+                _width_of(db, probe.table, name, decisions)
                 for conj in spine_filters(step.probe)
                 for name in sorted(conj.columns())
             ),
             num_aggs=1,
-            group_width=_width_of(db, probe.table, step.fk_column),
+            group_width=_width_of(
+                db, probe.table, step.fk_column, decisions
+            ),
             group_cardinality=db.table(build_table).num_rows,
         )
         choice, estimates = P.choose_aggregation_grouped(machine, inputs)
@@ -1003,7 +1167,8 @@ def _pass_disjunct(
             build_rows=build.num_rows,
             build_selectivity=_disjunct_match_fraction(step, db),
             build_pred_widths=tuple(
-                _width_of(db, build_table, name) for name in build_cols
+                _width_of(db, build_table, name, decisions)
+                for name in build_cols
             ),
         )
         _, estimates = P.choose_semijoin_build(machine, inputs)
@@ -1039,6 +1204,7 @@ def run_passes(
     machine: MachineModel,
     strategy: str,
     overrides: Optional[StatsOverride] = None,
+    encoding: str = "auto",
 ) -> Tuple[LogicalPlan, Decisions, List[PassNote]]:
     """Run the strategy's pass pipeline over ``plan``.
 
@@ -1048,8 +1214,15 @@ def run_passes(
     and ``decisions.estimated_stats`` records what the plan was priced
     with so later drift checks compare against it.
 
+    ``encoding`` controls the access-encoding pass: ``"auto"`` chooses
+    compressed vs decoded scans per referenced column by cost,
+    ``"off"`` serves every scan decoded (the pre-compression access
+    path, kept for apples-to-apples oracle comparison).
+
     Returns the bound plan, the lowering decisions, and the pass notes.
     """
+    if encoding not in ("auto", "off"):
+        raise PlanError(f"unknown encoding mode {encoding!r}")
     validate(plan)
     notes: List[PassNote] = []
     bound_root = _bind_node(plan.root, db, notes)
@@ -1112,6 +1285,21 @@ def run_passes(
             pass_fn(root, db, machine, decisions, notes, overrides)
     else:
         raise PlanError(f"unknown strategy {strategy!r}")
+
+    # Access-encoding runs last: the operator/mode choices above are
+    # priced at stored widths (identical plans whichever way the knob
+    # points), then each referenced column independently picks the
+    # cheaper physical stream for the plan that will actually run.
+    if encoding == "auto":
+        _pass_access_encoding(root, db, machine, decisions, notes, stats)
+    else:
+        notes.append(
+            PassNote(
+                "access-encoding",
+                "off",
+                "serving decoded value streams (encoding knob off)",
+            )
+        )
     return bound, decisions, notes
 
 

@@ -493,9 +493,18 @@ class Pipeline:
     table: str
     ops: Tuple[PhysicalOp, ...]
     merged: Tuple[str, ...] = ()  # §III-C: columns read once, shared
+    #: Access-encoding decision: ``(column, codec description)`` pairs
+    #: naming the columns this pipeline streams as physical codes, with
+    #: decode deferred to the materialization points.
+    encodings: Tuple[Tuple[str, str], ...] = ()
 
     def describe(self) -> str:
         lines = [f"pipeline {self.label!r} over {self.table}:"]
+        if self.encodings:
+            codes = ", ".join(
+                f"{column} {desc}" for column, desc in self.encodings
+            )
+            lines.append(f"  encoding= {codes} (decode late)")
         if self.merged:
             lines.append(f"  merged reads: {list(self.merged)}")
         for op in self.ops:

@@ -90,6 +90,10 @@ class Column:
         values = np.ascontiguousarray(values)
         values.setflags(write=False)
         object.__setattr__(self, "values", values)
+        # Lazy encoded-access surface (descriptor + code array), cached
+        # on first touch; the dataset cache seeds these from disk.
+        object.__setattr__(self, "_encoding", None)
+        object.__setattr__(self, "_encoded", None)
         if self.logical_type is LogicalType.STRING and self.dictionary is None:
             raise StorageError(
                 f"string column {self.name!r} requires a dictionary"
@@ -111,6 +115,63 @@ class Column:
     def byte_width(self) -> int:
         """Width of one physical value in bytes."""
         return self.logical_type.byte_width
+
+    @property
+    def encoding(self):
+        """Descriptor of this column's physical code stream.
+
+        A :class:`~repro.storage.compression.ColumnEncoding` naming the
+        codec and the code width. Metadata only — computing it scans the
+        stored range once but materializes nothing. Cached.
+        """
+        if self._encoding is None:
+            from .compression import column_encoding
+
+            object.__setattr__(self, "_encoding", column_encoding(self))
+        return self._encoding
+
+    def encoded_values(self) -> np.ndarray:
+        """The physical code stream: the primary scan surface.
+
+        For a compressed column this is the stored integers narrowed to
+        the codec's width (dictionary codes, null-suppressed ints,
+        scaled decimals) — *value-identical* to ``values``, so
+        predicates, set probes and key extraction read the same numbers
+        from fewer bytes. For codec "none" it aliases ``values``.
+        ``decode()`` remains the explicit late-materialization step.
+
+        Materialized lazily and cached; the dataset cache seeds this
+        with a memory-mapped code file instead.
+        """
+        if self._encoded is None:
+            enc = self.encoding
+            if not enc.compressed:
+                object.__setattr__(self, "_encoded", self.values)
+            else:
+                codes = self.values.astype(np.dtype(enc.dtype))
+                codes.setflags(write=False)
+                object.__setattr__(self, "_encoded", codes)
+        return self._encoded
+
+    def seed_encoded(self, encoding, codes: np.ndarray) -> None:
+        """Install a precomputed code stream (dataset-cache mmap path).
+
+        ``codes`` must be the value-identical narrow representation the
+        column would compute itself; the dataset cache persists exactly
+        that, so shard workers map codes from disk instead of paying the
+        ``astype`` per process.
+        """
+        if codes.dtype != np.dtype(encoding.dtype):
+            raise StorageError(
+                f"seeded codes dtype {codes.dtype} does not match "
+                f"encoding {encoding.dtype} on {self.name!r}"
+            )
+        if codes.shape[0] != self.values.shape[0]:
+            raise StorageError(
+                f"seeded codes length mismatch on {self.name!r}"
+            )
+        object.__setattr__(self, "_encoding", encoding)
+        object.__setattr__(self, "_encoded", codes)
 
     def decode(self) -> np.ndarray:
         """Return the *logical* values (decoded strings / scaled decimals).

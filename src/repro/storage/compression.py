@@ -24,6 +24,85 @@ from .column import Column, LogicalType
 
 
 @dataclass(frozen=True)
+class ColumnEncoding:
+    """Descriptor of a column's physical code stream.
+
+    The access path uses this to reason about encoded scans without
+    materializing anything: ``codec`` names the scheme ("dict" for
+    dictionary codes, "ns" for null-suppressed integers, "fxp" for
+    fixed-point decimals narrowed below int64, "none" when the stored
+    representation is already the narrowest), ``width`` is the physical
+    bytes per code and ``decoded_width`` the bytes per value of the
+    logical (decoded) stream the codes stand in for.
+
+    All three codecs here are *value-preserving*: the code array holds
+    the same integer values as the stored array, only narrower. That is
+    what makes predicate evaluation on codes exact — comparisons,
+    set-membership and key extraction read identical integers from a
+    narrower stream, and ``decode`` (the ``astype`` back to the wide
+    dtype) is a pure late-materialization step.
+    """
+
+    codec: str
+    dtype: str
+    width: int
+    decoded_width: int
+
+    @property
+    def compressed(self) -> bool:
+        return self.codec != "none"
+
+    def describe(self) -> str:
+        """Short form used in explain output: ``ns:int8(8B->1B)``."""
+        if not self.compressed:
+            return "none"
+        return (
+            f"{self.codec}:{self.dtype}"
+            f"({self.decoded_width}B->{self.width}B)"
+        )
+
+
+def narrowest_int_dtype(lo: int, hi: int) -> np.dtype:
+    """The narrowest signed dtype whose range covers ``[lo, hi]``."""
+    for dtype in (np.int8, np.int16, np.int32, np.int64):
+        info = np.iinfo(dtype)
+        if info.min <= lo and hi <= info.max:
+            return np.dtype(dtype)
+    raise StorageError("value range exceeds int64")  # pragma: no cover
+
+
+def column_encoding(column: Column) -> ColumnEncoding:
+    """Descriptor of ``column``'s best value-preserving encoding.
+
+    Pure metadata: inspects the stored range (one min/max scan) without
+    materializing a code array. STRING columns narrow their dictionary
+    codes ("dict"), DECIMAL columns narrow their scaled fixed-point
+    integers ("fxp"), and every other integer column null-suppresses
+    ("ns"). Columns whose stored dtype is already the narrowest — and
+    float or empty columns — report codec "none".
+    """
+    values = column.values
+    decoded_width = int(values.dtype.itemsize)
+    if values.dtype.kind not in "iu" or values.size == 0:
+        return ColumnEncoding(
+            "none", values.dtype.name, decoded_width, decoded_width
+        )
+    dtype = narrowest_int_dtype(int(values.min()), int(values.max()))
+    width = int(dtype.itemsize)
+    if width >= decoded_width:
+        return ColumnEncoding(
+            "none", values.dtype.name, decoded_width, decoded_width
+        )
+    if column.logical_type is LogicalType.STRING:
+        codec = "dict"
+    elif column.logical_type is LogicalType.DECIMAL:
+        codec = "fxp"
+    else:
+        codec = "ns"
+    return ColumnEncoding(codec, dtype.name, width, decoded_width)
+
+
+@dataclass(frozen=True)
 class DictionaryEncoding:
     """Result of dictionary-encoding a string array."""
 
@@ -66,13 +145,9 @@ def null_suppress(values: np.ndarray) -> np.ndarray:
         raise StorageError("null suppression requires an integer array")
     if values.size == 0:
         return values.astype(np.int8)
-    lo = int(values.min())
-    hi = int(values.max())
-    for dtype in (np.int8, np.int16, np.int32, np.int64):
-        info = np.iinfo(dtype)
-        if info.min <= lo and hi <= info.max:
-            return values.astype(dtype)
-    raise StorageError("value range exceeds int64")  # pragma: no cover
+    return values.astype(
+        narrowest_int_dtype(int(values.min()), int(values.max()))
+    )
 
 
 def suppressed_logical_type(values: np.ndarray) -> LogicalType:

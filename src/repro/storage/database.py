@@ -65,6 +65,49 @@ class Database:
         table = self.table(name)
         return {col.name: col.values for col in table.iter_columns()}
 
+    def scan_view(
+        self, name: str, encodings: tuple = ()
+    ) -> Dict[str, np.ndarray]:
+        """Column arrays of a table with chosen columns served encoded.
+
+        ``encodings`` is a pipeline's access-encoding decision: a tuple
+        of ``(column, codec_description)`` pairs naming the columns the
+        planner chose to scan as physical codes. Those columns come back
+        as their narrow code arrays (value-identical to the stored
+        representation — see :meth:`Column.encoded_values`); everything
+        else comes back as the stored array, exactly like :meth:`data`.
+        """
+        if not encodings:
+            return self.data(name)
+        encoded = {column for column, _ in encodings}
+        table = self.table(name)
+        return {
+            col.name: (
+                col.encoded_values()
+                if col.name in encoded
+                else col.values
+            )
+            for col in table.iter_columns()
+        }
+
+    def encoding_fingerprint(self) -> str:
+        """Stable digest of every column's encoding descriptor.
+
+        Part of the plan-cache key when compressed access paths are on:
+        the access-encoding pass decides from these descriptors, so two
+        databases with identical descriptors produce identical
+        decisions (and differing data ranges can never serve each
+        other's compiled code paths).
+        """
+        import hashlib
+
+        parts = []
+        for name in self.catalog.table_names:
+            for col in self.table(name).iter_columns():
+                parts.append(f"{name}.{col.name}={col.encoding.describe()}")
+        digest = hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+        return f"enc:{digest}"
+
     def all_data(self) -> Dict[str, Dict[str, np.ndarray]]:
         """Raw data for every table (used by statistics sampling)."""
         return {name: self.data(name) for name in self.catalog.table_names}

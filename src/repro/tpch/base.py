@@ -47,17 +47,20 @@ def compile_tpch(
     registry=None,
     backend: str = "instrumented",
     overrides=None,
+    encoding: str = "auto",
 ) -> CompiledQuery:
     """Compile TPC-H query ``name`` under ``strategy`` against ``db``.
 
     Queries with a logical operator tree (:data:`~repro.tpch.plans.
     PIPELINE_QUERIES`) go through the generic staged lowering pipeline;
     the rest still use their hand-coded strategy modules. ``machine``,
-    ``registry``, ``backend``, and ``overrides`` (a measured-statistics
+    ``registry``, ``backend``, ``overrides`` (a measured-statistics
     :class:`~repro.engine.costing.StatsOverride` from the adaptive
-    re-optimizer) only affect the pipeline path (cost-model decisions,
-    compile-stage spans, and the execution layer the program runs on);
-    hand-coded programs are always instrumented.
+    re-optimizer), and ``encoding`` (the ``"auto"``/``"off"``
+    access-encoding knob) only affect the pipeline path (cost-model
+    decisions, compile-stage spans, and the execution layer the program
+    runs on); hand-coded programs are always instrumented and always
+    read decoded values.
     """
     try:
         module = QUERY_MODULES[name]
@@ -81,6 +84,7 @@ def compile_tpch(
             registry=registry,
             backend=backend,
             overrides=overrides,
+            encoding=encoding,
         )
     return oracle_tpch(name, strategy, db)
 

@@ -173,6 +173,34 @@ class TestObservationExtraction:
         assert obs.selectivity is None
         assert obs.wall_seconds > 0
 
+    def test_join_run_measures_match_fraction(self, tpch_db):
+        # Q3's semijoin probes emit zero-cost StatSample telemetry;
+        # the observation folds them into one per-run match fraction
+        # (the product over join sites of hits/probes).
+        engine = Engine(tpch_db, backend="instrumented")
+        result = engine.execute(logical_plan("Q3"), "hybrid")
+        obs = observation_from_run(
+            result.report, result.report.metrics
+        )
+        assert obs.match_fraction is not None
+        assert 0.0 < obs.match_fraction < 1.0
+
+    def test_group_cardinality_matches_result_groups(self, tpch_db):
+        engine = Engine(tpch_db, backend="instrumented")
+        result = engine.execute(logical_plan("Q1"), "hybrid")
+        obs = observation_from_run(
+            result.report, result.report.metrics
+        )
+        assert obs.group_cardinality == len(result.value["keys"])
+
+    def test_scan_only_run_has_no_join_stats(self, micro_db):
+        engine = Engine(micro_db, backend="instrumented")
+        result = engine.execute(mb.q1(30), "hybrid")
+        obs = observation_from_run(
+            result.report, result.report.metrics
+        )
+        assert obs.match_fraction is None
+
 
 # -- chooser --------------------------------------------------------------
 
@@ -293,6 +321,144 @@ class TestReOptimizer:
                 "fp", {"survival": 0.95}, cache
             )
         assert reopt.recompiles == 1
+
+    def test_override_carries_measured_join_statistics(self):
+        store = FeedbackStore(alpha=0.5)
+        for _ in range(3):
+            store.record(
+                "fp", "hybrid", "instrumented",
+                _obs(
+                    selectivity=0.30,
+                    match_fraction=0.125,
+                    group_cardinality=20.0,
+                ),
+            )
+        reopt = ReOptimizer(
+            store, drift_threshold=0.3, min_observations=2
+        )
+        cache = PlanCache(capacity=8)
+        assert reopt.maybe_reoptimize("fp", {"survival": 0.95}, cache)
+        override = reopt.override_for("fp")
+        assert override.match_fraction == pytest.approx(0.125)
+        assert override.group_cardinality == 20
+
+    def test_override_join_fields_absent_without_telemetry(self):
+        store = self._armed_store(observed=0.30)
+        reopt = ReOptimizer(
+            store, drift_threshold=0.3, min_observations=2
+        )
+        cache = PlanCache(capacity=8)
+        assert reopt.maybe_reoptimize("fp", {"survival": 0.95}, cache)
+        override = reopt.override_for("fp")
+        assert override.match_fraction is None
+        assert override.group_cardinality is None
+
+
+# -- persistence ----------------------------------------------------------
+
+
+class TestFeedbackPersistence:
+    def _seasoned_store(self):
+        store = FeedbackStore(alpha=0.5)
+        for wall in (0.01, 0.02):
+            store.record(
+                "fp-a", "hybrid", "instrumented",
+                _obs(
+                    wall=wall,
+                    selectivity=0.3,
+                    match_fraction=0.1,
+                    group_cardinality=12.0,
+                    scan_rows=1 << 14,
+                    parallel=False,
+                ),
+            )
+        store.record(
+            "fp-a", "swole", "vectorized",
+            _obs(wall=0.005, scan_rows=1 << 14, parallel=True),
+        )
+        store.record("fp-b", "datacentric", "vectorized", _obs(wall=0.04))
+        return store
+
+    def test_snapshot_restore_roundtrip(self):
+        store = self._seasoned_store()
+        clone = FeedbackStore(alpha=0.5)
+        assert clone.restore(store.snapshot()) == 2
+        for fp in ("fp-a", "fp-b"):
+            old, new = store.summary(fp), clone.summary(fp)
+            assert new.observations == old.observations
+            assert new.wall_seconds.value == old.wall_seconds.value
+            assert new.wall_seconds.count == old.wall_seconds.count
+            assert set(new.arms) == set(old.arms)
+        assert (
+            clone.observed_selectivity("fp-a")
+            == store.observed_selectivity("fp-a")
+        )
+        assert (
+            clone.observed_match_fraction("fp-a")
+            == store.observed_match_fraction("fp-a")
+        )
+        assert (
+            clone.observed_group_cardinality("fp-a")
+            == store.observed_group_cardinality("fp-a")
+        )
+        assert clone.best_arm("fp-a") == store.best_arm("fp-a")
+        assert clone.crossover_rows() == store.crossover_rows()
+
+    def test_controller_save_load_roundtrip(self, tmp_path):
+        controller = AdaptiveController(BENCH_POLICY)
+        controller.store = self._seasoned_store()
+        path = controller.save_feedback(tmp_path / "feedback.json")
+        assert path.is_file()
+        warm = AdaptiveController(BENCH_POLICY)
+        assert warm.load_feedback(path) == 2
+        assert warm.store.best_arm("fp-a") == ("swole", "vectorized")
+
+    def test_load_tolerates_cold_start_conditions(self, tmp_path):
+        controller = AdaptiveController()
+        missing = tmp_path / "nope.json"
+        assert controller.load_feedback(missing) == 0
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert controller.load_feedback(garbage) == 0
+        import json as _json
+
+        stale = tmp_path / "stale.json"
+        stale.write_text(
+            _json.dumps({"version": -1, "feedback": {}})
+        )
+        assert controller.load_feedback(stale) == 0
+
+    def test_engine_warm_starts_from_saved_snapshot(
+        self, micro_db, tmp_path, monkeypatch
+    ):
+        # A fresh adaptive engine loads the snapshot a prior engine
+        # saved (both resolve the same path next to the dataset cache —
+        # pinned here to this test's own temp dir so the warm state
+        # cannot leak into other tests' fresh engines).
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with Engine(micro_db, adaptive=True) as first:
+            for _ in range(3):
+                first.execute(mb.q1(30), "auto")
+            saved = first.save_feedback()
+            assert saved is not None
+            recorded = first.adaptive.store.snapshot()["recorded"]
+        assert recorded > 0
+        with Engine(micro_db, adaptive=True) as warm:
+            assert (
+                warm.adaptive.store.snapshot()["recorded"] >= recorded
+            )
+
+    def test_static_engine_saves_nothing(self, micro_db):
+        with Engine(micro_db) as engine:
+            assert engine.save_feedback() is None
+
+    def test_shared_controller_skips_warm_start(self, micro_db):
+        # Passing a ready controller means the caller owns its state;
+        # the engine must not fold a stale snapshot into it.
+        controller = AdaptiveController()
+        with Engine(micro_db, adaptive=controller) as engine:
+            assert engine.adaptive is controller
+            assert controller.store.snapshot()["recorded"] == 0
 
 
 # -- engine integration ---------------------------------------------------

@@ -76,6 +76,40 @@ class TestTpchSweep:
             )
 
 
+class TestEncodedSweep:
+    """Serving code streams must be invisible in the answers: every
+    cell, both backends, encoding auto vs off, byte for byte."""
+
+    @pytest.fixture(scope="class")
+    def decoded_engine(self, tpch_db):
+        with Engine(
+            db=tpch_db,
+            workers=4,
+            encoding="off",
+            knobs=ExecutionKnobs(morsel_rows=1500),
+        ) as engine:
+            yield engine
+
+    @pytest.mark.parametrize("name", PIPELINE_QUERIES)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_cell_byte_identical(
+        self, tpch_engine, decoded_engine, name, strategy
+    ):
+        plan = logical_plan(name)
+        for backend in ("instrumented", "vectorized"):
+            encoded = tpch_engine.execute(
+                plan, strategy, workers=1, backend=backend
+            )
+            decoded = decoded_engine.execute(
+                plan, strategy, workers=1, backend=backend
+            )
+            assert results_equal(encoded, decoded), (
+                name,
+                strategy,
+                backend,
+            )
+
+
 class TestMicrobenchQueries:
     """The Fig. 7/8 queries, including floor division and its guard."""
 

@@ -6,12 +6,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import StorageError
-from repro.storage.column import LogicalType
+from repro.storage.column import (
+    LogicalType,
+    decimal_column,
+    int_column,
+    string_column,
+)
 from repro.storage.compression import (
     compress_int_column,
     dictionary_encode,
     fixed_point_decode,
     fixed_point_encode,
+    narrowest_int_dtype,
     null_suppress,
     suppressed_logical_type,
 )
@@ -141,3 +147,138 @@ class TestCompressIntColumn:
         col = compress_int_column("a", np.asarray([300, -300]))
         assert col.logical_type is LogicalType.INT16
         assert col.values.tolist() == [300, -300]
+
+
+class TestNarrowestIntDtype:
+    def test_int8_boundaries_inclusive(self):
+        assert narrowest_int_dtype(-128, 127) == np.int8
+        assert narrowest_int_dtype(-129, 0) == np.int16
+        assert narrowest_int_dtype(0, 128) == np.int16
+
+    def test_int64_extremes(self):
+        lo, hi = np.iinfo(np.int64).min, np.iinfo(np.int64).max
+        assert narrowest_int_dtype(lo, hi) == np.int64
+
+
+class TestColumnEncodingDescriptor:
+    """The access path's metadata surface: codec / width / describe."""
+
+    def test_string_column_reports_dict_codec(self):
+        col = string_column("flag", ["A", "N", "R"] * 10)
+        enc = col.encoding
+        assert enc.codec == "dict"
+        assert enc.width == 1
+        assert enc.decoded_width == 4  # int32 dictionary codes stored
+        assert enc.describe() == "dict:int8(4B->1B)"
+
+    def test_decimal_column_reports_fxp_codec(self):
+        col = decimal_column("price", [1.25, 900.5, 17.0], scale=2)
+        enc = col.encoding
+        assert enc.codec == "fxp"
+        assert enc.decoded_width == 8
+        assert enc.width < 8
+
+    def test_wide_int_column_reports_ns_codec(self):
+        col = int_column("qty", np.asarray([1, 50, 7], dtype=np.int64))
+        assert col.encoding.codec == "ns"
+        assert col.encoding.width == 1
+
+    def test_already_narrow_column_reports_none(self):
+        col = int_column(
+            "qty",
+            np.asarray([1, 2], dtype=np.int8),
+            logical_type=LogicalType.INT8,
+        )
+        assert col.encoding.codec == "none"
+        assert not col.encoding.compressed
+        assert col.encoding.describe() == "none"
+
+    def test_empty_column_reports_none(self):
+        col = int_column("empty", np.asarray([], dtype=np.int64))
+        assert col.encoding.codec == "none"
+
+    def test_single_value_dictionary(self):
+        # One distinct string: every code is 0, the narrowest stream
+        # possible, and the round trip still reproduces the value.
+        col = string_column("only", ["same"] * 8)
+        assert col.encoding.codec == "dict"
+        assert col.encoding.width == 1
+        assert col.encoded_values().tolist() == [0] * 8
+        assert col.decode().tolist() == ["same"] * 8
+
+    def test_full_int64_range_cannot_narrow(self):
+        info = np.iinfo(np.int64)
+        col = int_column(
+            "extremes", np.asarray([info.min, info.max], dtype=np.int64)
+        )
+        assert col.encoding.codec == "none"
+        assert col.encoded_values() is col.values
+
+    @given(
+        st.lists(
+            st.integers(
+                min_value=np.iinfo(np.int64).min,
+                max_value=np.iinfo(np.int64).max,
+            ),
+            min_size=0,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_encoded_stream_is_value_identical(self, values):
+        col = int_column("v", np.asarray(values, dtype=np.int64))
+        enc = col.encoding
+        codes = col.encoded_values()
+        assert codes.astype(np.int64).tolist() == values
+        assert enc.width <= enc.decoded_width
+        assert enc.compressed == (enc.width < enc.decoded_width)
+        if enc.compressed:
+            assert codes.dtype == np.dtype(enc.dtype)
+            assert codes.itemsize == enc.width
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(blacklist_characters="\x00"),
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_code_space_order_matches_value_order(self, values):
+        # The translation rule behind code-space range predicates: the
+        # dictionary is sorted, so code comparisons and string
+        # comparisons agree pairwise.
+        col = string_column("s", values)
+        codes = col.encoded_values().astype(np.int64)
+        decoded = col.decode()
+        for i in range(len(values)):
+            for j in range(len(values)):
+                assert (codes[i] < codes[j]) == (
+                    str(decoded[i]) < str(decoded[j])
+                )
+
+
+class TestSeedEncoded:
+    def test_seeding_replaces_lazy_materialization(self):
+        col = int_column("v", np.asarray([1, 2, 3], dtype=np.int64))
+        enc = col.encoding
+        codes = np.asarray([1, 2, 3], dtype=np.int8)
+        col.seed_encoded(enc, codes)
+        assert col.encoded_values() is codes
+
+    def test_dtype_mismatch_rejected(self):
+        col = int_column("v", np.asarray([1, 2, 3], dtype=np.int64))
+        with pytest.raises(StorageError):
+            col.seed_encoded(
+                col.encoding, np.asarray([1, 2, 3], dtype=np.int16)
+            )
+
+    def test_length_mismatch_rejected(self):
+        col = int_column("v", np.asarray([1, 2, 3], dtype=np.int64))
+        with pytest.raises(StorageError):
+            col.seed_encoded(
+                col.encoding, np.asarray([1, 2], dtype=np.int8)
+            )

@@ -164,6 +164,50 @@ class TestByteIdentity:
         assert repr(sharded.value) == repr(serial.value)
         assert sharded.report.total_cycles > 0
 
+    @pytest.mark.parametrize("name", ["Q1", "Q6"])
+    def test_encoded_scans_match_decoded_across_shards(
+        self, cached_tpch_db, sharded_engine, name
+    ):
+        # The sharded engine serves encoded scans by default (the
+        # encoding mode rides the task wire form, and workers mmap the
+        # cache's persisted code streams); an encoding-off sharded
+        # engine must produce the identical bytes.
+        plan = logical_plan(name)
+        encoded = sharded_engine.execute(plan, "swole")
+        with Engine(
+            cached_tpch_db,
+            machine=PAPER_MACHINE,
+            workers=SHARDS,
+            shards=SHARDS,
+            min_parallel_rows=1,
+            encoding="off",
+        ) as decoded_engine:
+            decoded = decoded_engine.execute(plan, "swole")
+        assert encoded.report.metrics.sharded
+        assert decoded.report.metrics.sharded
+        assert repr(encoded.value) == repr(decoded.value)
+
+    def test_cached_database_carries_seeded_code_streams(
+        self, cached_tpch_db
+    ):
+        # The dataset cache persists narrow code files; a cold load
+        # (what every shard worker does) serves them as memory-mapped
+        # arrays, value-identical to the wide columns.
+        from pathlib import Path
+
+        from repro.datagen.cache import DatasetCache
+
+        cold = DatasetCache(
+            cache_dir=Path(cached_tpch_db.dataset_cache_dir)
+        ).load_fingerprint(cached_tpch_db.dataset_fingerprint)
+        assert cold is not None
+        col = cold.table("lineitem").column("l_shipdate")
+        assert col.encoding.compressed
+        codes = col.encoded_values()
+        assert isinstance(codes, np.memmap)
+        assert codes.dtype == np.dtype(col.encoding.dtype)
+        assert np.array_equal(codes.astype(np.int64), col.values)
+
     def test_legacy_query_is_canonicalized_and_matches(self):
         # A legacy Query object goes through from_query() so parent and
         # workers compile the identical operator tree.
